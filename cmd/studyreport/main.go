@@ -1,0 +1,33 @@
+// Command studyreport regenerates the empirical-study artifacts: Table 1
+// (applications), Table 2 (root causes), and the §2.5 statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"wasabi/internal/evaluation"
+	"wasabi/internal/study"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "also list every studied issue")
+	flag.Parse()
+
+	fmt.Println(evaluation.Table1())
+	fmt.Println(evaluation.Table2())
+	fmt.Println(evaluation.StudyStats())
+
+	if *verbose {
+		fmt.Println("Studied issues:")
+		for _, i := range study.Issues() {
+			marker := " "
+			if i.InPaper {
+				marker = "*"
+			}
+			fmt.Printf("%s %-20s %-13s %-20s %-12s %s\n",
+				marker, i.ID, i.App, i.Category, i.Mechanism, i.Title)
+		}
+		fmt.Println("\n(* = discussed explicitly in the paper)")
+	}
+}

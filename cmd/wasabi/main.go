@@ -1,0 +1,114 @@
+// Command wasabi runs the WASABI retry-bug detection workflows over the
+// corpus applications.
+//
+// Usage:
+//
+//	wasabi [-app HD] [-workflow all|dynamic|static|if] [-v]
+//
+// With no -app, every corpus application is processed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/core"
+	"wasabi/internal/oracle"
+)
+
+func main() {
+	appCode := flag.String("app", "", "application short code (HD, HB, ...); empty = all")
+	workflow := flag.String("workflow", "all", "workflow: all, dynamic, static, or if")
+	verbose := flag.Bool("v", false, "print per-structure identification details")
+	flag.Parse()
+
+	apps := corpus.Apps()
+	if *appCode != "" {
+		app, err := corpus.ByCode(*appCode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		apps = []corpus.App{app}
+	}
+
+	w := core.New(core.DefaultOptions())
+	var ids []*core.Identification
+	for _, app := range apps {
+		if err := core.VerifySources(app); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		id, err := w.Identify(app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ids = append(ids, id)
+		fmt.Printf("== %s (%s) ==\n", app.Name, app.Code)
+		fmt.Printf("identified %d retry structures (%d keyworded loops, %d structural candidates before filter, %d files too large for the LLM)\n",
+			len(id.Structures), id.KeywordedLoops, id.CandidateLoops, len(id.TruncatedFiles))
+		if *verbose {
+			for _, s := range id.Structures {
+				fmt.Printf("  %-55s %-12s codeql=%-5v llm=%-5v triggers=%d\n",
+					s.Coordinator, s.Mechanism, s.FoundBy.CodeQL, s.FoundBy.LLM, len(s.Triplets))
+			}
+		}
+
+		if *workflow == "all" || *workflow == "dynamic" {
+			res, err := w.RunDynamic(app, id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("dynamic: %d/%d tests cover retry, %d/%d structures tested, plan %d entries, runs %d (naive %d)\n",
+				res.TestsCoveringRetry, res.TestsTotal, res.StructuresTested, res.StructuresTotal,
+				res.PlanEntries, res.PlannedRuns, res.NaiveRuns)
+			printReports(res.Reports)
+		}
+		if *workflow == "all" || *workflow == "static" {
+			st := w.RunStatic(app, id)
+			fmt.Printf("static (LLM): %d WHEN reports\n", len(st.WhenReports))
+			for _, r := range st.WhenReports {
+				fmt.Printf("  [%s] %s (%s)\n", r.Kind, r.Coordinator, r.File)
+			}
+		}
+		fmt.Println()
+	}
+
+	if *workflow == "all" || *workflow == "if" {
+		ratios, reports := w.RunIFAnalysis(ids)
+		fmt.Println("== IF-bug retry-ratio analysis (corpus-wide) ==")
+		for _, r := range ratios {
+			if r.Retried > 0 && r.Retried < r.Total {
+				fmt.Printf("  %-35s retried %d/%d\n", r.Exception, r.Retried, r.Total)
+			}
+		}
+		for _, rep := range reports {
+			verb := "not retried"
+			if rep.Retried {
+				verb = "retried"
+			}
+			fmt.Printf("  OUTLIER %s %s in %s (%s overall)\n", rep.Exception, verb, rep.Coordinator, rep.Ratio.String())
+		}
+	}
+
+	u := w.LLMUsage()
+	fmt.Printf("\nLLM usage: %d calls, %.1fK tokens, $%.2f\n", u.Calls, float64(u.TokensIn)/1000, u.CostUSD)
+}
+
+func printReports(reports []oracle.Report) {
+	sorted := append([]oracle.Report(nil), reports...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Kind != sorted[j].Kind {
+			return sorted[i].Kind < sorted[j].Kind
+		}
+		return sorted[i].GroupKey < sorted[j].GroupKey
+	})
+	for _, r := range sorted {
+		fmt.Printf("  [%s] %s — %s (test %s)\n", r.Kind, r.Coordinator, r.Details, r.Test)
+	}
+}

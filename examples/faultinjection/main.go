@@ -1,0 +1,59 @@
+// Fault injection, by hand: arm WASABI's injector against a single retry
+// location of the HDFS miniature and watch the missing-cap bug manifest —
+// the mechanics that the dynamic workflow automates (§3.1.2).
+//
+//	go run ./examples/faultinjection
+package main
+
+import (
+	"context"
+	"fmt"
+
+	"wasabi/internal/apps/hdfs"
+	"wasabi/internal/fault"
+	"wasabi/internal/oracle"
+	"wasabi/internal/testkit"
+	"wasabi/internal/trace"
+)
+
+func main() {
+	// The retry location: EditLogTailer.CatchUp retries fetchEdits on
+	// SocketTimeoutException — with a backoff but NO cap (a seeded WHEN
+	// bug modeled on standby-tailer hot loops).
+	loc := fault.Location{
+		Coordinator: "hdfs.EditLogTailer.CatchUp",
+		Retried:     "hdfs.EditLogTailer.fetchEdits",
+		Exception:   "SocketTimeoutException",
+	}
+
+	for _, k := range []int{1, 100} {
+		rules := []fault.Rule{{Loc: loc, K: k}}
+		run := trace.NewRun("example")
+		ctx := trace.With(context.Background(), run)
+		ctx = fault.With(ctx, fault.NewInjector(rules))
+
+		app := hdfs.New()
+		app.Meta.Put("edits/1", "mkdir /a")
+		applied, err := hdfs.NewEditLogTailer(app).CatchUp(ctx)
+
+		fmt.Printf("K=%d: CatchUp returned (%d edits, err=%v) after %v virtual time\n",
+			k, applied, err, run.VNow())
+
+		injections := 0
+		for _, e := range run.Events() {
+			if e.Kind == trace.KindInjection {
+				injections++
+			}
+		}
+		fmt.Printf("      %d exceptions injected before the fault healed\n", injections)
+
+		res := testkit.Result{
+			Test: testkit.Test{Name: "example.CatchUp", App: "HD"},
+			Err:  err, Run: run, VDuration: run.VNow(),
+		}
+		for _, r := range oracle.Evaluate("HD", res, rules, oracle.DefaultOptions()) {
+			fmt.Printf("      ORACLE [%s] %s\n", r.Kind, r.Details)
+		}
+		fmt.Println()
+	}
+}

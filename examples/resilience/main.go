@@ -1,0 +1,68 @@
+// Resilience-library walkthrough: the same operation run under the four
+// retry policies a "resilience framework" offers (§1 of the paper), and a
+// demonstration of what the framework canNOT fix — the seeded wrong-policy
+// anti-pattern from the Hive miniature, where a cancelled task keeps being
+// retried.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wasabi/internal/apps/hive"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/resilience"
+	"wasabi/internal/trace"
+	"wasabi/internal/vclock"
+)
+
+// flaky fails transiently n times, then succeeds.
+func flaky(n int) func(context.Context) error {
+	calls := 0
+	return func(context.Context) error {
+		calls++
+		if calls <= n {
+			return errmodel.New("ConnectException", "transient")
+		}
+		return nil
+	}
+}
+
+func main() {
+	run := trace.NewRun("resilience-demo")
+	ctx := trace.With(context.Background(), run)
+
+	policies := []struct {
+		name string
+		p    *resilience.Policy
+	}{
+		{"fixed delay, 5 attempts", resilience.NewPolicy(5, resilience.WithFixedDelay(time.Second))},
+		{"exponential backoff", resilience.NewPolicy(6, resilience.WithExponentialBackoff(200*time.Millisecond, 5*time.Second))},
+		{"network errors only", resilience.NewPolicy(5,
+			resilience.WithFixedDelay(500*time.Millisecond),
+			resilience.WithRetryOn(func(err error) bool { return errmodel.IsClass(err, "ConnectException") }))},
+		{"deadline-bounded", resilience.NewPolicy(100,
+			resilience.WithFixedDelay(time.Second),
+			resilience.WithMaxElapsed(3*time.Second))},
+	}
+	for _, pc := range policies {
+		start := vclock.Now(ctx)
+		err := pc.p.Do(ctx, flaky(3))
+		fmt.Printf("%-28s err=%-6v virtual time %v\n", pc.name, err, vclock.Now(ctx)-start)
+	}
+
+	// A policy object cannot decide WHICH errors are recoverable. The
+	// Hive task processor treats a cancellation as transient and keeps
+	// re-submitting the dead task (HIVE-23894) — no framework knob fixes
+	// that; it is an IF bug in application logic.
+	fmt.Println("\nwhat the framework cannot fix (HIVE-23894):")
+	app := hive.New()
+	p := hive.NewTaskProcessor(app)
+	task := &hive.TezTask{ID: "q1", IsShutdown: true} // user cancelled it
+	p.Submit(task)
+	err := p.Drain(ctx)
+	fmt.Printf("cancelled task was re-submitted until the budget ran out: err=%v\n", err)
+}

@@ -1,0 +1,41 @@
+// Package cassandra is the corpus miniature of Apache Cassandra (CA in
+// the evaluation): gossip, streaming, hinted handoff, batchlog replay and
+// repair. It contributes the retried side of the IllegalStateException
+// and IllegalArgumentException retry-ratio outliers.
+//
+// Ground truth lives in manifest.go; detectors never read it.
+package cassandra
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/trace"
+)
+
+// App is a miniature three-node Cassandra ring.
+type App struct {
+	Config  *common.Config
+	Cluster *common.Cluster
+	Local   *common.KV // node-local system tables
+}
+
+// New constructs a ring with default configuration.
+func New() *App {
+	return &App{
+		Config: common.NewConfig(map[string]string{
+			"cassandra.gossip.retries":          "4",
+			"cassandra.hints.dispatch.retries":  "3",
+			"cassandra.repair.job.attempts":     "5",
+			"cassandra.batchlog.replay.retries": "4",
+			"cassandra.archive.retries":         "5",
+		}),
+		Cluster: common.NewCluster("n1", "n2", "n3"),
+		Local:   common.NewKV(),
+	}
+}
+
+// log emits an application log line into the run trace.
+func (a *App) log(ctx context.Context, format string, args ...any) {
+	trace.Note(ctx, "[cassandra] "+format, args...)
+}

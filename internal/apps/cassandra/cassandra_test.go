@@ -1,0 +1,125 @@
+package cassandra
+
+import (
+	"context"
+	"testing"
+
+	"wasabi/internal/fault"
+	"wasabi/internal/trace"
+)
+
+func injected(coordinator, retried, exc string, k int) (context.Context, *trace.Run) {
+	in := fault.NewInjector([]fault.Rule{{
+		Loc: fault.Location{Coordinator: coordinator, Retried: retried, Exception: exc},
+		K:   k,
+	}})
+	run := trace.NewRun("t")
+	return fault.With(trace.With(context.Background(), run), in), run
+}
+
+// TestStreamRetryUnbounded demonstrates the missing-cap bug.
+func TestStreamRetryUnbounded(t *testing.T) {
+	app := New()
+	ctx, run := injected("cassandra.StreamSession.RetryStream", "cassandra.StreamSession.streamChunk", "SocketTimeoutException", 110)
+	s := NewStreamSession(app)
+	s.RetryStream(ctx, 0)
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 110 {
+		t.Errorf("injections = %d; only healing bounds this loop", injections)
+	}
+	if s.Streamed != 1 {
+		t.Errorf("streamed = %d", s.Streamed)
+	}
+}
+
+// TestHintsRequeueNoPause demonstrates the missing-delay bug in the
+// hinted-handoff queue.
+func TestHintsRequeueNoPause(t *testing.T) {
+	app := New()
+	h := NewHintsDispatcher(app)
+	h.Submit("n2")
+	ctx, run := injected("cassandra.HintsDispatcher.processHint", "cassandra.HintsDispatcher.deliverHint", "ConnectException", 2)
+	if err := h.Drain(ctx); err != nil {
+		t.Fatalf("drain should heal: %v", err)
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindSleep {
+			t.Error("no sleep expected before re-enqueue (that is the bug)")
+		}
+	}
+	if h.Delivered != 1 {
+		t.Errorf("delivered = %d", h.Delivered)
+	}
+}
+
+// TestGossipExcludesIllegalState verifies the majority policy side of the
+// IllegalStateException ratio.
+func TestGossipExcludesIllegalState(t *testing.T) {
+	app := New()
+	ctx, run := injected("cassandra.Gossiper.SendSyn", "cassandra.Gossiper.sendSyn", "IllegalStateException", 100)
+	if err := NewGossiper(app).SendSyn(ctx, "n2"); err == nil {
+		t.Fatal("expected immediate failure")
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection && e.Count > 1 {
+			t.Error("IllegalStateException must not be retried by the gossiper")
+		}
+	}
+}
+
+// TestReadRepairRetriesIllegalState demonstrates the outlier side.
+func TestReadRepairRetriesIllegalState(t *testing.T) {
+	app := New()
+	ctx, run := injected("cassandra.ReadRepairer.Repair", "cassandra.ReadRepairer.repairOnce", "IllegalStateException", 2)
+	if err := NewReadRepairer(app).Repair(ctx, "k"); err != nil {
+		t.Fatalf("should heal: %v", err)
+	}
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 2 {
+		t.Errorf("injections = %d; IllegalStateException was (wrongly) retried", injections)
+	}
+}
+
+// TestChores exercises the non-retry housekeeping services.
+func TestChores(t *testing.T) {
+	app := New()
+	ctx := context.Background()
+	app.Local.Put("sstablettl/s1", "0")
+	app.Local.Put("sstablettl/s2", "99")
+	app.Local.Put("sstablettl/s3", "junk")
+	ex := NewSSTableExpirer(app)
+	ex.ExpireOnce(ctx)
+	if ex.Dropped != 1 || ex.Live != 2 {
+		t.Errorf("expirer = %+v", ex)
+	}
+	app.Local.Put("tombstones/t1", "5")
+	app.Local.Put("tombstones/t2", "bad")
+	tc := NewTombstoneCounter(app)
+	tc.CountOnce(ctx)
+	if tc.Total != 5 || tc.Bad != 1 {
+		t.Errorf("counter = %+v", tc)
+	}
+	app.Local.Put("peerversion/n1", "4.1.3")
+	app.Local.Put("peerversion/n2", "5.0.1")
+	pv := NewPeerVersionChecker(app)
+	pv.CheckOnce(ctx)
+	if !pv.Mixed {
+		t.Error("mixed versions not detected")
+	}
+	app.Local.Put("keycache/k1", "hot")
+	ks := NewKeyCacheSaver(app)
+	ks.SaveOnce(ctx)
+	if ks.Saved != 1 {
+		t.Errorf("saver = %+v", ks)
+	}
+}

@@ -1,0 +1,135 @@
+package cassandra
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// Gossiper exchanges cluster state with peers.
+type Gossiper struct {
+	app *App
+}
+
+// NewGossiper returns a gossiper for the ring.
+func NewGossiper(app *App) *Gossiper { return &Gossiper{app: app} }
+
+// sendSyn sends one gossip SYN to a peer.
+//
+// Throws: SocketTimeoutException, IllegalStateException, IllegalArgumentException.
+func (g *Gossiper) sendSyn(ctx context.Context, peer string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	if peer == "" {
+		return errmodel.New("IllegalArgumentException", "empty peer")
+	}
+	return g.app.Cluster.Call(ctx, peer, func(n *common.Node) error {
+		n.Store.Put("gossip/last", "syn")
+		return nil
+	})
+}
+
+// SendSyn gossips to a peer with bounded, delayed retry on transient
+// timeouts. A shut-down gossiper (IllegalState) or malformed peer
+// (IllegalArgument) aborts immediately — the majority policy for both.
+func (g *Gossiper) SendSyn(ctx context.Context, peer string) error {
+	maxRetries := g.app.Config.GetInt("cassandra.gossip.retries", 4)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := g.sendSyn(ctx, peer)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "IllegalStateException") {
+			return err
+		}
+		if errmodel.IsClass(err, "IllegalArgumentException") {
+			return err
+		}
+		last = err
+		vclock.Sleep(ctx, 100*time.Millisecond)
+	}
+	return last
+}
+
+// ReadRepairer reconciles divergent replicas after a digest mismatch.
+type ReadRepairer struct {
+	app *App
+}
+
+// NewReadRepairer returns a repairer.
+func NewReadRepairer(app *App) *ReadRepairer { return &ReadRepairer{app: app} }
+
+// repairOnce pushes the reconciled row to a stale replica.
+//
+// Throws: SocketTimeoutException, IllegalStateException.
+func (r *ReadRepairer) repairOnce(ctx context.Context, key string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	r.app.Local.Put("repaired/"+key, "true")
+	return nil
+}
+
+// Repair reconciles a key with bounded, delayed retry.
+//
+// BUG (IF, wrong retry policy — the IllegalStateException retry-ratio
+// outlier): a shut-down repair stage raises IllegalStateException, which
+// the rest of the codebase treats as final; this loop retries it,
+// stalling drain during shutdown.
+func (r *ReadRepairer) Repair(ctx context.Context, key string) error {
+	maxRetries := r.app.Config.GetInt("cassandra.repair.job.attempts", 5)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := r.repairOnce(ctx, key)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 100*time.Millisecond)
+	}
+	return last
+}
+
+// BatchlogReplayer re-applies batches that never got acknowledged.
+type BatchlogReplayer struct {
+	app *App
+}
+
+// NewBatchlogReplayer returns a replayer.
+func NewBatchlogReplayer(app *App) *BatchlogReplayer { return &BatchlogReplayer{app: app} }
+
+// replayBatch re-applies one logged batch.
+//
+// Throws: ConnectException, IllegalArgumentException.
+func (b *BatchlogReplayer) replayBatch(ctx context.Context, id string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	b.app.Local.Put("replayed/"+id, "true")
+	return nil
+}
+
+// Replay re-applies a batch with bounded, delayed retry.
+//
+// BUG (IF, wrong retry policy — an IllegalArgumentException retry-ratio
+// outlier): a malformed batch is retried along with transient connection
+// failures, though it can never succeed.
+func (b *BatchlogReplayer) Replay(ctx context.Context, id string) error {
+	maxRetries := b.app.Config.GetInt("cassandra.batchlog.replay.retries", 4)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := b.replayBatch(ctx, id)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 150*time.Millisecond)
+	}
+	return last
+}

@@ -1,0 +1,59 @@
+package cassandra
+
+import "wasabi/internal/apps/meta"
+
+// Manifest is the ground-truth record of every retry code structure in
+// this package; detectors never read it.
+func Manifest() []meta.Structure {
+	return []meta.Structure{
+		{
+			App: "CA", Coordinator: "cassandra.Gossiper.SendSyn",
+			Retried: []string{"cassandra.Gossiper.sendSyn"},
+			File:    "gossip.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + delay; IllegalState/IllegalArgument excluded (majority policy)",
+		},
+		{
+			App: "CA", Coordinator: "cassandra.ReadRepairer.Repair",
+			Retried: []string{"cassandra.ReadRepairer.repairOnce"},
+			File:    "gossip.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.WrongPolicyRetried,
+			Note: "IF: IllegalStateException retried against the codebase-wide policy (retry-ratio outlier, 1/3)",
+		},
+		{
+			App: "CA", Coordinator: "cassandra.BatchlogReplayer.Replay",
+			Retried: []string{"cassandra.BatchlogReplayer.replayBatch"},
+			File:    "gossip.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.WrongPolicyRetried,
+			Note: "IF: IllegalArgumentException retried (retry-ratio outlier, 2/9 corpus-wide)",
+		},
+		{
+			App: "CA", Coordinator: "cassandra.StreamSession.RetryStream",
+			Retried: []string{"cassandra.StreamSession.streamChunk"},
+			File:    "streaming.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded chunk retry during streaming (pause present)",
+		},
+		{
+			App: "CA", Coordinator: "cassandra.HintsDispatcher.processHint",
+			Retried: []string{"cassandra.HintsDispatcher.deliverHint"},
+			File:    "streaming.go", Mechanism: meta.Queue, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: hints re-enqueued with no pause, hammering recovering replicas",
+		},
+		{
+			App: "CA", Coordinator: "cassandra.CommitLogArchiver.Archive",
+			Retried: []string{"cassandra.CommitLogArchiver.archiveSegment"},
+			File:    "streaming.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: archive attempts issued back to back",
+		},
+		{
+			App: "CA", Coordinator: "cassandra.RepairJob.Step",
+			Retried: []string{"cassandra.RepairJob.snapshotReplicas", "cassandra.RepairJob.syncRanges"},
+			File:    "streaming.go", Mechanism: meta.StateMachine, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct state-machine retry: backoff + cap per state",
+		},
+	}
+}

@@ -1,0 +1,236 @@
+package cassandra
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// StreamSession transfers SSTable data between nodes during bootstrap and
+// decommission.
+type StreamSession struct {
+	app *App
+	// Streamed counts transferred chunks.
+	Streamed int
+}
+
+// NewStreamSession returns a session.
+func NewStreamSession(app *App) *StreamSession { return &StreamSession{app: app} }
+
+// streamChunk sends one data chunk to the peer.
+//
+// Throws: SocketTimeoutException.
+func (s *StreamSession) streamChunk(ctx context.Context, seq int) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	s.app.Local.Put("chunk/"+strconv.Itoa(seq), "sent")
+	return nil
+}
+
+// RetryStream sends a chunk, retrying until the peer accepts it.
+//
+// BUG (WHEN, missing cap): bootstrap "must" finish, so chunk sends are
+// retried forever (with a pause); a permanently failing peer wedges the
+// whole stream session.
+func (s *StreamSession) RetryStream(ctx context.Context, seq int) {
+	retryWait := 200 * time.Millisecond
+	for {
+		err := s.streamChunk(ctx, seq)
+		if err == nil {
+			s.Streamed++
+			return
+		}
+		s.app.log(ctx, "chunk %d failed, retrying: %v", seq, err)
+		vclock.Sleep(ctx, retryWait)
+	}
+}
+
+// hint is a queued hinted-handoff delivery with its own retry budget.
+type hint struct {
+	target   string
+	attempts int
+}
+
+// HintsDispatcher delivers stored hints to recovered replicas through a
+// queue; failed deliveries are re-submitted.
+type HintsDispatcher struct {
+	app   *App
+	queue *common.Queue[*hint]
+	// Delivered counts completed hints.
+	Delivered int
+}
+
+// NewHintsDispatcher returns a dispatcher with an empty queue.
+func NewHintsDispatcher(app *App) *HintsDispatcher {
+	return &HintsDispatcher{app: app, queue: common.NewQueue[*hint]()}
+}
+
+// Submit enqueues a hint delivery.
+func (h *HintsDispatcher) Submit(target string) {
+	h.queue.Put(&hint{target: target})
+}
+
+// deliverHint sends one hint to its target replica.
+//
+// Throws: ConnectException.
+func (h *HintsDispatcher) deliverHint(ctx context.Context, target string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	return h.app.Cluster.Call(ctx, target, func(n *common.Node) error {
+		n.Store.Put("hint/applied", "true")
+		return nil
+	})
+}
+
+// processHint handles one queued delivery: failures re-submit the hint
+// for retry up to its budget.
+//
+// BUG (WHEN, missing delay): the hint is re-enqueued immediately, so the
+// dispatcher hammers a replica that is still coming back up.
+func (h *HintsDispatcher) processHint(ctx context.Context, hi *hint) error {
+	maxRetries := h.app.Config.GetInt("cassandra.hints.dispatch.retries", 3)
+	if err := h.deliverHint(ctx, hi.target); err != nil {
+		if hi.attempts < maxRetries {
+			hi.attempts++
+			h.queue.Put(hi) // re-submit with no pause
+			return nil
+		}
+		return err
+	}
+	h.Delivered++
+	return nil
+}
+
+// Drain processes queued hints until empty.
+func (h *HintsDispatcher) Drain(ctx context.Context) error {
+	for {
+		hi, ok := h.queue.Take()
+		if !ok {
+			return nil
+		}
+		if err := h.processHint(ctx, hi); err != nil {
+			return err
+		}
+	}
+}
+
+// CommitLogArchiver copies commit-log segments to the archive location.
+type CommitLogArchiver struct {
+	app *App
+}
+
+// NewCommitLogArchiver returns an archiver.
+func NewCommitLogArchiver(app *App) *CommitLogArchiver { return &CommitLogArchiver{app: app} }
+
+// archiveSegment copies one segment.
+//
+// Throws: IOException.
+func (c *CommitLogArchiver) archiveSegment(ctx context.Context, segment string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	c.app.Local.Put("archive/"+segment, "true")
+	return nil
+}
+
+// Archive copies a segment with bounded retry.
+//
+// BUG (WHEN, missing delay): archive attempts are issued back to back
+// against the (possibly overloaded) archive volume.
+func (c *CommitLogArchiver) Archive(ctx context.Context, segment string) error {
+	maxRetries := c.app.Config.GetInt("cassandra.archive.retries", 5)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := c.archiveSegment(ctx, segment)
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return last
+}
+
+// Repair job states.
+const (
+	repairSnapshot = iota
+	repairMerkle
+	repairSync
+	repairDone
+)
+
+// RepairJob runs anti-entropy repair as a state-machine procedure —
+// correct: each state retries in place with backoff up to a cap.
+type RepairJob struct {
+	app      *App
+	keyspace string
+	state    int
+	attempts int
+}
+
+// NewRepairJob returns a repair job for a keyspace.
+func NewRepairJob(app *App, keyspace string) *RepairJob {
+	return &RepairJob{app: app, keyspace: keyspace}
+}
+
+// Name implements common.Procedure.
+func (r *RepairJob) Name() string { return "repair-" + r.keyspace }
+
+// snapshotReplicas snapshots the keyspace on all replicas.
+//
+// Throws: SocketTimeoutException.
+func (r *RepairJob) snapshotReplicas(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	r.app.Local.Put("snapshot/"+r.keyspace, "taken")
+	return nil
+}
+
+// syncRanges streams mismatching ranges between replicas.
+//
+// Throws: ConnectException.
+func (r *RepairJob) syncRanges(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	r.app.Local.Put("synced/"+r.keyspace, "true")
+	return nil
+}
+
+// Step implements common.Procedure.
+func (r *RepairJob) Step(ctx context.Context) (bool, error) {
+	maxRetryAttempts := r.app.Config.GetInt("cassandra.repair.job.attempts", 5)
+	retryStep := func(err error) (bool, error) {
+		r.attempts++
+		if r.attempts >= maxRetryAttempts {
+			return false, err
+		}
+		vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, r.attempts-1, time.Second))
+		return false, nil
+	}
+	switch r.state {
+	case repairSnapshot:
+		if err := r.snapshotReplicas(ctx); err != nil {
+			return retryStep(err)
+		}
+		r.state, r.attempts = repairMerkle, 0
+	case repairMerkle:
+		r.app.Local.Put("merkle/"+r.keyspace, "computed")
+		r.state = repairSync
+	case repairSync:
+		if err := r.syncRanges(ctx); err != nil {
+			return retryStep(err)
+		}
+		r.state = repairDone
+	case repairDone:
+		return true, nil
+	}
+	return r.state == repairDone, nil
+}

@@ -1,0 +1,61 @@
+package cassandra
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/testkit"
+)
+
+// workloadTests are end-to-end scenario tests; each covers several retry
+// locations the focused tests also reach (§3.1.4 planning redundancy).
+func workloadTests() []testkit.Test {
+	return []testkit.Test{
+		{
+			Name: "cassandra.TestBootstrapFlow", App: "CA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				if err := NewGossiper(app).SendSyn(ctx, "n2"); err != nil {
+					return err
+				}
+				s := NewStreamSession(app)
+				for seq := 0; seq < 2; seq++ {
+					s.RetryStream(ctx, seq)
+				}
+				return testkit.Assertf(s.Streamed == 2, "streamed = %d", s.Streamed)
+			},
+		},
+		{
+			Name: "cassandra.TestRecoveryFlow", App: "CA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				h := NewHintsDispatcher(app)
+				h.Submit("n3")
+				if err := h.Drain(ctx); err != nil {
+					return err
+				}
+				if err := NewBatchlogReplayer(app).Replay(ctx, "flow-b"); err != nil {
+					return err
+				}
+				if err := NewReadRepairer(app).Repair(ctx, "flow-k"); err != nil {
+					return err
+				}
+				exec := common.NewProcedureExecutor()
+				return exec.Run(ctx, NewRepairJob(app, "flow-ks"))
+			},
+		},
+		{
+			Name: "cassandra.TestMaintenanceFlow", App: "CA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				if err := NewCommitLogArchiver(app).Archive(ctx, "flow-seg"); err != nil {
+					return err
+				}
+				return NewGossiper(app).SendSyn(ctx, "n3")
+			},
+		},
+	}
+}

@@ -1,0 +1,87 @@
+package common
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/vclock"
+)
+
+// Cluster models the node topology of a corpus miniature. Node outages are
+// an application-visible condition (methods return ConnectException when a
+// peer is down), distinct from the transient faults WASABI injects.
+type Cluster struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	rtt   time.Duration
+}
+
+// Node is one member of the cluster, with its own local store.
+type Node struct {
+	Name  string
+	Store *KV
+
+	mu   sync.RWMutex
+	down bool
+}
+
+// NewCluster creates a cluster with the given node names, all up, with a
+// 2ms simulated round-trip time.
+func NewCluster(names ...string) *Cluster {
+	c := &Cluster{nodes: make(map[string]*Node, len(names)), rtt: 2 * time.Millisecond}
+	for _, n := range names {
+		c.nodes[n] = &Node{Name: n, Store: NewKV()}
+	}
+	return c
+}
+
+// Node returns the named node, or nil.
+func (c *Cluster) Node(name string) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[name]
+}
+
+// Nodes returns all nodes sorted by name, for deterministic iteration.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetDown marks a node up or down.
+func (n *Node) SetDown(down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down = down
+}
+
+// Down reports whether the node is down.
+func (n *Node) Down() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down
+}
+
+// Call performs a simulated RPC to the named node: it elapses the cluster
+// round-trip time on the virtual clock and runs work against the node's
+// store. A missing or down node yields a ConnectException.
+func (c *Cluster) Call(ctx context.Context, node string, work func(*Node) error) error {
+	vclock.Elapse(ctx, c.rtt)
+	n := c.Node(node)
+	if n == nil {
+		return errmodel.Newf("ConnectException", "no such node %s", node)
+	}
+	if n.Down() {
+		return errmodel.Newf("ConnectException", "node %s unreachable", node)
+	}
+	return work(n)
+}

@@ -1,0 +1,264 @@
+package common
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wasabi/internal/errmodel"
+)
+
+func TestConfigDefaultsAndOverrides(t *testing.T) {
+	c := NewConfig(map[string]string{"a.b": "1", "a.c": "x"})
+	if c.Get("a.b") != "1" {
+		t.Error("default not returned")
+	}
+	c.Set("a.b", "2")
+	if c.Get("a.b") != "2" || !c.IsOverridden("a.b") {
+		t.Error("override not visible")
+	}
+	if c.Default("a.b") != "1" {
+		t.Error("default mutated by override")
+	}
+	c.Unset("a.b")
+	if c.Get("a.b") != "1" || c.IsOverridden("a.b") {
+		t.Error("unset did not restore the default")
+	}
+}
+
+func TestConfigRestoreDefaults(t *testing.T) {
+	c := NewConfig(map[string]string{"k": "v"})
+	c.Set("k", "w")
+	c.Set("extra", "1")
+	c.RestoreDefaults()
+	if c.Get("k") != "v" || c.Get("extra") != "" {
+		t.Error("restore incomplete")
+	}
+	if len(c.Overrides()) != 0 {
+		t.Error("overrides survived restore")
+	}
+}
+
+func TestConfigTypedGetters(t *testing.T) {
+	c := NewConfig(map[string]string{
+		"n": "7", "neg": "-3", "bad": "xyz",
+		"d": "250ms", "b1": "true", "b2": "no",
+	})
+	if c.GetInt("n", 0) != 7 || c.GetInt("neg", 0) != -3 {
+		t.Error("int parsing broken")
+	}
+	if c.GetInt("bad", 42) != 42 || c.GetInt("missing", 42) != 42 {
+		t.Error("int fallback broken")
+	}
+	if c.GetDuration("d", 0) != 250*time.Millisecond {
+		t.Error("duration parsing broken")
+	}
+	if c.GetDuration("bad", time.Second) != time.Second {
+		t.Error("duration fallback broken")
+	}
+	if !c.GetBool("b1", false) || c.GetBool("b2", true) {
+		t.Error("bool parsing broken")
+	}
+	if !c.GetBool("missing", true) {
+		t.Error("bool fallback broken")
+	}
+}
+
+func TestConfigApplyOverrides(t *testing.T) {
+	c := NewConfig(map[string]string{"x": "1"})
+	c.ApplyOverrides(map[string]string{"x": "2", "y": "3"})
+	if c.Get("x") != "2" || c.Get("y") != "3" {
+		t.Error("ApplyOverrides incomplete")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 5; i++ {
+		q.Put(i)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len = %d", q.Len())
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := q.Take()
+		if !ok || v != i {
+			t.Fatalf("take %d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := q.Take(); ok {
+		t.Error("empty queue returned an item")
+	}
+}
+
+func TestQueueDrain(t *testing.T) {
+	q := NewQueue[string]()
+	q.Put("a")
+	q.Put("b")
+	got := q.Drain()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("drain = %v", got)
+	}
+	if q.Len() != 0 {
+		t.Error("drain left items behind")
+	}
+}
+
+// Property: a queue preserves order and cardinality for any input.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(items []int) bool {
+		q := NewQueue[int]()
+		for _, v := range items {
+			q.Put(v)
+		}
+		out := q.Drain()
+		if len(out) != len(items) {
+			return false
+		}
+		for i := range items {
+			if out[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKVBasics(t *testing.T) {
+	kv := NewKV()
+	kv.Put("a/1", "x")
+	kv.Put("a/2", "y")
+	kv.Put("b/1", "z")
+	if v, ok := kv.Get("a/1"); !ok || v != "x" {
+		t.Error("get failed")
+	}
+	if got := kv.ListPrefix("a/"); len(got) != 2 || got[0] != "a/1" {
+		t.Errorf("prefix = %v", got)
+	}
+	if !kv.Delete("a/1") || kv.Delete("a/1") {
+		t.Error("delete semantics broken")
+	}
+	if kv.DeletePrefix("a/") != 1 {
+		t.Error("delete-prefix count wrong")
+	}
+	if kv.Len() != 1 {
+		t.Errorf("len = %d", kv.Len())
+	}
+}
+
+func TestKVPutIfAbsent(t *testing.T) {
+	kv := NewKV()
+	if !kv.PutIfAbsent("k", "1") {
+		t.Error("first put should succeed")
+	}
+	if kv.PutIfAbsent("k", "2") {
+		t.Error("second put should fail")
+	}
+	if v, _ := kv.Get("k"); v != "1" {
+		t.Error("value overwritten")
+	}
+}
+
+// Property: ListPrefix returns sorted keys that all carry the prefix.
+func TestKVListPrefixProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		kv := NewKV()
+		for i := 0; i < int(n%30); i++ {
+			kv.Put(fmt.Sprintf("p/%02d", i), "v")
+			kv.Put(fmt.Sprintf("q/%02d", i), "v")
+		}
+		keys := kv.ListPrefix("p/")
+		if len(keys) != int(n%30) {
+			return false
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterCallAndOutage(t *testing.T) {
+	c := NewCluster("n1", "n2")
+	ctx := context.Background()
+	if err := c.Call(ctx, "n1", func(n *Node) error {
+		n.Store.Put("k", "v")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Node("n1").SetDown(true)
+	err := c.Call(ctx, "n1", func(*Node) error { return nil })
+	if !errmodel.IsClass(err, "ConnectException") {
+		t.Errorf("down node err = %v", err)
+	}
+	err = c.Call(ctx, "ghost", func(*Node) error { return nil })
+	if !errmodel.IsClass(err, "ConnectException") {
+		t.Errorf("missing node err = %v", err)
+	}
+}
+
+func TestClusterNodesSorted(t *testing.T) {
+	c := NewCluster("zeta", "alpha", "mid")
+	nodes := c.Nodes()
+	if len(nodes) != 3 || nodes[0].Name != "alpha" || nodes[2].Name != "zeta" {
+		t.Errorf("nodes = %v", []string{nodes[0].Name, nodes[1].Name, nodes[2].Name})
+	}
+}
+
+type countdownProc struct {
+	left int
+	fail error
+}
+
+func (p *countdownProc) Name() string { return "countdown" }
+func (p *countdownProc) Step(context.Context) (bool, error) {
+	if p.fail != nil {
+		return false, p.fail
+	}
+	p.left--
+	return p.left <= 0, nil
+}
+
+func TestProcedureExecutorRunsToCompletion(t *testing.T) {
+	exec := NewProcedureExecutor()
+	if err := exec.Run(context.Background(), &countdownProc{left: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcedureExecutorPropagatesError(t *testing.T) {
+	exec := NewProcedureExecutor()
+	boom := errors.New("boom")
+	if err := exec.Run(context.Background(), &countdownProc{left: 5, fail: boom}); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestProcedureExecutorStepBudget(t *testing.T) {
+	exec := &ProcedureExecutor{MaxSteps: 3}
+	err := exec.Run(context.Background(), &countdownProc{left: 100})
+	if err == nil {
+		t.Fatal("expected budget exhaustion")
+	}
+}
+
+func TestProcedureExecutorHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exec := NewProcedureExecutor()
+	if err := exec.Run(ctx, &countdownProc{left: 5}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}

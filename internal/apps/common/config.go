@@ -1,0 +1,149 @@
+// Package common provides the shared mini-system infrastructure the eight
+// corpus applications are built on: configuration, task queues, a
+// state-machine procedure executor, a key-value store, and a small cluster
+// model. Mirroring the real systems, retry *logic* never lives here — each
+// application implements retry ad hoc (loops, re-enqueueing, state
+// transitions), which is exactly the property that makes retry hard to
+// identify automatically (§2.5).
+package common
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config is a per-application configuration: defaults set by the
+// application, values overridden by tests or operators. The WASABI test
+// preparation pass (§3.1.4 "Restoring default retry configurations")
+// inspects and removes test overrides of retry-related keys.
+type Config struct {
+	mu       sync.RWMutex
+	defaults map[string]string
+	values   map[string]string
+}
+
+// NewConfig creates a configuration with the given defaults.
+func NewConfig(defaults map[string]string) *Config {
+	d := make(map[string]string, len(defaults))
+	for k, v := range defaults {
+		d[k] = v
+	}
+	return &Config{defaults: d, values: make(map[string]string)}
+}
+
+// Set overrides a key. Unknown keys are allowed (real systems accept
+// free-form configuration).
+func (c *Config) Set(key, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.values[key] = value
+}
+
+// Unset removes an override, restoring the default.
+func (c *Config) Unset(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.values, key)
+}
+
+// RestoreDefaults drops all overrides.
+func (c *Config) RestoreDefaults() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.values = make(map[string]string)
+}
+
+// ApplyOverrides sets every key/value pair as an override.
+func (c *Config) ApplyOverrides(o map[string]string) {
+	for k, v := range o {
+		c.Set(k, v)
+	}
+}
+
+// Get returns the effective value of key ("" if unknown).
+func (c *Config) Get(key string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if v, ok := c.values[key]; ok {
+		return v
+	}
+	return c.defaults[key]
+}
+
+// Default returns the default value of key ("" if unknown).
+func (c *Config) Default(key string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.defaults[key]
+}
+
+// IsOverridden reports whether key currently has a test/operator override.
+func (c *Config) IsOverridden(key string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.values[key]
+	return ok
+}
+
+// Overrides returns a snapshot of all overridden keys and values.
+func (c *Config) Overrides() map[string]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]string, len(c.values))
+	for k, v := range c.values {
+		out[k] = v
+	}
+	return out
+}
+
+// Keys returns all keys with defaults.
+func (c *Config) Keys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.defaults))
+	for k := range c.defaults {
+		out = append(out, k)
+	}
+	return out
+}
+
+// GetInt returns the effective integer value of key, or fallback if the
+// value is missing or malformed. Note: negative values are returned as-is;
+// HDFS-15439 style bugs depend on callers mishandling them.
+func (c *Config) GetInt(key string, fallback int) int {
+	v := c.Get(key)
+	if v == "" {
+		return fallback
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fallback
+	}
+	return n
+}
+
+// GetDuration returns the effective duration value (Go syntax, e.g. "3s"),
+// or fallback when missing/malformed.
+func (c *Config) GetDuration(key string, fallback time.Duration) time.Duration {
+	v := c.Get(key)
+	if v == "" {
+		return fallback
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return fallback
+	}
+	return d
+}
+
+// GetBool returns the effective boolean value, or fallback.
+func (c *Config) GetBool(key string, fallback bool) bool {
+	switch c.Get(key) {
+	case "true", "1", "yes":
+		return true
+	case "false", "0", "no":
+		return false
+	}
+	return fallback
+}

@@ -1,0 +1,96 @@
+package common
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// KV is a small in-memory key-value store used by the corpus miniatures as
+// their durable substrate: HDFS block metadata, HBase filesystem layouts
+// and region assignments, commit offsets, and so on.
+type KV struct {
+	mu   sync.RWMutex
+	data map[string]string
+}
+
+// NewKV returns an empty store.
+func NewKV() *KV { return &KV{data: make(map[string]string)} }
+
+// Put stores value under key.
+func (s *KV) Put(key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = value
+}
+
+// PutIfAbsent stores value only when key is absent; it reports whether the
+// write happened.
+func (s *KV) PutIfAbsent(key, value string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.data[key]; ok {
+		return false
+	}
+	s.data[key] = value
+	return true
+}
+
+// Get returns the value for key and whether it exists.
+func (s *KV) Get(key string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *KV) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.data[key]
+	delete(s.data, key)
+	return ok
+}
+
+// Exists reports whether key is present.
+func (s *KV) Exists(key string) bool {
+	_, ok := s.Get(key)
+	return ok
+}
+
+// ListPrefix returns all keys with the given prefix, sorted.
+func (s *KV) ListPrefix(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeletePrefix removes all keys with the given prefix and returns how many
+// were removed.
+func (s *KV) DeletePrefix(prefix string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			delete(s.data, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of keys.
+func (s *KV) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}

@@ -1,0 +1,59 @@
+package common
+
+import (
+	"context"
+	"fmt"
+)
+
+// Procedure is a state-machine task in the style of HBase's ProcedureV2
+// framework, the "state-machine retry" mechanism of §2.5 and Listing 4.
+//
+// The executor repeatedly calls Step. A Step implementation performs the
+// work of the procedure's *current* state and advances its own state on
+// success. Retry is implicit: if the implementation catches an internal
+// error and returns nil without advancing its state, the executor simply
+// executes the same state again — whether that implicit retry has a delay
+// or a cap is entirely up to the procedure code, which is where the
+// HBASE-20492 and YARN-8362 classes of bugs live.
+type Procedure interface {
+	// Name identifies the procedure for logs and reports.
+	Name() string
+	// Step executes the current state. done=true completes the procedure;
+	// a non-nil error aborts it.
+	Step(ctx context.Context) (done bool, err error)
+}
+
+// ProcedureExecutor drives procedures to completion. MaxSteps is a safety
+// valve against truly unbounded procedures (the framework-level analogue
+// of a watchdog); the corpus default is high enough that a missing-cap bug
+// still performs its 100 injected retry attempts before the fault heals.
+type ProcedureExecutor struct {
+	MaxSteps int
+}
+
+// NewProcedureExecutor returns an executor with the default step budget.
+func NewProcedureExecutor() *ProcedureExecutor {
+	return &ProcedureExecutor{MaxSteps: 100000}
+}
+
+// Run drives p until it reports done, returns an error, exceeds the step
+// budget, or the context is cancelled.
+func (e *ProcedureExecutor) Run(ctx context.Context, p Procedure) error {
+	max := e.MaxSteps
+	if max <= 0 {
+		max = 100000
+	}
+	for i := 0; i < max; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		done, err := p.Step(ctx)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+	return fmt.Errorf("procedure %s exceeded step budget %d", p.Name(), max)
+}

@@ -1,0 +1,50 @@
+package common
+
+import "sync"
+
+// Queue is a simple FIFO used by the queue-based retry mechanisms of the
+// corpus: a request is packaged as a task object, and a processor that
+// catches a task error may re-submit ("re-enqueue") the task for retry
+// (§2.5, Listing 1 and Listing 3). The queue itself is policy-free.
+type Queue[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Put appends an item.
+func (q *Queue[T]) Put(item T) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, item)
+}
+
+// Take removes and returns the oldest item. ok is false when empty.
+func (q *Queue[T]) Take() (item T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return item, false
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Len returns the current queue length.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Drain removes and returns all items in order.
+func (q *Queue[T]) Drain() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.items
+	q.items = nil
+	return out
+}

@@ -1,0 +1,79 @@
+// Package corpus aggregates the eight target applications: their unit-test
+// suites (for the dynamic workflow), their source directories (for the
+// static workflows), and their ground-truth manifests (for evaluation
+// scoring only).
+package corpus
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+
+	"wasabi/internal/apps/cassandra"
+	"wasabi/internal/apps/elastic"
+	"wasabi/internal/apps/hadoop"
+	"wasabi/internal/apps/hbase"
+	"wasabi/internal/apps/hdfs"
+	"wasabi/internal/apps/hive"
+	"wasabi/internal/apps/mapreduce"
+	"wasabi/internal/apps/meta"
+	"wasabi/internal/apps/yarn"
+	"wasabi/internal/testkit"
+)
+
+// App bundles everything WASABI needs to know about one target.
+type App struct {
+	// Code is the evaluation short code (HA, HD, MA, YA, HB, HI, CA, EL).
+	Code string
+	// Name is the human-readable application name.
+	Name string
+	// Dir is the absolute path of the application's Go sources.
+	Dir string
+	// Suite is the application's existing unit-test suite.
+	Suite testkit.Suite
+	// Manifest is the ground truth, used only for scoring.
+	Manifest []meta.Structure
+}
+
+// baseDir returns the absolute path of internal/apps.
+func baseDir() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		panic("corpus: cannot locate source directory")
+	}
+	return filepath.Dir(filepath.Dir(file))
+}
+
+// Apps returns the full corpus in evaluation order.
+func Apps() []App {
+	base := baseDir()
+	return []App{
+		{Code: "HA", Name: "Hadoop", Dir: filepath.Join(base, "hadoop"), Suite: hadoop.Suite(), Manifest: hadoop.Manifest()},
+		{Code: "HD", Name: "HDFS", Dir: filepath.Join(base, "hdfs"), Suite: hdfs.Suite(), Manifest: hdfs.Manifest()},
+		{Code: "MA", Name: "MapReduce", Dir: filepath.Join(base, "mapreduce"), Suite: mapreduce.Suite(), Manifest: mapreduce.Manifest()},
+		{Code: "YA", Name: "Yarn", Dir: filepath.Join(base, "yarn"), Suite: yarn.Suite(), Manifest: yarn.Manifest()},
+		{Code: "HB", Name: "HBase", Dir: filepath.Join(base, "hbase"), Suite: hbase.Suite(), Manifest: hbase.Manifest()},
+		{Code: "HI", Name: "Hive", Dir: filepath.Join(base, "hive"), Suite: hive.Suite(), Manifest: hive.Manifest()},
+		{Code: "CA", Name: "Cassandra", Dir: filepath.Join(base, "cassandra"), Suite: cassandra.Suite(), Manifest: cassandra.Manifest()},
+		{Code: "EL", Name: "ElasticSearch", Dir: filepath.Join(base, "elastic"), Suite: elastic.Suite(), Manifest: elastic.Manifest()},
+	}
+}
+
+// ByCode returns the app with the given short code.
+func ByCode(code string) (App, error) {
+	for _, a := range Apps() {
+		if a.Code == code {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("corpus: unknown app %q", code)
+}
+
+// Manifests returns the concatenated ground truth of all apps.
+func Manifests() []meta.Structure {
+	var out []meta.Structure
+	for _, a := range Apps() {
+		out = append(out, a.Manifest...)
+	}
+	return out
+}

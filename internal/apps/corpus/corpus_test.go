@@ -1,0 +1,84 @@
+package corpus
+
+import (
+	"testing"
+
+	"wasabi/internal/apps/meta"
+	"wasabi/internal/testkit"
+)
+
+// TestAllSuitesPassPlain runs every corpus unit test without injection:
+// the applications must be healthy.
+func TestAllSuitesPassPlain(t *testing.T) {
+	for _, app := range Apps() {
+		if err := testkit.Validate(app.Suite); err != nil {
+			t.Fatalf("%s: %v", app.Code, err)
+		}
+		for _, tc := range app.Suite.Tests {
+			res := testkit.Run(tc, nil, nil)
+			if res.Failed() {
+				t.Errorf("%s %s failed: %v", app.Code, tc.Name, res.Err)
+			}
+		}
+	}
+}
+
+// TestAllSuitesPassPrepared runs every test with retry-restricting
+// overrides stripped, as WASABI does.
+func TestAllSuitesPassPrepared(t *testing.T) {
+	for _, app := range Apps() {
+		for _, tc := range app.Suite.Tests {
+			eff, _ := testkit.PrepareOverrides(tc)
+			res := testkit.Run(tc, nil, eff)
+			if res.Failed() {
+				t.Errorf("%s %s failed prepared: %v", app.Code, tc.Name, res.Err)
+			}
+		}
+	}
+}
+
+// TestManifestsConsistent sanity-checks every app's ground truth.
+func TestManifestsConsistent(t *testing.T) {
+	seen := map[string]bool{}
+	for _, app := range Apps() {
+		for _, s := range app.Manifest {
+			if s.App != app.Code {
+				t.Errorf("%s: manifest entry %s declares app %q", app.Code, s.Coordinator, s.App)
+			}
+			if seen[s.Key()] {
+				t.Errorf("duplicate structure %s", s.Key())
+			}
+			seen[s.Key()] = true
+			if s.Trigger == meta.Exception && len(s.Retried) == 0 {
+				t.Errorf("%s: exception structure without retried methods", s.Coordinator)
+			}
+			if s.File == "" || s.Mechanism == "" {
+				t.Errorf("%s: incomplete manifest entry", s.Coordinator)
+			}
+		}
+	}
+}
+
+// TestCorpusMechanismMix checks the corpus-wide mechanism proportions
+// roughly match the paper: ~70% loops, the rest queue/state-machine.
+func TestCorpusMechanismMix(t *testing.T) {
+	counts := meta.CountByMechanism(Manifests())
+	total := counts[meta.Loop] + counts[meta.Queue] + counts[meta.StateMachine]
+	if total == 0 {
+		t.Fatal("empty corpus")
+	}
+	loopFrac := float64(counts[meta.Loop]) / float64(total)
+	if loopFrac < 0.55 || loopFrac > 0.85 {
+		t.Errorf("loop fraction = %.2f (counts %v), want ~0.70", loopFrac, counts)
+	}
+}
+
+// TestByCode covers the lookup helper.
+func TestByCode(t *testing.T) {
+	if _, err := ByCode("HD"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByCode("ZZ"); err == nil {
+		t.Error("expected error for unknown code")
+	}
+}

@@ -1,0 +1,117 @@
+package elastic
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/vclock"
+)
+
+// Shard allocation and index lifecycle management: both retry on STATUS
+// decisions (throttling), not exceptions, so injection cannot exercise
+// them (§4.2); the fuzzy reader identifies them from their vocabulary.
+
+// Allocation decision codes.
+const (
+	allocYes       = "YES"
+	allocThrottled = "THROTTLED"
+	allocNo        = "NO"
+)
+
+// ShardAllocator places unassigned shards onto nodes.
+type ShardAllocator struct {
+	app     *App
+	statusF func(shard string, round int) string
+	// Placed counts allocated shards.
+	Placed int
+}
+
+// NewShardAllocator returns an allocator whose deciders always say yes;
+// tests replace statusF.
+func NewShardAllocator(app *App) *ShardAllocator {
+	return &ShardAllocator{
+		app:     app,
+		statusF: func(string, int) string { return allocYes },
+	}
+}
+
+// SetStatusSource replaces the decider status source.
+func (a *ShardAllocator) SetStatusSource(f func(shard string, round int) string) { a.statusF = f }
+
+// Allocate tries to place a shard. THROTTLED decisions are re-evaluated
+// after a pause, bounded; NO is final for this round.
+func (a *ShardAllocator) Allocate(ctx context.Context, shard string) string {
+	const maxRounds = 5
+	for round := 0; round < maxRounds; round++ {
+		switch status := a.statusF(shard, round); status {
+		case allocYes:
+			a.Placed++
+			a.app.State.Put("shard/"+shard, "allocated")
+			return allocYes
+		case allocNo:
+			a.app.log(ctx, "shard %s cannot be allocated", shard)
+			return allocNo
+		case allocThrottled:
+			a.app.log(ctx, "allocation of %s throttled, re-evaluating", shard)
+			vclock.Sleep(ctx, 150*time.Millisecond)
+		}
+	}
+	return allocThrottled
+}
+
+// ILM (index lifecycle management) step outcomes.
+const (
+	ilmComplete = "COMPLETE"
+	ilmWait     = "WAIT"
+	ilmError    = "ERROR"
+)
+
+// ILMRunner advances indices through their lifecycle policies as a
+// status-driven state machine: a WAIT outcome re-executes the same step
+// on the next run.
+type ILMRunner struct {
+	app     *App
+	statusF func(index, step string, tick int) string
+	// Advanced counts completed steps.
+	Advanced int
+}
+
+// ilmSteps is the lifecycle step order.
+var ilmSteps = []string{"rollover", "shrink", "forcemerge", "delete"}
+
+// NewILMRunner returns a runner whose steps always complete; tests
+// replace statusF.
+func NewILMRunner(app *App) *ILMRunner {
+	return &ILMRunner{
+		app:     app,
+		statusF: func(string, string, int) string { return ilmComplete },
+	}
+}
+
+// SetStatusSource replaces the step status source.
+func (r *ILMRunner) SetStatusSource(f func(index, step string, tick int) string) { r.statusF = f }
+
+// RunPolicy drives an index through all lifecycle steps. A WAIT outcome
+// leaves the current step unchanged and re-executes it on the next tick
+// (with a pause), up to a tick budget; ERROR aborts the policy.
+func (r *ILMRunner) RunPolicy(ctx context.Context, index string) string {
+	const maxTicks = 20
+	step := 0
+	for tick := 0; tick < maxTicks && step < len(ilmSteps); tick++ {
+		switch status := r.statusF(index, ilmSteps[step], tick); status {
+		case ilmComplete:
+			r.Advanced++
+			step++
+		case ilmError:
+			r.app.log(ctx, "ilm step %s failed for %s", ilmSteps[step], index)
+			return ilmError
+		case ilmWait:
+			vclock.Sleep(ctx, 500*time.Millisecond)
+		}
+	}
+	if step == len(ilmSteps) {
+		r.app.State.Put("ilm/"+index, "complete")
+		return ilmComplete
+	}
+	return ilmWait
+}

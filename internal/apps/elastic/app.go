@@ -1,0 +1,44 @@
+// Package elastic is the corpus miniature of Elasticsearch (EL in the
+// evaluation): transport client, bulk indexing, watcher reload, analytics
+// results persistence, master election and recovery. Like the real
+// system, much of its retry is error-code driven and uninjectable, giving
+// EL the lowest dynamic retry coverage in Table 5; it also carries the
+// ELASTIC-53687 cancel-retried policy bug.
+//
+// Ground truth lives in manifest.go; detectors never read it.
+package elastic
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/trace"
+)
+
+// App is a miniature three-node Elasticsearch cluster.
+type App struct {
+	Config  *common.Config
+	Cluster *common.Cluster
+	State   *common.KV // cluster state: indices, jobs, snapshots
+}
+
+// New constructs a cluster with default configuration.
+func New() *App {
+	return &App{
+		Config: common.NewConfig(map[string]string{
+			"es.transport.retries":      "4",
+			"es.bulk.retries":           "3",
+			"es.watcher.reload.retries": "5",
+			"es.persister.retries":      "6",
+			"es.recovery.retries":       "4",
+			"es.reindex.batch.attempts": "3",
+		}),
+		Cluster: common.NewCluster("es1", "es2", "es3"),
+		State:   common.NewKV(),
+	}
+}
+
+// log emits an application log line into the run trace.
+func (a *App) log(ctx context.Context, format string, args ...any) {
+	trace.Note(ctx, "[elastic] "+format, args...)
+}

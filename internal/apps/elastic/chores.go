@@ -1,0 +1,191 @@
+package elastic
+
+import (
+	"context"
+	"strconv"
+	"strings"
+)
+
+// Housekeeping chores of the Elasticsearch miniature: per-item iteration
+// with error tolerance — structural retry look-alikes the retry-naming
+// filter prunes (§4.4).
+
+// IndexStatsCollector aggregates per-index document counts.
+type IndexStatsCollector struct {
+	app *App
+	// Docs is the aggregate count; Bad counts unreadable records.
+	Docs, Bad int
+}
+
+// NewIndexStatsCollector returns a collector.
+func NewIndexStatsCollector(app *App) *IndexStatsCollector { return &IndexStatsCollector{app: app} }
+
+// read parses one index's doc-count record.
+func (c *IndexStatsCollector) read(key string) (int, error) {
+	v, _ := c.app.State.Get(key)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &parseError{token: "doc count " + key}
+	}
+	return n, nil
+}
+
+// CollectOnce walks every index once.
+func (c *IndexStatsCollector) CollectOnce(ctx context.Context) {
+	for _, key := range c.app.State.ListPrefix("docs/") {
+		n, err := c.read(key)
+		if err != nil {
+			c.app.log(ctx, "stats collect: %v", err)
+			c.Bad++
+			continue
+		}
+		c.Docs += n
+	}
+}
+
+// DanglingIndexSweeper imports or drops indices found on disk but absent
+// from the cluster state.
+type DanglingIndexSweeper struct {
+	app *App
+	// Imported and Dropped count pass outcomes.
+	Imported, Dropped int
+}
+
+// NewDanglingIndexSweeper returns a sweeper.
+func NewDanglingIndexSweeper(app *App) *DanglingIndexSweeper {
+	return &DanglingIndexSweeper{app: app}
+}
+
+// classify decides one dangling index's fate.
+func (d *DanglingIndexSweeper) classify(key string) (string, error) {
+	v, _ := d.app.State.Get(key)
+	switch v {
+	case "importable":
+		return "import", nil
+	case "tombstoned":
+		return "drop", nil
+	}
+	return "", &parseError{token: "unknown dangling state " + v}
+}
+
+// SweepOnce walks every dangling index once.
+func (d *DanglingIndexSweeper) SweepOnce(ctx context.Context) {
+	for _, key := range d.app.State.ListPrefix("dangling/") {
+		action, err := d.classify(key)
+		if err != nil {
+			d.app.log(ctx, "dangling sweep skipping %s: %v", key, err)
+			continue
+		}
+		if action == "import" {
+			d.Imported++
+		} else {
+			d.app.State.Delete(key)
+			d.Dropped++
+		}
+	}
+}
+
+// TemplateAuditor validates index templates.
+type TemplateAuditor struct {
+	app *App
+	// Invalid lists malformed templates.
+	Invalid []string
+}
+
+// NewTemplateAuditor returns an auditor.
+func NewTemplateAuditor(app *App) *TemplateAuditor { return &TemplateAuditor{app: app} }
+
+// validate checks one template's pattern list.
+func (t *TemplateAuditor) validate(key string) error {
+	v, _ := t.app.State.Get(key)
+	if v == "" {
+		return &parseError{token: key + " has no patterns"}
+	}
+	for _, pat := range strings.Split(v, ",") {
+		if pat == "" {
+			return &parseError{token: key + " has an empty pattern"}
+		}
+	}
+	return nil
+}
+
+// AuditOnce walks every template once.
+func (t *TemplateAuditor) AuditOnce(ctx context.Context) {
+	for _, key := range t.app.State.ListPrefix("template/") {
+		if err := t.validate(key); err != nil {
+			t.app.log(ctx, "template audit: %v", err)
+			t.Invalid = append(t.Invalid, key)
+			continue
+		}
+	}
+}
+
+// TaskResultPurger deletes completed task results past retention.
+type TaskResultPurger struct {
+	app *App
+	// Purged counts removed results.
+	Purged int
+}
+
+// NewTaskResultPurger returns a purger.
+func NewTaskResultPurger(app *App) *TaskResultPurger { return &TaskResultPurger{app: app} }
+
+// expired parses one result's age record.
+func (p *TaskResultPurger) expired(key string) (bool, error) {
+	v, _ := p.app.State.Get(key)
+	days, err := strconv.Atoi(v)
+	if err != nil {
+		return false, &parseError{token: "unreadable result age " + key}
+	}
+	return days > 30, nil
+}
+
+// PurgeOnce walks every stored result once.
+func (p *TaskResultPurger) PurgeOnce(ctx context.Context) {
+	for _, key := range p.app.State.ListPrefix("taskresult/") {
+		old, err := p.expired(key)
+		if err != nil {
+			p.app.log(ctx, "result purge skipping %s: %v", key, err)
+			continue
+		}
+		if old {
+			p.app.State.Delete(key)
+			p.Purged++
+		}
+	}
+}
+
+// BreakerReset clears tripped field-data circuit breakers.
+type BreakerReset struct {
+	app *App
+	// Reset and Healthy count pass outcomes.
+	Reset, Healthy int
+}
+
+// NewBreakerReset returns a resetter.
+func NewBreakerReset(app *App) *BreakerReset { return &BreakerReset{app: app} }
+
+// resetIfTripped clears one breaker.
+func (b *BreakerReset) resetIfTripped(key string) error {
+	v, ok := b.app.State.Get(key)
+	if !ok {
+		return &parseError{token: "breaker " + key + " vanished"}
+	}
+	if v != "tripped" {
+		return nil
+	}
+	b.app.State.Put(key, "closed")
+	b.Reset++
+	return nil
+}
+
+// ResetOnce walks every breaker once.
+func (b *BreakerReset) ResetOnce(ctx context.Context) {
+	for _, key := range b.app.State.ListPrefix("breaker/") {
+		if err := b.resetIfTripped(key); err != nil {
+			b.app.log(ctx, "breaker reset: %v", err)
+			continue
+		}
+		b.Healthy++
+	}
+}

@@ -1,0 +1,250 @@
+package elastic
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// TransportClient sends node-to-node transport requests.
+type TransportClient struct {
+	app *App
+}
+
+// NewTransportClient returns a client.
+func NewTransportClient(app *App) *TransportClient { return &TransportClient{app: app} }
+
+// sendOnce delivers one transport request.
+//
+// Throws: ConnectException, IllegalArgumentException.
+func (t *TransportClient) sendOnce(ctx context.Context, node, action string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	if action == "" {
+		return errmodel.New("IllegalArgumentException", "empty action")
+	}
+	return t.app.Cluster.Call(ctx, node, func(n *common.Node) error {
+		n.Store.Put("action/last", action)
+		return nil
+	})
+}
+
+// Send delivers a request with bounded, delayed retry; a malformed action
+// is the caller's fault and aborts immediately.
+func (t *TransportClient) Send(ctx context.Context, node, action string) error {
+	maxRetries := t.app.Config.GetInt("es.transport.retries", 4)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := t.sendOnce(ctx, node, action)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "IllegalArgumentException") {
+			return err
+		}
+		last = err
+		vclock.Sleep(ctx, vclock.Backoff(50*time.Millisecond, retry, time.Second))
+	}
+	return last
+}
+
+// BulkRetrier indexes single documents on behalf of the bulk pipeline.
+type BulkRetrier struct {
+	app *App
+}
+
+// NewBulkRetrier returns a retrier.
+func NewBulkRetrier(app *App) *BulkRetrier { return &BulkRetrier{app: app} }
+
+// indexOnce indexes one document.
+//
+// Throws: SocketTimeoutException.
+func (b *BulkRetrier) indexOnce(ctx context.Context, docID string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	b.app.State.Put("doc/"+docID, "indexed")
+	return nil
+}
+
+// IndexDoc indexes a document with a small bounded retry and pause. The
+// cap is correct; the bulk pipeline re-drives IndexDoc per document over
+// large batches and tolerates failures — the caller-level re-driving that
+// becomes a missing-cap false positive (§4.3).
+func (b *BulkRetrier) IndexDoc(ctx context.Context, docID string) error {
+	maxRetries := b.app.Config.GetInt("es.bulk.retries", 3)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := b.indexOnce(ctx, docID)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 50*time.Millisecond)
+	}
+	return last
+}
+
+// WatcherService manages scheduled watches.
+type WatcherService struct {
+	app *App
+}
+
+// NewWatcherService returns a service.
+func NewWatcherService(app *App) *WatcherService { return &WatcherService{app: app} }
+
+// loadWatches reads the watch definitions from the system index.
+//
+// Throws: EOFException.
+func (w *WatcherService) loadWatches(ctx context.Context) (int, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return 0, err
+	}
+	return len(w.app.State.ListPrefix("watch/")), nil
+}
+
+// Reload re-reads watch definitions, re-attempting transient read
+// failures up to the configured cap.
+//
+// BUG (WHEN, missing delay): reload attempts hit the system index back to
+// back.
+func (w *WatcherService) Reload(ctx context.Context) (int, error) {
+	maxRetries := w.app.Config.GetInt("es.watcher.reload.retries", 5)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		n, err := w.loadWatches(ctx)
+		if err == nil {
+			return n, nil
+		}
+		last = err
+	}
+	return 0, last
+}
+
+// AnalyticsJob is a long-running analytics computation whose results are
+// periodically persisted. Jobs can be cancelled by the user.
+type AnalyticsJob struct {
+	ID        string
+	Cancelled bool
+}
+
+// ResultsPersister stores analytics job results.
+type ResultsPersister struct {
+	app *App
+	// Persisted counts stored result sets.
+	Persisted int
+}
+
+// NewResultsPersister returns a persister.
+func NewResultsPersister(app *App) *ResultsPersister { return &ResultsPersister{app: app} }
+
+// writeResults stores one result set.
+//
+// Throws: IOException.
+func (p *ResultsPersister) writeResults(ctx context.Context, job *AnalyticsJob) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	if job.Cancelled {
+		return errmodel.Newf("ServiceException", "job %s cancelled", job.ID)
+	}
+	p.app.State.Put("results/"+job.ID, "persisted")
+	return nil
+}
+
+// PersistResults stores a job's results with bounded, delayed retry.
+//
+// BUG (IF, wrong retry policy — ELASTIC-53687): a cancellation failure is
+// bundled with recoverable I/O errors, so the persister keeps re-writing
+// results for a job the user already cancelled, wasting the retry budget
+// and cluster resources. (In the real issue the retry was indefinite.)
+func (p *ResultsPersister) PersistResults(ctx context.Context, job *AnalyticsJob) error {
+	maxRetries := p.app.Config.GetInt("es.persister.retries", 6)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := p.writeResults(ctx, job)
+		if err == nil {
+			p.Persisted++
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 200*time.Millisecond)
+	}
+	return last
+}
+
+// MasterElection joins this node to the master quorum.
+type MasterElection struct {
+	app *App
+}
+
+// NewMasterElection returns an election handle.
+func NewMasterElection(app *App) *MasterElection { return &MasterElection{app: app} }
+
+// requestVote asks the current quorum for a vote.
+//
+// Throws: ConnectException.
+func (m *MasterElection) requestVote(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	m.app.State.Put("master/joined", "true")
+	return nil
+}
+
+// JoinLoop keeps requesting votes until the node joins.
+//
+// BUG (WHEN, missing cap): the node must eventually join, so vote
+// requests retry forever (with a pause); a persistent quorum failure
+// wedges startup here.
+func (m *MasterElection) JoinLoop(ctx context.Context) {
+	retryDelay := 250 * time.Millisecond
+	for {
+		err := m.requestVote(ctx)
+		if err == nil {
+			return
+		}
+		m.app.log(ctx, "vote request failed: %v", err)
+		vclock.Sleep(ctx, retryDelay)
+	}
+}
+
+// RecoveryTarget pulls shard data from the primary during recovery.
+type RecoveryTarget struct {
+	app *App
+}
+
+// NewRecoveryTarget returns a target.
+func NewRecoveryTarget(app *App) *RecoveryTarget { return &RecoveryTarget{app: app} }
+
+// pullSegment copies one shard segment from the primary.
+//
+// Throws: SocketTimeoutException, EOFException.
+func (r *RecoveryTarget) pullSegment(ctx context.Context, shard string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	r.app.State.Put("recovered/"+shard, "true")
+	return nil
+}
+
+// Recover pulls a shard with bounded, delayed retry — a correct loop,
+// though no unit test exercises it (coverage hole).
+func (r *RecoveryTarget) Recover(ctx context.Context, shard string) error {
+	maxRetries := r.app.Config.GetInt("es.recovery.retries", 4)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := r.pullSegment(ctx, shard)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, retry, 2*time.Second))
+	}
+	return last
+}

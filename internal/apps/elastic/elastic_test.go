@@ -1,0 +1,130 @@
+package elastic
+
+import (
+	"context"
+	"testing"
+
+	"wasabi/internal/fault"
+	"wasabi/internal/trace"
+)
+
+func injected(coordinator, retried, exc string, k int) (context.Context, *trace.Run) {
+	in := fault.NewInjector([]fault.Rule{{
+		Loc: fault.Location{Coordinator: coordinator, Retried: retried, Exception: exc},
+		K:   k,
+	}})
+	run := trace.NewRun("t")
+	return fault.With(trace.With(context.Background(), run), in), run
+}
+
+// TestPersistRetriesCancelledJob demonstrates ELASTIC-53687: the
+// persister keeps re-writing results for a cancelled job.
+func TestPersistRetriesCancelledJob(t *testing.T) {
+	app := New()
+	p := NewResultsPersister(app)
+	job := &AnalyticsJob{ID: "j1", Cancelled: true}
+	err := p.PersistResults(context.Background(), job)
+	if err == nil {
+		t.Fatal("cancelled job should eventually fail")
+	}
+	// Every attempt in the budget was burned on a dead job.
+	if p.Persisted != 0 {
+		t.Errorf("persisted = %d", p.Persisted)
+	}
+}
+
+// TestWatcherReloadBackToBack demonstrates the missing-delay bug.
+func TestWatcherReloadBackToBack(t *testing.T) {
+	app := New()
+	ctx, run := injected("elastic.WatcherService.Reload", "elastic.WatcherService.loadWatches", "EOFException", 2)
+	if _, err := NewWatcherService(app).Reload(ctx); err != nil {
+		t.Fatalf("should heal: %v", err)
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindSleep {
+			t.Error("no sleep expected between reload attempts (that is the bug)")
+		}
+	}
+}
+
+// TestJoinLoopUnbounded demonstrates the missing-cap bug.
+func TestJoinLoopUnbounded(t *testing.T) {
+	app := New()
+	ctx, run := injected("elastic.MasterElection.JoinLoop", "elastic.MasterElection.requestVote", "ConnectException", 130)
+	NewMasterElection(app).JoinLoop(ctx)
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 130 {
+		t.Errorf("injections = %d; only healing bounds this loop", injections)
+	}
+}
+
+// TestBulkFlushBadRequestFinal checks 400 is never re-sent.
+func TestBulkFlushBadRequestFinal(t *testing.T) {
+	app := New()
+	b := NewBulkProcessor(app)
+	calls := 0
+	b.SetStatusSource(func(int, int) int {
+		calls++
+		return 400
+	})
+	if status := b.Flush(context.Background(), 0); status != 400 {
+		t.Fatalf("status = %d", status)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d; a 400 must not be re-sent", calls)
+	}
+}
+
+// TestReindexGivesUpAfterBudget checks back-pressure exhaustion fails the
+// reindex.
+func TestReindexGivesUpAfterBudget(t *testing.T) {
+	app := New()
+	w := NewReindexWorker(app)
+	w.SetStatusSource(func(int, int) int { return 429 })
+	if ok := w.Run(context.Background(), 2); ok {
+		t.Error("persistent 429 should fail the reindex")
+	}
+	if w.Copied != 0 {
+		t.Errorf("copied = %d", w.Copied)
+	}
+}
+
+// TestChores exercises the non-retry housekeeping services.
+func TestChores(t *testing.T) {
+	app := New()
+	ctx := context.Background()
+	app.State.Put("docs/i1", "100")
+	app.State.Put("docs/i2", "bad")
+	c := NewIndexStatsCollector(app)
+	c.CollectOnce(ctx)
+	if c.Docs != 100 || c.Bad != 1 {
+		t.Errorf("collector = %+v", c)
+	}
+	app.State.Put("dangling/d1", "importable")
+	app.State.Put("dangling/d2", "tombstoned")
+	app.State.Put("dangling/d3", "???")
+	sw := NewDanglingIndexSweeper(app)
+	sw.SweepOnce(ctx)
+	if sw.Imported != 1 || sw.Dropped != 1 {
+		t.Errorf("sweeper = %+v", sw)
+	}
+	app.State.Put("template/t1", "logs-*,metrics-*")
+	app.State.Put("template/t2", "")
+	ta := NewTemplateAuditor(app)
+	ta.AuditOnce(ctx)
+	if len(ta.Invalid) != 1 {
+		t.Errorf("auditor = %v", ta.Invalid)
+	}
+	app.State.Put("breaker/b1", "tripped")
+	app.State.Put("breaker/b2", "closed")
+	br := NewBreakerReset(app)
+	br.ResetOnce(ctx)
+	if br.Reset != 1 {
+		t.Errorf("breaker = %+v", br)
+	}
+}

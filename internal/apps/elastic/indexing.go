@@ -1,0 +1,187 @@
+package elastic
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/vclock"
+)
+
+// This file holds Elasticsearch's status-code-driven machinery: bulk
+// flushing (HTTP 429 back-pressure), snapshotting, shard allocation, ILM
+// steps, and reindexing. Their retry decisions inspect STATUS CODES, not
+// exceptions, so WASABI's exception injection cannot exercise them (§4.2)
+// — these structures are why EL has the lowest tested ratio in Table 5.
+// The file is also intentionally large enough to exceed the LLM's
+// comprehension threshold (§4.2).
+
+// Bulk flush status codes (modeled on HTTP responses).
+const (
+	bulkOK          = 200
+	bulkTooMany     = 429
+	bulkBadRequest  = 400
+	bulkUnavailable = 503
+)
+
+// BulkProcessor accumulates documents and flushes them in batches.
+type BulkProcessor struct {
+	app     *App
+	pending []string
+	statusF func(batch int, attempt int) int
+	// Flushed counts successfully flushed batches.
+	Flushed int
+}
+
+// NewBulkProcessor returns a processor whose flushes always succeed;
+// tests replace statusF to simulate back-pressure.
+func NewBulkProcessor(app *App) *BulkProcessor {
+	return &BulkProcessor{
+		app:     app,
+		statusF: func(int, int) int { return bulkOK },
+	}
+}
+
+// SetStatusSource replaces the flush status source.
+func (b *BulkProcessor) SetStatusSource(f func(batch, attempt int) int) { b.statusF = f }
+
+// Add buffers a document for the next flush.
+func (b *BulkProcessor) Add(docID string) { b.pending = append(b.pending, docID) }
+
+// Flush sends the pending batch. A 429 (too many requests) is
+// back-pressure: the flush is re-sent after an exponential pause, up to
+// the configured attempt cap. A 400 is a client error and final.
+func (b *BulkProcessor) Flush(ctx context.Context, batch int) int {
+	maxAttempts := b.app.Config.GetInt("es.reindex.batch.attempts", 3)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		status := b.statusF(batch, attempt)
+		switch status {
+		case bulkOK:
+			b.Flushed++
+			b.pending = nil
+			return bulkOK
+		case bulkBadRequest:
+			b.app.log(ctx, "batch %d rejected as malformed", batch)
+			return bulkBadRequest
+		case bulkTooMany, bulkUnavailable:
+			b.app.log(ctx, "batch %d back-pressured (%d), resending", batch, status)
+			vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, attempt, 2*time.Second))
+		}
+	}
+	return bulkTooMany
+}
+
+// snapshotWork is a queued snapshot request carrying a status outcome.
+type snapshotWork struct {
+	repo     string
+	requeues int
+}
+
+// Snapshot status codes.
+const (
+	snapOK       = "SUCCESS"
+	snapThrottle = "THROTTLED"
+	snapMissing  = "REPO_MISSING"
+)
+
+// SnapshotRunner executes snapshot requests from a queue; throttled
+// requests are re-queued after a pause.
+type SnapshotRunner struct {
+	app     *App
+	queue   *common.Queue[*snapshotWork]
+	statusF func(repo string) string
+	// Taken counts completed snapshots; Failed lists abandoned repos.
+	Taken  int
+	Failed []string
+}
+
+// NewSnapshotRunner returns a runner whose repository always accepts;
+// tests replace statusF.
+func NewSnapshotRunner(app *App) *SnapshotRunner {
+	return &SnapshotRunner{
+		app:     app,
+		queue:   common.NewQueue[*snapshotWork](),
+		statusF: func(string) string { return snapOK },
+	}
+}
+
+// SetStatusSource replaces the repository status source.
+func (s *SnapshotRunner) SetStatusSource(f func(string) string) { s.statusF = f }
+
+// Enqueue adds a snapshot request.
+func (s *SnapshotRunner) Enqueue(repo string) {
+	s.queue.Put(&snapshotWork{repo: repo})
+}
+
+// Drain executes queued snapshots until empty: THROTTLED re-queues the
+// request up to a bounded number of times; REPO_MISSING is final.
+func (s *SnapshotRunner) Drain(ctx context.Context) {
+	const maxRequeues = 3
+	for {
+		w, ok := s.queue.Take()
+		if !ok {
+			return
+		}
+		switch status := s.statusF(w.repo); status {
+		case snapOK:
+			s.Taken++
+			s.app.State.Put("snapshot/"+w.repo, "done")
+		case snapThrottle:
+			if w.requeues < maxRequeues {
+				w.requeues++
+				vclock.Sleep(ctx, 200*time.Millisecond)
+				s.queue.Put(w)
+				continue
+			}
+			s.Failed = append(s.Failed, w.repo)
+		case snapMissing:
+			s.Failed = append(s.Failed, w.repo)
+		}
+	}
+}
+
+// ReindexWorker copies documents between indices in batches.
+type ReindexWorker struct {
+	app     *App
+	statusF func(batch, attempt int) int
+	// Copied counts copied batches.
+	Copied int
+}
+
+// NewReindexWorker returns a worker whose batches always land; tests
+// replace statusF.
+func NewReindexWorker(app *App) *ReindexWorker {
+	return &ReindexWorker{
+		app:     app,
+		statusF: func(int, int) int { return bulkOK },
+	}
+}
+
+// SetStatusSource replaces the batch status source.
+func (w *ReindexWorker) SetStatusSource(f func(batch, attempt int) int) { w.statusF = f }
+
+// Run copies n batches; a back-pressured batch (429) is re-sent after a
+// pause up to the configured attempt budget, then the whole reindex
+// fails.
+func (w *ReindexWorker) Run(ctx context.Context, n int) bool {
+	maxAttempts := w.app.Config.GetInt("es.reindex.batch.attempts", 3)
+	for batch := 0; batch < n; batch++ {
+		sent := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			status := w.statusF(batch, attempt)
+			if status == bulkOK {
+				w.Copied++
+				w.app.State.Put("reindex/batch/"+strconv.Itoa(batch), "copied")
+				sent = true
+				break
+			}
+			w.app.log(ctx, "reindex batch %d back-pressured (%d)", batch, status)
+			vclock.Sleep(ctx, 100*time.Millisecond)
+		}
+		if !sent {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package elastic
+
+import "wasabi/internal/apps/meta"
+
+// Manifest is the ground-truth record of every retry code structure in
+// this package; detectors never read it.
+func Manifest() []meta.Structure {
+	return []meta.Structure{
+		{
+			App: "EL", Coordinator: "elastic.TransportClient.Send",
+			Retried: []string{"elastic.TransportClient.sendOnce"},
+			File:    "client.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + backoff, IllegalArgumentException excluded",
+		},
+		{
+			App: "EL", Coordinator: "elastic.BulkRetrier.IndexDoc",
+			Retried: []string{"elastic.BulkRetrier.indexOnce"},
+			File:    "client.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, HarnessRetried: true,
+			Note: "correct cap; the bulk pipeline re-drives it per document (missing-cap FP source, §4.3)",
+		},
+		{
+			App: "EL", Coordinator: "elastic.WatcherService.Reload",
+			Retried: []string{"elastic.WatcherService.loadWatches"},
+			File:    "client.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: reload attempts hit the system index back to back",
+		},
+		{
+			App: "EL", Coordinator: "elastic.ResultsPersister.PersistResults",
+			Retried: []string{"elastic.ResultsPersister.writeResults"},
+			File:    "client.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.WrongPolicyRetried,
+			Note: "IF: cancellation bundled with recoverable I/O errors and retried (ELASTIC-53687); invisible to WASABI's detectors (false negative)",
+		},
+		{
+			App: "EL", Coordinator: "elastic.MasterElection.JoinLoop",
+			Retried: []string{"elastic.MasterElection.requestVote"},
+			File:    "client.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded vote-request retry; uncovered by the suite (static-only find)",
+		},
+		{
+			App: "EL", Coordinator: "elastic.RecoveryTarget.Recover",
+			Retried: []string{"elastic.RecoveryTarget.pullSegment"},
+			File:    "client.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + backoff; uncovered by the suite",
+		},
+		{
+			App: "EL", Coordinator: "elastic.BulkProcessor.Flush",
+			File: "indexing.go", Mechanism: meta.Loop, Trigger: meta.ErrorCode,
+			Keyworded: false,
+			Note:      "correct 429 back-pressure retry; uninjectable and in a file too large for the LLM",
+		},
+		{
+			App: "EL", Coordinator: "elastic.SnapshotRunner.Drain",
+			File: "indexing.go", Mechanism: meta.Queue, Trigger: meta.ErrorCode,
+			Keyworded: false,
+			Note:      "correct error-code re-queue; uninjectable (§4.2)",
+		},
+		{
+			App: "EL", Coordinator: "elastic.ShardAllocator.Allocate",
+			File: "allocator.go", Mechanism: meta.Loop, Trigger: meta.ErrorCode,
+			Keyworded: false,
+			Note:      "correct throttle retry; uninjectable (§4.2)",
+		},
+		{
+			App: "EL", Coordinator: "elastic.ILMRunner.RunPolicy",
+			File: "allocator.go", Mechanism: meta.StateMachine, Trigger: meta.ErrorCode,
+			Keyworded: false,
+			Note:      "correct status-driven step re-execution; uninjectable (§4.2)",
+		},
+		{
+			App: "EL", Coordinator: "elastic.ReindexWorker.Run",
+			File: "indexing.go", Mechanism: meta.Loop, Trigger: meta.ErrorCode,
+			Keyworded: false,
+			Note:      "correct back-pressure retry; uninjectable (§4.2)",
+		},
+	}
+}

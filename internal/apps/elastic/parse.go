@@ -1,0 +1,98 @@
+package elastic
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+
+	"wasabi/internal/vclock"
+)
+
+// Non-retry Elasticsearch code: request parsing (with retry-named
+// parameters — the paper's exact object-parsing FP for both CodeQL and
+// GPT-4, §4.2) and cluster-health polling.
+
+// UpdateRequest is a parsed _update request.
+type UpdateRequest struct {
+	Index           string
+	DocID           string
+	RetryOnConflict int
+	Upsert          bool
+}
+
+// ParseUpdateRequest parses token streams such as
+// "index=logs&id=7&retry_on_conflict=3&upsert=true". Token-by-token
+// parsing; the retryOnConflict token is data, not behaviour.
+func ParseUpdateRequest(raw string) (UpdateRequest, error) {
+	req := UpdateRequest{RetryOnConflict: 0}
+	for _, token := range strings.Split(raw, "&") {
+		if token == "" {
+			continue
+		}
+		parts := strings.SplitN(token, "=", 2)
+		if len(parts) != 2 {
+			return req, &parseError{token: token}
+		}
+		switch parts[0] {
+		case "index":
+			req.Index = parts[1]
+		case "id":
+			req.DocID = parts[1]
+		case "retry_on_conflict":
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return req, &parseError{token: token}
+			}
+			req.RetryOnConflict = n
+		case "upsert":
+			req.Upsert = parts[1] == "true"
+		default:
+			return req, &parseError{token: token}
+		}
+	}
+	if req.Index == "" {
+		return req, &parseError{token: "missing index"}
+	}
+	return req, nil
+}
+
+type parseError struct{ token string }
+
+func (e *parseError) Error() string { return "bad update request token: " + e.token }
+
+// HealthPoller waits for the cluster to reach a target status.
+type HealthPoller struct {
+	app *App
+}
+
+// NewHealthPoller returns a poller.
+func NewHealthPoller(app *App) *HealthPoller { return &HealthPoller{app: app} }
+
+// WaitForGreen polls cluster health until it is green or the poll budget
+// runs out — status polling, not retry.
+func (h *HealthPoller) WaitForGreen(ctx context.Context, polls int) bool {
+	for i := 0; i < polls; i++ {
+		if v, _ := h.app.State.Get("cluster/health"); v == "green" || v == "" {
+			return true
+		}
+		vclock.Sleep(ctx, 100*time.Millisecond)
+	}
+	return false
+}
+
+// SettingsValidator rejects invalid index settings maps.
+type SettingsValidator struct{}
+
+// Validate checks each setting entry once, reporting the first error.
+func (SettingsValidator) Validate(settings map[string]string) error {
+	for k, v := range settings {
+		if k == "" {
+			return &parseError{token: "empty key"}
+		}
+		if strings.HasPrefix(k, "index.") && v == "" {
+			return &parseError{token: k + " has empty value"}
+		}
+	}
+	return nil
+}

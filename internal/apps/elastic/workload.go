@@ -1,0 +1,48 @@
+package elastic
+
+import (
+	"context"
+	"strconv"
+
+	"wasabi/internal/testkit"
+)
+
+// workloadTests are end-to-end scenario tests; each covers several retry
+// locations the focused tests also reach (§3.1.4 planning redundancy).
+func workloadTests() []testkit.Test {
+	return []testkit.Test{
+		{
+			Name: "elastic.TestIngestFlow", App: "EL",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				if err := NewTransportClient(app).Send(ctx, "es1", "indices:create"); err != nil {
+					return err
+				}
+				b := NewBulkRetrier(app)
+				for i := 0; i < 8; i++ {
+					if err := b.IndexDoc(ctx, "flow-"+strconv.Itoa(i)); err != nil {
+						return err
+					}
+				}
+				n, err := NewWatcherService(app).Reload(ctx)
+				if err != nil {
+					return err
+				}
+				return testkit.Assertf(n >= 0, "watch count = %d", n)
+			},
+		},
+		{
+			Name: "elastic.TestAnalyticsFlow", App: "EL",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				p := NewResultsPersister(app)
+				if err := p.PersistResults(ctx, &AnalyticsJob{ID: "flow-j"}); err != nil {
+					return err
+				}
+				return NewTransportClient(app).Send(ctx, "es2", "cluster:stats")
+			},
+		},
+	}
+}

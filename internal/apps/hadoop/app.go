@@ -1,0 +1,45 @@
+// Package hadoop is the corpus miniature of Hadoop Common (HA in the
+// evaluation): the shared IPC client, shell utilities, token renewal, KMS
+// client and service-launch plumbing the rest of the Hadoop stack builds
+// on. It carries the unpatched HADOOP-16683 policy bug (a wrapped
+// AccessControlException that IS retried) and the ExitException
+// retry-ratio outlier.
+//
+// Ground truth lives in manifest.go; detectors never read it.
+package hadoop
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/trace"
+)
+
+// App is a miniature Hadoop Common deployment: a service cluster plus
+// shared configuration.
+type App struct {
+	Config  *common.Config
+	Cluster *common.Cluster
+	Store   *common.KV // shared service state: tokens, keys, groups
+}
+
+// New constructs a deployment with default configuration.
+func New() *App {
+	return &App{
+		Config: common.NewConfig(map[string]string{
+			"ipc.client.connect.max.retries":  "5",
+			"ipc.client.connect.retry.delay":  "500ms",
+			"fs.shell.copy.retries":           "4",
+			"kms.client.failover.max.retries": "3",
+			"service.launch.retries":          "3",
+			"config.push.retries":             "4",
+		}),
+		Cluster: common.NewCluster("nn1", "nn2", "worker1"),
+		Store:   common.NewKV(),
+	}
+}
+
+// log emits an application log line into the run trace.
+func (a *App) log(ctx context.Context, format string, args ...any) {
+	trace.Note(ctx, "[hadoop] "+format, args...)
+}

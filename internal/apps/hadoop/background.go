@@ -1,0 +1,135 @@
+package hadoop
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+
+	"wasabi/internal/vclock"
+)
+
+// Non-retry Hadoop Common services: per-item error-tolerant iteration,
+// pollers, and configuration parsing. The iteration loops are structural
+// retry look-alikes (error check falling through to the next item) that
+// only the keyword filter prunes (§4.4); the parser carries retry-named
+// parameters, the paper's object-construction FP mode for the LLM (§4.2).
+
+// DiskChecker validates local storage directories.
+type DiskChecker struct {
+	app *App
+	// Bad lists directories that failed validation this round.
+	Bad []string
+}
+
+// NewDiskChecker returns a checker.
+func NewDiskChecker(app *App) *DiskChecker { return &DiskChecker{app: app} }
+
+// checkDir validates one directory.
+func (d *DiskChecker) checkDir(dir string) error {
+	if v, _ := d.app.Store.Get("disk/" + dir); v == "bad" {
+		return &diskError{dir: dir}
+	}
+	return nil
+}
+
+// CheckAll validates every configured directory once, recording failures
+// and moving on — per-item tolerance, not retry.
+func (d *DiskChecker) CheckAll(ctx context.Context, dirs []string) {
+	for _, dir := range dirs {
+		if err := d.checkDir(dir); err != nil {
+			d.app.log(ctx, "disk check failed: %v", err)
+			d.Bad = append(d.Bad, dir)
+			continue
+		}
+	}
+}
+
+type diskError struct{ dir string }
+
+func (e *diskError) Error() string { return "bad disk " + e.dir }
+
+// WaitForSafemodeExit polls the namenode safemode flag until it clears or
+// the poll budget runs out — status polling, not retry.
+func WaitForSafemodeExit(ctx context.Context, app *App, polls int) bool {
+	for i := 0; i < polls; i++ {
+		if v, _ := app.Store.Get("nn/safemode"); v != "on" {
+			return true
+		}
+		vclock.Sleep(ctx, 200*time.Millisecond)
+	}
+	return false
+}
+
+// ClientOptions is a parsed client configuration bundle. It CARRIES retry
+// parameters but performs no retry — exactly the shape the paper reports
+// GPT-4 sometimes mislabels as retry logic.
+type ClientOptions struct {
+	MaxRetries    int
+	RetryDelay    time.Duration
+	RetryOnIdle   bool
+	FailoverProxy string
+}
+
+// ParseClientOptions parses "key=value" pairs such as
+// "retries=3,retryDelay=1s,retryOnIdle=true".
+func ParseClientOptions(spec string) (ClientOptions, error) {
+	opts := ClientOptions{MaxRetries: 4, RetryDelay: time.Second}
+	if spec == "" {
+		return opts, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return opts, &optionError{kv: kv}
+		}
+		switch parts[0] {
+		case "retries":
+			n, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return opts, &optionError{kv: kv}
+			}
+			opts.MaxRetries = n
+		case "retryDelay":
+			d, err := time.ParseDuration(parts[1])
+			if err != nil {
+				return opts, &optionError{kv: kv}
+			}
+			opts.RetryDelay = d
+		case "retryOnIdle":
+			opts.RetryOnIdle = parts[1] == "true"
+		case "failoverProxy":
+			opts.FailoverProxy = parts[1]
+		default:
+			return opts, &optionError{kv: kv}
+		}
+	}
+	return opts, nil
+}
+
+type optionError struct{ kv string }
+
+func (e *optionError) Error() string { return "bad client option " + e.kv }
+
+// MetricsPublisher emits metrics snapshots on a schedule; publish errors
+// are dropped (the next snapshot supersedes them).
+type MetricsPublisher struct {
+	app *App
+	// Published counts successful snapshots.
+	Published int
+}
+
+// NewMetricsPublisher returns a publisher.
+func NewMetricsPublisher(app *App) *MetricsPublisher { return &MetricsPublisher{app: app} }
+
+// PublishRounds emits n scheduled snapshots.
+func (m *MetricsPublisher) PublishRounds(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		if v, _ := m.app.Store.Get("metrics/sink"); v == "down" {
+			m.app.log(ctx, "metrics sink unavailable; dropping snapshot %d", i)
+		} else {
+			m.Published++
+		}
+		vclock.Sleep(ctx, time.Second)
+	}
+}

@@ -1,0 +1,133 @@
+package hadoop
+
+import (
+	"context"
+	"testing"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/trace"
+)
+
+func injected(coordinator, retried, exc string, k int) (context.Context, *trace.Run) {
+	in := fault.NewInjector([]fault.Rule{{
+		Loc: fault.Location{Coordinator: coordinator, Retried: retried, Exception: exc},
+		K:   k,
+	}})
+	run := trace.NewRun("t")
+	return fault.With(trace.With(context.Background(), run), in), run
+}
+
+// TestSetupConnectionRetriesWrappedACE demonstrates the unpatched
+// HADOOP-16683 policy bug: a HadoopException (which in production wraps
+// AccessControlException) is retried to exhaustion.
+func TestSetupConnectionRetriesWrappedACE(t *testing.T) {
+	app := New()
+	ctx, run := injected("hadoop.IPCClient.SetupConnection", "hadoop.IPCClient.connectOnce", "HadoopException", 100)
+	err := NewIPCClient(app).SetupConnection(ctx, "nn1")
+	if err == nil {
+		t.Fatal("expected exhaustion")
+	}
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 5 {
+		t.Errorf("injections = %d; the wrapper should burn every retry attempt", injections)
+	}
+}
+
+// TestCallDoesNotRetryIllegalArgument shows the correct policy exclusion.
+func TestCallDoesNotRetryIllegalArgument(t *testing.T) {
+	app := New()
+	ctx, run := injected("hadoop.IPCClient.Call", "hadoop.IPCClient.invokeRPC", "IllegalArgumentException", 100)
+	_, err := NewIPCClient(app).Call(ctx, "nn1", "m")
+	if err == nil {
+		t.Fatal("expected immediate failure")
+	}
+	if !errmodel.IsClass(err, "IllegalArgumentException") {
+		t.Errorf("err = %v", err)
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection && e.Count > 1 {
+			t.Error("IllegalArgumentException must not be retried")
+		}
+	}
+}
+
+// TestCopyRetriesBackToBack demonstrates the missing-delay bug.
+func TestCopyRetriesBackToBack(t *testing.T) {
+	app := New()
+	app.Store.Put("file/src", "x")
+	ctx, run := injected("hadoop.FSShell.CopyWithRetry", "hadoop.FSShell.copyOnce", "IOException", 2)
+	if err := NewFSShell(app).CopyWithRetry(ctx, "src", "dst"); err != nil {
+		t.Fatalf("copy should heal: %v", err)
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindSleep {
+			t.Error("the bug is that no sleep separates attempts")
+		}
+	}
+}
+
+// TestTokenRenewLoopUnbounded demonstrates the missing-cap bug healing
+// only because the fault stops.
+func TestTokenRenewLoopUnbounded(t *testing.T) {
+	app := New()
+	ctx, run := injected("hadoop.TokenRenewer.RenewLoop", "hadoop.TokenRenewer.renewToken", "ServiceException", 150)
+	NewTokenRenewer(app).RenewLoop(ctx, "tok")
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 150 {
+		t.Errorf("injections = %d; nothing bounds this loop except the fault healing", injections)
+	}
+}
+
+// TestLaunchLoopExcludesExit verifies the majority ExitException policy.
+func TestLaunchLoopExcludesExit(t *testing.T) {
+	app := New()
+	ctx, _ := injected("hadoop.ServiceLauncher.LaunchLoop", "hadoop.ServiceLauncher.launchOnce", "ExitException", 100)
+	err := NewServiceLauncher(app).LaunchLoop(ctx, "svc")
+	if err == nil || !errmodel.IsClass(err, "ExitException") {
+		t.Errorf("err = %v, want immediate ExitException", err)
+	}
+}
+
+// TestRunWithRetriesRetriesExit demonstrates the IF outlier: this loop
+// retries ExitException against the codebase-wide policy.
+func TestRunWithRetriesRetriesExit(t *testing.T) {
+	app := New()
+	ctx, run := injected("hadoop.ExitUtil.RunWithRetries", "hadoop.ExitUtil.runCommand", "ExitException", 2)
+	if err := NewExitUtil(app).RunWithRetries(ctx, "fsck"); err != nil {
+		t.Fatalf("should heal after 2 injections: %v", err)
+	}
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 2 {
+		t.Errorf("injections = %d; ExitException was supposed to be (wrongly) retried", injections)
+	}
+}
+
+// TestConfigPushRequeues exercises the queue retry path under injection.
+func TestConfigPushRequeues(t *testing.T) {
+	app := New()
+	p := NewConfigPusher(app)
+	p.Submit("worker1")
+	ctx, _ := injected("hadoop.ConfigPusher.processPush", "hadoop.ConfigPusher.pushOnce", "ConnectException", 3)
+	if err := p.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if p.Pushed != 1 {
+		t.Errorf("pushed = %d", p.Pushed)
+	}
+}

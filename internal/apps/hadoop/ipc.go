@@ -1,0 +1,173 @@
+package hadoop
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// IPCClient is Hadoop's shared RPC client.
+type IPCClient struct {
+	app *App
+}
+
+// NewIPCClient returns a client for the deployment.
+func NewIPCClient(app *App) *IPCClient { return &IPCClient{app: app} }
+
+// invokeRPC performs one remote call against the given service node.
+//
+// Throws: ConnectException, SocketTimeoutException, IllegalArgumentException.
+func (c *IPCClient) invokeRPC(ctx context.Context, node, method string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	if method == "" {
+		return "", errmodel.New("IllegalArgumentException", "empty method")
+	}
+	var out string
+	err := c.app.Cluster.Call(ctx, node, func(n *common.Node) error {
+		out = method + "@" + n.Name
+		return nil
+	})
+	return out, err
+}
+
+// Call invokes an RPC with the standard client retry policy: bounded
+// attempts with a fixed delay. A malformed request (IllegalArgument) is
+// the caller's fault and is never retried.
+func (c *IPCClient) Call(ctx context.Context, node, method string) (string, error) {
+	maxRetries := c.app.Config.GetInt("ipc.client.connect.max.retries", 5)
+	delay := c.app.Config.GetDuration("ipc.client.connect.retry.delay", 500*time.Millisecond)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		out, err := c.invokeRPC(ctx, node, method)
+		if err == nil {
+			return out, nil
+		}
+		if errmodel.IsClass(err, "IllegalArgumentException") {
+			return "", err
+		}
+		last = err
+		vclock.Sleep(ctx, delay)
+	}
+	return "", last
+}
+
+// connectOnce opens a connection to the service node. Lower layers may
+// wrap permission failures inside the general HadoopException.
+//
+// Throws: ConnectException, HadoopException.
+func (c *IPCClient) connectOnce(ctx context.Context, node string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	return c.app.Cluster.Call(ctx, node, func(*common.Node) error { return nil })
+}
+
+// SetupConnection establishes a connection with retry.
+//
+// BUG (IF, wrong retry policy — the unpatched HADOOP-16683, Listing 2):
+// a bare AccessControlException is correctly not retried, but other code
+// paths wrap AccessControlException inside HadoopException, and the
+// wrapper IS retried here: a permission failure burns every retry attempt
+// before surfacing.
+func (c *IPCClient) SetupConnection(ctx context.Context, node string) error {
+	maxRetries := c.app.Config.GetInt("ipc.client.connect.max.retries", 5)
+	delay := c.app.Config.GetDuration("ipc.client.connect.retry.delay", 500*time.Millisecond)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := c.connectOnce(ctx, node)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "AccessControlException") {
+			return err
+		}
+		last = err
+		vclock.Sleep(ctx, delay)
+	}
+	return last
+}
+
+// NameserviceFailover routes calls across namenode replicas.
+type NameserviceFailover struct {
+	app   *App
+	nodes []string
+}
+
+// NewNameserviceFailover returns a failover proxy over both namenodes.
+func NewNameserviceFailover(app *App) *NameserviceFailover {
+	return &NameserviceFailover{app: app, nodes: []string{"nn1", "nn2"}}
+}
+
+// callNamenode invokes the namenode at index idx.
+//
+// Throws: ConnectException, SocketTimeoutException.
+func (f *NameserviceFailover) callNamenode(ctx context.Context, idx int, method string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	var out string
+	err := f.app.Cluster.Call(ctx, f.nodes[idx], func(n *common.Node) error {
+		out = method + "@" + n.Name
+		return nil
+	})
+	return out, err
+}
+
+// Call tries each namenode in turn. There is no pause between attempts on
+// purpose: every retry targets a different replica (the missing-delay FP
+// shape for WASABI).
+func (f *NameserviceFailover) Call(ctx context.Context, method string) (string, error) {
+	var last error
+	for retry := 0; retry < len(f.nodes); retry++ {
+		out, err := f.callNamenode(ctx, retry, method)
+		if err == nil {
+			return out, nil
+		}
+		last = err
+		f.app.log(ctx, "namenode %s failed, failing over", f.nodes[retry])
+	}
+	return "", last
+}
+
+// RPCProxy memoizes a connection and re-drives single calls.
+type RPCProxy struct {
+	app *App
+}
+
+// NewRPCProxy returns a proxy for the deployment.
+func NewRPCProxy(app *App) *RPCProxy { return &RPCProxy{app: app} }
+
+// proxyCall performs one proxied invocation.
+//
+// Throws: SocketTimeoutException.
+func (p *RPCProxy) proxyCall(ctx context.Context, id int) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	return nil
+}
+
+// Invoke performs a proxied call with a small bounded retry and pause.
+// The cap is correct; callers re-drive Invoke across many requests per
+// run and tolerate individual failures — the caller-level re-driving that
+// becomes a missing-cap false positive (§4.3).
+func (p *RPCProxy) Invoke(ctx context.Context, id int) error {
+	const maxRetries = 3
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := p.proxyCall(ctx, id)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 100*time.Millisecond)
+	}
+	return last
+}

@@ -1,0 +1,192 @@
+package hadoop
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// ExitUtil runs external commands whose failures surface as exceptions.
+type ExitUtil struct {
+	app *App
+}
+
+// NewExitUtil returns a runner.
+func NewExitUtil(app *App) *ExitUtil { return &ExitUtil{app: app} }
+
+// runCommand executes one external command.
+//
+// Throws: ExitException, IOException.
+func (e *ExitUtil) runCommand(ctx context.Context, cmd string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	e.app.Store.Put("cmd/"+cmd, "ran")
+	return nil
+}
+
+// RunWithRetries re-runs a failed command up to the retry budget.
+//
+// BUG (IF, wrong retry policy — the ExitException retry-ratio outlier):
+// ExitException signals a deliberate process exit and is not retried
+// anywhere else in the codebase, yet this loop retries it along with
+// transient I/O failures.
+func (e *ExitUtil) RunWithRetries(ctx context.Context, cmd string) error {
+	const maxRetries = 3
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := e.runCommand(ctx, cmd)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 100*time.Millisecond)
+	}
+	return last
+}
+
+// ServiceLauncher boots long-running services.
+type ServiceLauncher struct {
+	app *App
+}
+
+// NewServiceLauncher returns a launcher.
+func NewServiceLauncher(app *App) *ServiceLauncher { return &ServiceLauncher{app: app} }
+
+// launchOnce starts the named service once.
+//
+// Throws: ExitException, ServiceException.
+func (l *ServiceLauncher) launchOnce(ctx context.Context, svc string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	l.app.Store.Put("service/"+svc, "up")
+	return nil
+}
+
+// LaunchLoop starts a service, retrying transient failures; a deliberate
+// exit (ExitException) is final and never retried — the majority policy
+// for that exception.
+func (l *ServiceLauncher) LaunchLoop(ctx context.Context, svc string) error {
+	maxRetries := l.app.Config.GetInt("service.launch.retries", 3)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := l.launchOnce(ctx, svc)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "ExitException") {
+			return err
+		}
+		last = err
+		vclock.Sleep(ctx, 200*time.Millisecond)
+	}
+	return last
+}
+
+// pushTask is a queued configuration push with its own attempt budget.
+type pushTask struct {
+	node     string
+	attempts int
+}
+
+// ConfigPusher distributes configuration to every node through a work
+// queue; failed pushes are re-submitted.
+type ConfigPusher struct {
+	app   *App
+	queue *common.Queue[*pushTask]
+	// Pushed counts completed pushes.
+	Pushed int
+}
+
+// NewConfigPusher returns a pusher with an empty queue.
+func NewConfigPusher(app *App) *ConfigPusher {
+	return &ConfigPusher{app: app, queue: common.NewQueue[*pushTask]()}
+}
+
+// Submit enqueues a push to a node.
+func (p *ConfigPusher) Submit(node string) {
+	p.queue.Put(&pushTask{node: node})
+}
+
+// pushOnce delivers the configuration bundle to one node.
+//
+// Throws: ConnectException.
+func (p *ConfigPusher) pushOnce(ctx context.Context, node string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	return p.app.Cluster.Call(ctx, node, func(n *common.Node) error {
+		n.Store.Put("conf/version", "v2")
+		return nil
+	})
+}
+
+// processPush handles one queued push: transient failures re-submit the
+// task for retry after a pause, bounded per task.
+func (p *ConfigPusher) processPush(ctx context.Context, task *pushTask) error {
+	maxRetries := p.app.Config.GetInt("config.push.retries", 4)
+	if err := p.pushOnce(ctx, task.node); err != nil {
+		if task.attempts < maxRetries {
+			task.attempts++
+			vclock.Sleep(ctx, 150*time.Millisecond)
+			p.queue.Put(task) // re-submit for retry
+			return nil
+		}
+		return err
+	}
+	p.Pushed++
+	return nil
+}
+
+// Drain processes queued pushes until empty.
+func (p *ConfigPusher) Drain(ctx context.Context) error {
+	for {
+		task, ok := p.queue.Take()
+		if !ok {
+			return nil
+		}
+		if err := p.processPush(ctx, task); err != nil {
+			return err
+		}
+	}
+}
+
+// KMSClient talks to the key-management service.
+type KMSClient struct {
+	app *App
+}
+
+// NewKMSClient returns a client.
+func NewKMSClient(app *App) *KMSClient { return &KMSClient{app: app} }
+
+// decryptOnce asks the KMS to decrypt one encrypted key.
+//
+// Throws: SocketTimeoutException.
+func (k *KMSClient) decryptOnce(ctx context.Context, keyID int) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	return "plain-" + strconv.Itoa(keyID), nil
+}
+
+// Decrypt decrypts a key with bounded, delayed retry.
+func (k *KMSClient) Decrypt(ctx context.Context, keyID int) (string, error) {
+	maxRetries := k.app.Config.GetInt("kms.client.failover.max.retries", 3)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		plain, err := k.decryptOnce(ctx, keyID)
+		if err == nil {
+			return plain, nil
+		}
+		last = err
+		vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, retry, time.Second))
+	}
+	return "", last
+}

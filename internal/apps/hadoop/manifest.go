@@ -1,0 +1,87 @@
+package hadoop
+
+import "wasabi/internal/apps/meta"
+
+// Manifest is the ground-truth record of every retry code structure in
+// this package; detectors never read it.
+func Manifest() []meta.Structure {
+	return []meta.Structure{
+		{
+			App: "HA", Coordinator: "hadoop.IPCClient.Call",
+			Retried: []string{"hadoop.IPCClient.invokeRPC"},
+			File:    "ipc.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + delay, IllegalArgumentException excluded",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.IPCClient.SetupConnection",
+			Retried: []string{"hadoop.IPCClient.connectOnce"},
+			File:    "ipc.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.WrongPolicyRetried,
+			Note: "IF: HadoopException-wrapped AccessControlException is retried (unpatched HADOOP-16683); invisible to all WASABI detectors (false negative)",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.NameserviceFailover.Call",
+			Retried: []string{"hadoop.NameserviceFailover.callNamenode"},
+			File:    "ipc.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, DelayUnneeded: true,
+			Note: "no pause, but each attempt targets a different namenode (missing-delay FP source)",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.RPCProxy.Invoke",
+			Retried: []string{"hadoop.RPCProxy.proxyCall"},
+			File:    "ipc.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, HarnessRetried: true,
+			Note: "correct cap; callers re-drive it per request (missing-cap FP source)",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.FSShell.CopyWithRetry",
+			Retried: []string{"hadoop.FSShell.copyOnce"},
+			File:    "services.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: copy re-attempts issued back to back",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.TokenRenewer.RenewLoop",
+			Retried: []string{"hadoop.TokenRenewer.renewToken"},
+			File:    "services.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded token renewal retry (delay present)",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.GroupMappingService.Refresh",
+			Retried: []string{"hadoop.GroupMappingService.fetchGroups"},
+			File:    "services.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: false, Bug: meta.MissingDelay,
+			Note: "WHEN: directory re-queries back to back; counter named 'tries' (CodeQL keyword miss); uncovered by the suite",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.ExitUtil.RunWithRetries",
+			Retried: []string{"hadoop.ExitUtil.runCommand"},
+			File:    "launcher.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.WrongPolicyRetried,
+			Note: "IF: ExitException retried here though not retried anywhere else (retry-ratio outlier, 1/3)",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.ServiceLauncher.LaunchLoop",
+			Retried: []string{"hadoop.ServiceLauncher.launchOnce"},
+			File:    "launcher.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + delay, ExitException excluded (majority policy)",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.ConfigPusher.processPush",
+			Retried: []string{"hadoop.ConfigPusher.pushOnce"},
+			File:    "launcher.go", Mechanism: meta.Queue, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct queue re-enqueue retry: per-task cap and pause",
+		},
+		{
+			App: "HA", Coordinator: "hadoop.KMSClient.Decrypt",
+			Retried: []string{"hadoop.KMSClient.decryptOnce"},
+			File:    "launcher.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + exponential backoff",
+		},
+	}
+}

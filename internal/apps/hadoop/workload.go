@@ -1,0 +1,70 @@
+package hadoop
+
+import (
+	"context"
+
+	"wasabi/internal/testkit"
+)
+
+// workloadTests are end-to-end scenario tests; each covers several retry
+// locations the focused tests also reach (§3.1.4 planning redundancy).
+func workloadTests() []testkit.Test {
+	return []testkit.Test{
+		{
+			Name: "hadoop.TestClientSessionFlow", App: "HA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				c := NewIPCClient(app)
+				if err := c.SetupConnection(ctx, "nn1"); err != nil {
+					return err
+				}
+				if _, err := c.Call(ctx, "nn1", "getStatus"); err != nil {
+					return err
+				}
+				if _, err := c.Call(ctx, "nn1", "listDirs"); err != nil {
+					return err
+				}
+				_, err := NewNameserviceFailover(app).Call(ctx, "renewLease")
+				return err
+			},
+		},
+		{
+			Name: "hadoop.TestSecureJobFlow", App: "HA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				NewTokenRenewer(app).RenewLoop(ctx, "flow-token")
+				if _, err := NewKMSClient(app).Decrypt(ctx, 42); err != nil {
+					return err
+				}
+				app.Store.Put("file/job.xml", "<conf/>")
+				return NewFSShell(app).CopyWithRetry(ctx, "job.xml", "job-copy.xml")
+			},
+		},
+		{
+			Name: "hadoop.TestRolloutFlow", App: "HA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				p := NewConfigPusher(app)
+				for _, n := range []string{"nn1", "nn2", "worker1"} {
+					p.Submit(n)
+				}
+				if err := p.Drain(ctx); err != nil {
+					return err
+				}
+				if err := NewServiceLauncher(app).LaunchLoop(ctx, "shuffle"); err != nil {
+					return err
+				}
+				rp := NewRPCProxy(app)
+				for id := 0; id < 5; id++ {
+					if err := rp.Invoke(ctx, id); err != nil {
+						return err
+					}
+				}
+				return testkit.Assertf(p.Pushed == 3, "pushed = %d", p.Pushed)
+			},
+		},
+	}
+}

@@ -1,0 +1,64 @@
+// Package hbase is the corpus miniature of HBase (HB in the evaluation):
+// a region-based store with ZooKeeper coordination, ProcedureV2-style
+// state-machine operations, and region-server RPC. It is the largest
+// corpus application, as in the paper (98 identified structures, the most
+// of any app; Table 5), and carries the HBASE-20492 (missing delay in
+// UnassignProcedure) and HBASE-20616 (truncate-table state not cleaned up
+// before retry) bugs among others.
+//
+// Ground truth lives in manifest.go; detectors never read it.
+package hbase
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/trace"
+)
+
+// App is a miniature HBase deployment: three region servers, a ZooKeeper
+// ensemble modeled as a KV namespace, and master metadata.
+type App struct {
+	Config  *common.Config
+	Cluster *common.Cluster
+	ZK      *common.KV // ZooKeeper znodes
+	Meta    *common.KV // master metadata: regions, tables, procedures
+}
+
+// New constructs a deployment with default configuration.
+func New() *App {
+	return &App{
+		Config: common.NewConfig(map[string]string{
+			"hbase.client.retries.number":        "5",
+			"hbase.client.pause":                 "100ms",
+			"hbase.zookeeper.recovery.retry":     "6",
+			"hbase.assignment.maximum.attempts":  "7",
+			"hbase.flush.retries.number":         "6",
+			"hbase.bulkload.retries.number":      "4",
+			"hbase.lease.recovery.retries":       "3",
+			"hbase.regionserver.compaction.wait": "200ms",
+		}),
+		Cluster: common.NewCluster("rs1", "rs2", "rs3"),
+		ZK:      common.NewKV(),
+		Meta:    common.NewKV(),
+	}
+}
+
+// AddRegion registers a region hosted on server rs.
+func (a *App) AddRegion(region, rs string) {
+	a.Meta.Put("region/"+region, rs)
+	if n := a.Cluster.Node(rs); n != nil {
+		n.Store.Put("region/"+region, "open")
+	}
+}
+
+// RegionServer returns the server hosting region ("" if unknown).
+func (a *App) RegionServer(region string) string {
+	rs, _ := a.Meta.Get("region/" + region)
+	return rs
+}
+
+// log emits an application log line into the run trace.
+func (a *App) log(ctx context.Context, format string, args ...any) {
+	trace.Note(ctx, "[hbase] "+format, args...)
+}

@@ -1,0 +1,218 @@
+package hbase
+
+import (
+	"context"
+	"strconv"
+	"strings"
+)
+
+// Housekeeping chores of the HBase miniature: per-item iteration with
+// error tolerance — structural retry look-alikes pruned by the
+// retry-naming filter (§4.4). No failed item is ever re-executed.
+
+// HFileCleaner removes store files that no region references.
+type HFileCleaner struct {
+	app *App
+	// Removed and Referenced count outcomes per pass.
+	Removed, Referenced int
+}
+
+// NewHFileCleaner returns a cleaner.
+func NewHFileCleaner(app *App) *HFileCleaner { return &HFileCleaner{app: app} }
+
+// referenced reports whether one archived file is still referenced.
+func (h *HFileCleaner) referenced(key string) (bool, error) {
+	owner, ok := h.app.Meta.Get(key)
+	if !ok {
+		return false, &schemaError{desc: key, why: "no owner record"}
+	}
+	return h.app.Meta.Exists(regionKey(owner)), nil
+}
+
+// CleanOnce walks every archived store file once.
+func (h *HFileCleaner) CleanOnce(ctx context.Context) {
+	for _, key := range h.app.Meta.ListPrefix("archive/hfile/") {
+		used, err := h.referenced(key)
+		if err != nil {
+			h.app.log(ctx, "cleaner skipping %s: %v", key, err)
+			continue
+		}
+		if used {
+			h.Referenced++
+			continue
+		}
+		h.app.Meta.Delete(key)
+		h.Removed++
+	}
+}
+
+// RegionSizeCalculator sums store sizes per region server.
+type RegionSizeCalculator struct {
+	app *App
+	// Sizes maps server name to aggregate size.
+	Sizes map[string]int
+}
+
+// NewRegionSizeCalculator returns a calculator.
+func NewRegionSizeCalculator(app *App) *RegionSizeCalculator {
+	return &RegionSizeCalculator{app: app, Sizes: make(map[string]int)}
+}
+
+// sizeOf reads one region's size record.
+func (r *RegionSizeCalculator) sizeOf(region string) (int, error) {
+	v, ok := r.app.Meta.Get("size/" + region)
+	if !ok {
+		return 0, &schemaError{desc: region, why: "no size record"}
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &schemaError{desc: region, why: "malformed size " + v}
+	}
+	return n, nil
+}
+
+// ComputeOnce walks every region once, skipping unparsable records.
+func (r *RegionSizeCalculator) ComputeOnce(ctx context.Context) {
+	for _, key := range r.app.Meta.ListPrefix("region/") {
+		region := strings.TrimPrefix(key, "region/")
+		size, err := r.sizeOf(region)
+		if err != nil {
+			r.app.log(ctx, "size calc skipping %s: %v", region, err)
+			continue
+		}
+		rs, _ := r.app.Meta.Get(key)
+		r.Sizes[rs] += size
+	}
+}
+
+// NamespaceAuditor validates namespace descriptors.
+type NamespaceAuditor struct {
+	app *App
+	// Invalid lists namespaces with broken descriptors.
+	Invalid []string
+}
+
+// NewNamespaceAuditor returns an auditor.
+func NewNamespaceAuditor(app *App) *NamespaceAuditor { return &NamespaceAuditor{app: app} }
+
+// validate checks one namespace descriptor.
+func (n *NamespaceAuditor) validate(key string) error {
+	desc, _ := n.app.Meta.Get(key)
+	if desc == "" {
+		return &schemaError{desc: key, why: "empty descriptor"}
+	}
+	if !strings.Contains(desc, "=") {
+		return &schemaError{desc: key, why: "descriptor missing properties"}
+	}
+	return nil
+}
+
+// AuditOnce walks every namespace once.
+func (n *NamespaceAuditor) AuditOnce(ctx context.Context) {
+	for _, key := range n.app.Meta.ListPrefix("namespace/") {
+		if err := n.validate(key); err != nil {
+			n.app.log(ctx, "namespace audit: %v", err)
+			n.Invalid = append(n.Invalid, key)
+			continue
+		}
+	}
+}
+
+// ReplicationLagReader samples per-peer replication lag.
+type ReplicationLagReader struct {
+	app *App
+	// MaxLag is the largest sampled lag; Stale counts unreadable peers.
+	MaxLag int
+	Stale  int
+}
+
+// NewReplicationLagReader returns a reader.
+func NewReplicationLagReader(app *App) *ReplicationLagReader {
+	return &ReplicationLagReader{app: app}
+}
+
+// lagOf reads one peer's lag record.
+func (r *ReplicationLagReader) lagOf(key string) (int, error) {
+	v, _ := r.app.ZK.Get(key)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &schemaError{desc: key, why: "unreadable lag"}
+	}
+	return n, nil
+}
+
+// SampleOnce reads every peer's lag once.
+func (r *ReplicationLagReader) SampleOnce(ctx context.Context) {
+	for _, key := range r.app.ZK.ListPrefix("peers/lag/") {
+		lag, err := r.lagOf(key)
+		if err != nil {
+			r.app.log(ctx, "lag sample failed: %v", err)
+			r.Stale++
+			continue
+		}
+		if lag > r.MaxLag {
+			r.MaxLag = lag
+		}
+	}
+}
+
+// MobFileAuditor verifies medium-object file references.
+type MobFileAuditor struct {
+	app *App
+	// Dangling counts files whose owning cell is gone.
+	Dangling int
+}
+
+// NewMobFileAuditor returns an auditor.
+func NewMobFileAuditor(app *App) *MobFileAuditor { return &MobFileAuditor{app: app} }
+
+// verify checks one MOB file's back reference.
+func (m *MobFileAuditor) verify(key string) error {
+	ref, _ := m.app.Meta.Get(key)
+	if !m.app.Meta.Exists("row/" + ref) {
+		return &schemaError{desc: key, why: "dangling mob reference"}
+	}
+	return nil
+}
+
+// AuditOnce walks every MOB file once.
+func (m *MobFileAuditor) AuditOnce(ctx context.Context) {
+	for _, key := range m.app.Meta.ListPrefix("mobfile/") {
+		if err := m.verify(key); err != nil {
+			m.app.log(ctx, "mob audit: %v", err)
+			m.Dangling++
+			continue
+		}
+	}
+}
+
+// FavoredNodeChecker validates favored-node assignments.
+type FavoredNodeChecker struct {
+	app *App
+	// Bad counts assignments referencing dead servers.
+	Bad int
+}
+
+// NewFavoredNodeChecker returns a checker.
+func NewFavoredNodeChecker(app *App) *FavoredNodeChecker { return &FavoredNodeChecker{app: app} }
+
+// check validates one favored-node record.
+func (f *FavoredNodeChecker) check(key string) error {
+	rs, _ := f.app.Meta.Get(key)
+	n := f.app.Cluster.Node(rs)
+	if n == nil || n.Down() {
+		return &schemaError{desc: key, why: "favored node " + rs + " unavailable"}
+	}
+	return nil
+}
+
+// CheckOnce walks every favored-node record once.
+func (f *FavoredNodeChecker) CheckOnce(ctx context.Context) {
+	for _, key := range f.app.Meta.ListPrefix("favored/") {
+		if err := f.check(key); err != nil {
+			f.app.log(ctx, "favored-node check: %v", err)
+			f.Bad++
+			continue
+		}
+	}
+}

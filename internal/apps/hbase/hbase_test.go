@@ -1,0 +1,178 @@
+package hbase
+
+import (
+	"context"
+	"testing"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/trace"
+)
+
+func injected(coordinator, retried, exc string, k int) (context.Context, *trace.Run) {
+	in := fault.NewInjector([]fault.Rule{{
+		Loc: fault.Location{Coordinator: coordinator, Retried: retried, Exception: exc},
+		K:   k,
+	}})
+	run := trace.NewRun("t")
+	return fault.With(trace.With(context.Background(), run), in), run
+}
+
+// TestUnassignRetriesWithoutDelay demonstrates HBASE-20492 directly: the
+// injected transient failures are absorbed by implicit state retries with
+// zero sleeps between them.
+func TestUnassignRetriesWithoutDelay(t *testing.T) {
+	app := New()
+	app.AddRegion("r1", "rs1")
+	ctx, run := injected("hbase.UnassignProc.Step", "hbase.UnassignProc.markRegionAsClosing", "KeeperException", 3)
+	exec := common.NewProcedureExecutor()
+	if err := exec.Run(ctx, NewUnassignProc(app, "r1")); err != nil {
+		t.Fatalf("procedure should heal after 3 injections: %v", err)
+	}
+	injections, sleeps := 0, 0
+	for _, e := range run.Events() {
+		switch e.Kind {
+		case trace.KindInjection:
+			injections++
+		case trace.KindSleep:
+			sleeps++
+		}
+	}
+	if injections != 3 {
+		t.Errorf("injections = %d", injections)
+	}
+	if sleeps != 0 {
+		t.Errorf("the bug is that there are no sleeps; got %d", sleeps)
+	}
+}
+
+// TestTruncateLeavesPartialLayout demonstrates HBASE-20616: one transient
+// flush failure leaves a layout file behind, and the state retry then
+// fails with FileAlreadyExistsException.
+func TestTruncateLeavesPartialLayout(t *testing.T) {
+	app := New()
+	ctx, _ := injected("hbase.TruncateTableProc.Step", "hbase.TruncateTableProc.writeLayoutFile", "IOException", 1)
+	exec := common.NewProcedureExecutor()
+	err := exec.Run(ctx, NewTruncateTableProc(app, "t1"))
+	if err == nil {
+		t.Fatal("expected the procedure to wedge")
+	}
+	if !errmodel.IsClass(err, "FileAlreadyExistsException") {
+		t.Errorf("err = %v, want FileAlreadyExistsException", err)
+	}
+}
+
+// TestAssignHealsWithBackoff shows the correct procedure absorbing
+// transient failures with delays.
+func TestAssignHealsWithBackoff(t *testing.T) {
+	app := New()
+	ctx, run := injected("hbase.AssignProc.Step", "hbase.AssignProc.openRegion", "RemoteException", 2)
+	exec := common.NewProcedureExecutor()
+	if err := exec.Run(ctx, NewAssignProc(app, "r2", "rs1")); err != nil {
+		t.Fatalf("assign failed: %v", err)
+	}
+	sleeps := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindSleep {
+			sleeps++
+		}
+	}
+	if sleeps != 2 {
+		t.Errorf("sleeps = %d, want one per retry", sleeps)
+	}
+	if st, _ := app.Meta.Get("regionstate/r2"); st != "OPEN" {
+		t.Errorf("state = %q", st)
+	}
+}
+
+// TestProcedureStoreAbortsOnKeeperException shows the IF outlier: the
+// exception retried everywhere else aborts recovery here.
+func TestProcedureStoreAbortsOnKeeperException(t *testing.T) {
+	app := New()
+	app.ZK.Put("procs/1", "RUNNING")
+	ctx, run := injected("hbase.ProcedureStore.Recover", "hbase.ProcedureStore.loadEntries", "KeeperException", 1)
+	_, err := NewProcedureStore(app).Recover(ctx)
+	if err == nil {
+		t.Fatal("recovery should abort on the first KeeperException")
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection && e.Count > 1 {
+			t.Error("no retry should have happened")
+		}
+	}
+}
+
+// TestZKLoopsHealUnderInjection covers the correct ZooKeeper retry loops.
+func TestZKLoopsHealUnderInjection(t *testing.T) {
+	app := New()
+	app.ZK.Put("node/a", "v")
+	z := NewZKWatcher(app)
+	ctx, _ := injected("hbase.ZKWatcher.GetData", "hbase.ZKWatcher.zkGet", "KeeperException", 2)
+	v, err := z.GetData(ctx, "node/a")
+	if err != nil || v != "v" {
+		t.Errorf("GetData = %q, %v", v, err)
+	}
+	ctx2, _ := injected("hbase.ZKWatcher.SetData", "hbase.ZKWatcher.zkSet", "KeeperException", 3)
+	if err := z.SetData(ctx2, "node/b", "w"); err != nil {
+		t.Errorf("SetData: %v", err)
+	}
+	ctx3, _ := injected("hbase.ZKWatcher.CreateNode", "hbase.ZKWatcher.zkCreate", "KeeperException", 1)
+	if err := z.CreateNode(ctx3, "node/c", "x"); err != nil {
+		t.Errorf("CreateNode: %v", err)
+	}
+}
+
+// TestScannerRotatesServers shows the delay-unneeded failover shape.
+func TestScannerRotatesServers(t *testing.T) {
+	app := New()
+	app.Cluster.Node("rs1").SetDown(true)
+	app.Cluster.Node("rs2").SetDown(true)
+	id, err := NewScannerCallable(app).Open(context.Background())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if id != "scanner-2" {
+		t.Errorf("scanner = %q, want the third server", id)
+	}
+}
+
+// TestBulkLoadRequeuesOnFailure exercises the queue retry path.
+func TestBulkLoadRequeuesOnFailure(t *testing.T) {
+	app := New()
+	b := NewBulkLoader(app)
+	b.Submit("cf1")
+	ctx, run := injected("hbase.BulkLoader.processLoad", "hbase.BulkLoader.loadOnce", "IOException", 2)
+	if err := b.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if b.Loaded != 1 {
+		t.Errorf("loaded = %d", b.Loaded)
+	}
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 2 {
+		t.Errorf("injections = %d", injections)
+	}
+}
+
+// TestLeaseRecoveryWrapsExhaustedFailure shows the wrap-on-exhaust FP
+// source behaviour.
+func TestLeaseRecoveryWrapsExhaustedFailure(t *testing.T) {
+	app := New()
+	ctx, _ := injected("hbase.LeaseRecovery.Recover", "hbase.LeaseRecovery.recoverOnce", "IOException", 100)
+	err := NewLeaseRecovery(app).Recover(ctx, "wal-1")
+	if err == nil {
+		t.Fatal("expected wrapped failure")
+	}
+	if !errmodel.IsClass(err, "ServiceException") {
+		t.Errorf("outermost class = %v", err)
+	}
+	if !errmodel.CauseIsClass(err, "IOException") {
+		t.Error("cause chain should carry the injected IOException")
+	}
+}

@@ -1,0 +1,164 @@
+package hbase
+
+import "wasabi/internal/apps/meta"
+
+// Manifest is the ground-truth record of every retry code structure in
+// this package; detectors never read it.
+func Manifest() []meta.Structure {
+	return []meta.Structure{
+		{
+			App: "HB", Coordinator: "hbase.ZKWatcher.GetData",
+			Retried: []string{"hbase.ZKWatcher.zkGet"},
+			File:    "zk.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + pause, retries KeeperException",
+		},
+		{
+			App: "HB", Coordinator: "hbase.ZKWatcher.SetData",
+			Retried: []string{"hbase.ZKWatcher.zkSet"},
+			File:    "zk.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + backoff, retries KeeperException",
+		},
+		{
+			App: "HB", Coordinator: "hbase.ZKWatcher.CreateNode",
+			Retried: []string{"hbase.ZKWatcher.zkCreate"},
+			File:    "zk.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: idempotent create with cap + pause",
+		},
+		{
+			App: "HB", Coordinator: "hbase.ZKWatcher.DeleteNode",
+			Retried: []string{"hbase.ZKWatcher.zkDelete"},
+			File:    "zk.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: deletions re-attempted back to back; in a file too large for the LLM, so found by unit testing only (Figure 3)",
+		},
+		{
+			App: "HB", Coordinator: "hbase.ZKWatcher.SyncEnsemble",
+			Retried: []string{"hbase.ZKWatcher.zkSync"},
+			File:    "zk.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded sync-barrier retry; in a file too large for the LLM, so found by unit testing only (Figure 3)",
+		},
+		{
+			App: "HB", Coordinator: "hbase.MetaCache.Relocate",
+			Retried: []string{"hbase.MetaCache.locateOnce"},
+			File:    "zk.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + backoff",
+		},
+		{
+			App: "HB", Coordinator: "hbase.SplitLogManager.AcquireTask",
+			Retried: []string{"hbase.SplitLogManager.claimTask"},
+			File:    "zk.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + pause",
+		},
+		{
+			App: "HB", Coordinator: "hbase.ProcedureStore.Recover",
+			Retried: []string{"hbase.ProcedureStore.loadEntries"},
+			File:    "zk.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.WrongPolicyNotRetried,
+			Note: "IF: KeeperException aborted here although retried in 6/7 sibling loops (HBASE-25743 shape); retry-ratio outlier",
+		},
+		{
+			App: "HB", Coordinator: "hbase.UnassignProc.Step",
+			Retried: []string{"hbase.UnassignProc.markRegionAsClosing"},
+			File:    "procedures.go", Mechanism: meta.StateMachine, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: implicit state retry with no pause (HBASE-20492, Listing 4)",
+		},
+		{
+			App: "HB", Coordinator: "hbase.TruncateTableProc.Step",
+			Retried: []string{"hbase.TruncateTableProc.writeLayoutFile"},
+			File:    "procedures.go", Mechanism: meta.StateMachine, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.How,
+			Note: "HOW: partial layout files not cleaned before state retry; rewrite crashes with FileAlreadyExistsException (HBASE-20616)",
+		},
+		{
+			App: "HB", Coordinator: "hbase.AssignProc.Step",
+			Retried: []string{"hbase.AssignProc.openRegion"},
+			File:    "procedures.go", Mechanism: meta.StateMachine, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct state-machine retry: backoff + cap",
+		},
+		{
+			App: "HB", Coordinator: "hbase.RSRpcClient.Call",
+			Retried: []string{"hbase.RSRpcClient.rpcOnce"},
+			File:    "rpc.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + cross-file backoff helper (LLM single-file missing-delay FP source, §4.3); IllegalStateException excluded",
+		},
+		{
+			App: "HB", Coordinator: "hbase.HTableClient.PutRow",
+			Retried: []string{"hbase.HTableClient.putRow"},
+			File:    "rpc.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, HarnessRetried: true,
+			Note: "correct cap; batch callers re-drive per row (missing-cap FP source, §4.3)",
+		},
+		{
+			App: "HB", Coordinator: "hbase.ScannerCallable.Open",
+			Retried: []string{"hbase.ScannerCallable.openScanner"},
+			File:    "rpc.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, DelayUnneeded: true,
+			Note: "no pause, but each attempt targets a different server (missing-delay FP source)",
+		},
+		{
+			App: "HB", Coordinator: "hbase.RegionFlusher.Flush",
+			Retried: []string{"hbase.RegionFlusher.flushOnce"},
+			File:    "regionserver.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: flush attempts back to back against struggling storage",
+		},
+		{
+			App: "HB", Coordinator: "hbase.CompactionRunner.Compact",
+			Retried: []string{"hbase.CompactionRunner.selectFiles"},
+			File:    "regionserver.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded selection retry (pause present)",
+		},
+		{
+			App: "HB", Coordinator: "hbase.WALRoller.Roll",
+			Retried: []string{"hbase.WALRoller.rollOnce"},
+			File:    "regionserver.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded log-roll retry wedges the region server",
+		},
+		{
+			App: "HB", Coordinator: "hbase.MobCompactor.Sweep",
+			Retried: []string{"hbase.MobCompactor.sweepOnce"},
+			File:    "regionserver.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: false, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded sweep retry; counter named 'tries' (CodeQL keyword miss)",
+		},
+		{
+			App: "HB", Coordinator: "hbase.ReplicationPeer.Sync",
+			Retried: []string{"hbase.ReplicationPeer.shipBatch"},
+			File:    "replication.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + pause",
+		},
+		{
+			App: "HB", Coordinator: "hbase.BulkLoader.processLoad",
+			Retried: []string{"hbase.BulkLoader.loadOnce"},
+			File:    "replication.go", Mechanism: meta.Queue, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct queue re-enqueue retry: per-task cap and pause",
+		},
+		{
+			App: "HB", Coordinator: "hbase.LeaseRecovery.Recover",
+			Retried: []string{"hbase.LeaseRecovery.recoverOnce"},
+			File:    "replication.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, WrapsErrors: true,
+			Note: "correct; wraps exhausted failures in ServiceException (different-exception oracle FP source)",
+		},
+		{
+			App: "HB", Coordinator: "hbase.BackupMaster.SyncOnce",
+			Retried: []string{"hbase.BackupMaster.pullState"},
+			File:    "replication.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded standby-sync retry; uncovered by the suite (static-only find)",
+		},
+	}
+}

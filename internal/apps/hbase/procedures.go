@@ -1,0 +1,226 @@
+package hbase
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// Unassign procedure states.
+const (
+	unassignDispatch = iota
+	unassignFinish
+	unassignDone
+)
+
+// UnassignProc removes a region from its server as a state-machine
+// procedure — the paper's Listing 4 (HBASE-20492).
+//
+// BUG (WHEN, missing delay): when marking the region as closing fails
+// transiently, the state is deliberately left unchanged so the executor
+// retries the step — but with no pause, congesting the executor while the
+// condition persists. (The real fix added an exponential backoff before
+// the implicit retry.)
+type UnassignProc struct {
+	app      *App
+	region   string
+	state    int
+	attempts int
+}
+
+// NewUnassignProc returns an unassign procedure for region.
+func NewUnassignProc(app *App, region string) *UnassignProc {
+	return &UnassignProc{app: app, region: region}
+}
+
+// Name implements common.Procedure.
+func (p *UnassignProc) Name() string { return "unassign-" + p.region }
+
+// markRegionAsClosing flips the region's state in master metadata.
+//
+// Throws: KeeperException, RemoteException.
+func (p *UnassignProc) markRegionAsClosing(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	p.app.Meta.Put("regionstate/"+p.region, "CLOSING")
+	return nil
+}
+
+// Step implements common.Procedure.
+func (p *UnassignProc) Step(ctx context.Context) (bool, error) {
+	maxRetryAttempts := p.app.Config.GetInt("hbase.assignment.maximum.attempts", 7)
+	switch p.state {
+	case unassignDispatch:
+		if err := p.markRegionAsClosing(ctx); err != nil {
+			p.attempts++
+			if p.attempts >= maxRetryAttempts {
+				return false, err
+			}
+			return false, nil // implicit retry, re-dispatched immediately
+		}
+		p.state = unassignFinish
+	case unassignFinish:
+		rs := p.app.RegionServer(p.region)
+		if n := p.app.Cluster.Node(rs); n != nil {
+			n.Store.Delete("region/" + p.region)
+		}
+		p.app.Meta.Put("regionstate/"+p.region, "CLOSED")
+		p.state = unassignDone
+	case unassignDone:
+		return true, nil
+	}
+	return p.state == unassignDone, nil
+}
+
+// Truncate procedure states.
+const (
+	truncateClearData = iota
+	truncateCreateLayout
+	truncateFinish
+	truncateDone
+)
+
+// layoutFiles are the filesystem entries a table layout comprises.
+var layoutFiles = []string{"tableinfo", "regioninfo", "seqid"}
+
+// TruncateTableProc truncates a table: clear its data, then recreate the
+// filesystem layout — the paper's HBASE-20616.
+//
+// BUG (HOW, improper state reset): if creating the layout fails after some
+// files were written, the step is retried WITHOUT cleaning up the partial
+// files; the rewrite then fails with FileAlreadyExistsException and the
+// whole procedure wedges.
+type TruncateTableProc struct {
+	app      *App
+	table    string
+	state    int
+	attempts int
+}
+
+// NewTruncateTableProc returns a truncate procedure for table.
+func NewTruncateTableProc(app *App, table string) *TruncateTableProc {
+	return &TruncateTableProc{app: app, table: table}
+}
+
+// Name implements common.Procedure.
+func (p *TruncateTableProc) Name() string { return "truncate-" + p.table }
+
+// writeLayoutFile creates one layout entry and flushes it. The entry is
+// created before the flush, so a flush failure leaves the entry behind.
+//
+// Throws: IOException.
+func (p *TruncateTableProc) writeLayoutFile(ctx context.Context, name string) error {
+	key := fmt.Sprintf("layout/%s/%s", p.table, name)
+	if !p.app.Meta.PutIfAbsent(key, "v1") {
+		return errmodel.Newf("FileAlreadyExistsException", "layout file %s exists", key)
+	}
+	if err := fault.Hook(ctx); err != nil {
+		return err // flush failed; the entry above is left behind
+	}
+	return nil
+}
+
+// Step implements common.Procedure.
+func (p *TruncateTableProc) Step(ctx context.Context) (bool, error) {
+	const maxRetryAttempts = 5
+	switch p.state {
+	case truncateClearData:
+		p.app.Meta.DeletePrefix("rows/" + p.table + "/")
+		p.app.Meta.DeletePrefix("layout/" + p.table + "/")
+		p.state = truncateCreateLayout
+	case truncateCreateLayout:
+		for _, f := range layoutFiles {
+			if err := p.writeLayoutFile(ctx, f); err != nil {
+				if errmodel.IsClass(err, "FileAlreadyExistsException") {
+					// Unexpected: abort the procedure.
+					return false, err
+				}
+				p.attempts++
+				if p.attempts >= maxRetryAttempts {
+					return false, err
+				}
+				vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, p.attempts-1, time.Second))
+				return false, nil // implicit retry of the whole state
+			}
+		}
+		p.state = truncateFinish
+	case truncateFinish:
+		p.app.Meta.Put("table/"+p.table, "ENABLED")
+		p.state = truncateDone
+	case truncateDone:
+		return true, nil
+	}
+	return p.state == truncateDone, nil
+}
+
+// Assign procedure states.
+const (
+	assignQueue = iota
+	assignOpen
+	assignDone
+)
+
+// AssignProc places a region on a server — a correct state-machine retry:
+// a failed open is re-dispatched after backoff up to the configured
+// attempt cap.
+type AssignProc struct {
+	app      *App
+	region   string
+	target   string
+	state    int
+	attempts int
+}
+
+// NewAssignProc returns an assign procedure for region onto target.
+func NewAssignProc(app *App, region, target string) *AssignProc {
+	return &AssignProc{app: app, region: region, target: target}
+}
+
+// Name implements common.Procedure.
+func (p *AssignProc) Name() string { return "assign-" + p.region }
+
+// openRegion asks the target server to open the region.
+//
+// Throws: RemoteException, SocketTimeoutException.
+func (p *AssignProc) openRegion(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	n := p.app.Cluster.Node(p.target)
+	if n == nil || n.Down() {
+		return errmodel.Newf("RemoteException", "server %s unavailable", p.target)
+	}
+	n.Store.Put("region/"+p.region, "open")
+	return nil
+}
+
+// Step implements common.Procedure.
+func (p *AssignProc) Step(ctx context.Context) (bool, error) {
+	maxRetryAttempts := p.app.Config.GetInt("hbase.assignment.maximum.attempts", 7)
+	switch p.state {
+	case assignQueue:
+		p.app.Meta.Put("regionstate/"+p.region, "OPENING")
+		p.state = assignOpen
+	case assignOpen:
+		if err := p.openRegion(ctx); err != nil {
+			p.attempts++
+			if p.attempts >= maxRetryAttempts {
+				return false, err
+			}
+			vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, p.attempts-1, 2*time.Second))
+			return false, nil // implicit retry with backoff
+		}
+		p.app.Meta.Put("region/"+p.region, p.target)
+		p.app.Meta.Put("regionstate/"+p.region, "OPEN")
+		p.state = assignDone
+	case assignDone:
+		return true, nil
+	}
+	return p.state == assignDone, nil
+}

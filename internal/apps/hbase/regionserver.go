@@ -1,0 +1,172 @@
+package hbase
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// RegionFlusher flushes a region's memstore to durable storage.
+type RegionFlusher struct {
+	app *App
+}
+
+// NewRegionFlusher returns a flusher for the deployment.
+func NewRegionFlusher(app *App) *RegionFlusher { return &RegionFlusher{app: app} }
+
+// flushOnce writes the memstore snapshot for region.
+//
+// Throws: IOException, IllegalArgumentException.
+func (f *RegionFlusher) flushOnce(ctx context.Context, region string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	rs := f.app.RegionServer(region)
+	if rs == "" {
+		return errmodel.Newf("IllegalArgumentException", "unknown region %s", region)
+	}
+	return f.app.Cluster.Call(ctx, rs, func(n *common.Node) error {
+		n.Store.Put("flush/"+region, "done")
+		return nil
+	})
+}
+
+// Flush flushes a region, retrying transient storage errors up to the
+// configured cap. A request for an unknown region is a caller mistake and
+// aborts immediately.
+//
+// BUG (WHEN, missing delay): flush attempts are issued back to back,
+// saturating the storage layer exactly when it is struggling.
+func (f *RegionFlusher) Flush(ctx context.Context, region string) error {
+	maxRetries := f.app.Config.GetInt("hbase.flush.retries.number", 6)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := f.flushOnce(ctx, region)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "IllegalArgumentException") {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+// CompactionRunner merges store files for a region.
+type CompactionRunner struct {
+	app *App
+}
+
+// NewCompactionRunner returns a runner for the deployment.
+func NewCompactionRunner(app *App) *CompactionRunner { return &CompactionRunner{app: app} }
+
+// selectFiles chooses the store files to merge for region.
+//
+// Throws: IOException.
+func (c *CompactionRunner) selectFiles(ctx context.Context, region string) ([]string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return nil, err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	return []string{"sf1-" + region, "sf2-" + region}, nil
+}
+
+// Compact merges a region's store files, retrying selection while the
+// region is busy.
+//
+// BUG (WHEN, missing cap): compaction "must" eventually run, so selection
+// failures are retried forever — with a pause, but with no bound on retry
+// attempts or total time.
+func (c *CompactionRunner) Compact(ctx context.Context, region string) (int, error) {
+	retryPause := c.app.Config.GetDuration("hbase.regionserver.compaction.wait", 200*time.Millisecond)
+	for {
+		files, err := c.selectFiles(ctx, region)
+		if err != nil {
+			c.app.log(ctx, "compaction selection for %s failed: %v", region, err)
+			vclock.Sleep(ctx, retryPause)
+			continue
+		}
+		c.app.Meta.Put("compacted/"+region, "done")
+		return len(files), nil
+	}
+}
+
+// WALRoller rotates the write-ahead log when it grows too large.
+type WALRoller struct {
+	app *App
+}
+
+// NewWALRoller returns a roller for the deployment.
+func NewWALRoller(app *App) *WALRoller { return &WALRoller{app: app} }
+
+// rollOnce closes the current log segment and opens a new one.
+//
+// Throws: IOException.
+func (w *WALRoller) rollOnce(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	w.app.Meta.Put("wal/segment", "rolled")
+	return nil
+}
+
+// Roll rotates the log, retrying until it succeeds.
+//
+// BUG (WHEN, missing cap): the roller cannot make progress without a new
+// segment, so it retries indefinitely; a persistently failing filesystem
+// wedges the region server here.
+func (w *WALRoller) Roll(ctx context.Context) error {
+	retryDelay := 100 * time.Millisecond
+	for {
+		err := w.rollOnce(ctx)
+		if err == nil {
+			return nil
+		}
+		w.app.log(ctx, "log roll failed: %v", err)
+		vclock.Sleep(ctx, retryDelay)
+	}
+}
+
+// MobCompactor compacts medium-object (MOB) files.
+type MobCompactor struct {
+	app *App
+}
+
+// NewMobCompactor returns a compactor for the deployment.
+func NewMobCompactor(app *App) *MobCompactor { return &MobCompactor{app: app} }
+
+// sweepOnce merges one generation of MOB files.
+//
+// Throws: IOException.
+func (m *MobCompactor) sweepOnce(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	m.app.Meta.Put("mob/swept", "true")
+	return nil
+}
+
+// Sweep keeps re-attempting the MOB sweep until it goes through.
+//
+// BUG (WHEN, missing cap): unbounded re-attempts, and the loop carries no
+// retry-named identifier (the counter is "tries"), so keyword-filtered
+// structural analysis does not see it — only fuzzy comprehension does.
+func (m *MobCompactor) Sweep(ctx context.Context) error {
+	tries := 0
+	for {
+		err := m.sweepOnce(ctx)
+		if err == nil {
+			return nil
+		}
+		tries++
+		m.app.log(ctx, "mob sweep failed (%d tries): %v", tries, err)
+		vclock.Sleep(ctx, 150*time.Millisecond)
+	}
+}

@@ -1,0 +1,191 @@
+package hbase
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// ReplicationPeer ships WAL edits to a peer cluster, tracking progress in
+// ZooKeeper.
+type ReplicationPeer struct {
+	app *App
+}
+
+// NewReplicationPeer returns a peer shipper.
+func NewReplicationPeer(app *App) *ReplicationPeer { return &ReplicationPeer{app: app} }
+
+// shipBatch sends one batch of edits and records the new position.
+//
+// Throws: KeeperException, SocketTimeoutException.
+func (r *ReplicationPeer) shipBatch(ctx context.Context, batch string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, 2*time.Millisecond)
+	r.app.ZK.Put("replication/position", batch)
+	return nil
+}
+
+// Sync ships a batch, retrying transient coordination errors with a pause
+// up to the configured cap.
+func (r *ReplicationPeer) Sync(ctx context.Context, batch string) error {
+	maxRetries := r.app.Config.GetInt("hbase.client.retries.number", 5)
+	pause := r.app.Config.GetDuration("hbase.client.pause", 100*time.Millisecond)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := r.shipBatch(ctx, batch)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, pause)
+	}
+	return last
+}
+
+// loadTask is a queued bulk-load request with its own attempt budget.
+type loadTask struct {
+	family   string
+	attempts int
+}
+
+// BulkLoader moves prepared store files into regions via a work queue;
+// failed loads are re-submitted — queue-based retry, correct here.
+type BulkLoader struct {
+	app   *App
+	queue *common.Queue[*loadTask]
+	// Loaded counts completed loads.
+	Loaded int
+}
+
+// NewBulkLoader returns a loader with an empty queue.
+func NewBulkLoader(app *App) *BulkLoader {
+	return &BulkLoader{app: app, queue: common.NewQueue[*loadTask]()}
+}
+
+// Submit enqueues a bulk load for a column family.
+func (b *BulkLoader) Submit(family string) {
+	b.queue.Put(&loadTask{family: family})
+}
+
+// loadOnce atomically moves one family's files into place.
+//
+// Throws: IOException.
+func (b *BulkLoader) loadOnce(ctx context.Context, family string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	b.app.Meta.Put("bulkload/"+family, "done")
+	return nil
+}
+
+// processLoad handles one queued load: a transient failure re-submits the
+// task for retry after a pause, bounded by the configured retry budget.
+func (b *BulkLoader) processLoad(ctx context.Context, task *loadTask) error {
+	maxRetries := b.app.Config.GetInt("hbase.bulkload.retries.number", 4)
+	if err := b.loadOnce(ctx, task.family); err != nil {
+		if task.attempts < maxRetries {
+			task.attempts++
+			vclock.Sleep(ctx, 100*time.Millisecond)
+			b.queue.Put(task) // re-submit for retry
+			return nil
+		}
+		return err
+	}
+	b.Loaded++
+	return nil
+}
+
+// Drain processes queued loads until empty.
+func (b *BulkLoader) Drain(ctx context.Context) error {
+	for {
+		task, ok := b.queue.Take()
+		if !ok {
+			return nil
+		}
+		if err := b.processLoad(ctx, task); err != nil {
+			return err
+		}
+	}
+}
+
+// LeaseRecovery recovers write leases on WAL files after a crash.
+type LeaseRecovery struct {
+	app *App
+}
+
+// NewLeaseRecovery returns a recoverer.
+func NewLeaseRecovery(app *App) *LeaseRecovery { return &LeaseRecovery{app: app} }
+
+// recoverOnce attempts one lease recovery round.
+//
+// Throws: IOException.
+func (l *LeaseRecovery) recoverOnce(ctx context.Context, wal string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	l.app.Meta.Put("lease/"+wal, "recovered")
+	return nil
+}
+
+// Recover recovers a WAL lease with bounded, delayed retry. Exhausted
+// retries wrap the last failure in the module's ServiceException before
+// rethrowing — the wrapping that turns into a "different exception"
+// oracle false positive (§4.3).
+func (l *LeaseRecovery) Recover(ctx context.Context, wal string) error {
+	maxRetries := l.app.Config.GetInt("hbase.lease.recovery.retries", 3)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := l.recoverOnce(ctx, wal)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 200*time.Millisecond)
+	}
+	return errmodel.Wrap("ServiceException", "lease recovery failed for "+wal, last)
+}
+
+// BackupMaster keeps a warm standby master in sync with the active one.
+type BackupMaster struct {
+	app *App
+	// Synced counts successful sync rounds.
+	Synced int
+}
+
+// NewBackupMaster returns a standby syncer.
+func NewBackupMaster(app *App) *BackupMaster { return &BackupMaster{app: app} }
+
+// pullState copies the active master's state snapshot.
+//
+// Throws: SocketTimeoutException.
+func (b *BackupMaster) pullState(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, 2*time.Millisecond)
+	return nil
+}
+
+// SyncOnce brings the standby up to date, retrying until the pull
+// succeeds.
+//
+// BUG (WHEN, missing cap): the standby must not fall behind, so pulls are
+// retried forever with a pause — no attempt bound, no time bound.
+func (b *BackupMaster) SyncOnce(ctx context.Context) {
+	retryInterval := 250 * time.Millisecond
+	for {
+		err := b.pullState(ctx)
+		if err == nil {
+			b.Synced++
+			return
+		}
+		b.app.log(ctx, "standby sync failed: %v", err)
+		vclock.Sleep(ctx, retryInterval)
+	}
+}

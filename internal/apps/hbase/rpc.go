@@ -1,0 +1,155 @@
+package hbase
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// RSRpcClient is the client-side proxy to region servers.
+type RSRpcClient struct {
+	app *App
+}
+
+// NewRSRpcClient returns a proxy for the deployment.
+func NewRSRpcClient(app *App) *RSRpcClient { return &RSRpcClient{app: app} }
+
+// rpcOnce performs one RPC against the server hosting region.
+//
+// Throws: SocketTimeoutException, IllegalStateException.
+func (c *RSRpcClient) rpcOnce(ctx context.Context, region, op, arg string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	rs := c.app.RegionServer(region)
+	if rs == "" {
+		return "", errmodel.Newf("IllegalStateException", "region %s unassigned", region)
+	}
+	var out string
+	err := c.app.Cluster.Call(ctx, rs, func(n *common.Node) error {
+		switch op {
+		case "get":
+			out, _ = n.Store.Get("row/" + arg)
+		case "put":
+			n.Store.Put("row/"+arg, "v")
+			out = "ok"
+		}
+		return nil
+	})
+	return out, err
+}
+
+// Call invokes a region-server operation, retrying transient timeouts with
+// the standard backoff. An IllegalStateException means the region is not
+// assigned — a condition retry cannot fix — so it aborts immediately.
+func (c *RSRpcClient) Call(ctx context.Context, region, op, arg string) (string, error) {
+	maxRetries := c.app.Config.GetInt("hbase.client.retries.number", 5)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		out, err := c.rpcOnce(ctx, region, op, arg)
+		if err == nil {
+			return out, nil
+		}
+		if errmodel.IsClass(err, "IllegalStateException") {
+			return "", err
+		}
+		last = err
+		pauseBetweenAttempts(ctx, retry)
+	}
+	return "", last
+}
+
+// HTableClient batches row mutations against a table.
+type HTableClient struct {
+	app *App
+	rpc *RSRpcClient
+}
+
+// NewHTableClient returns a table client.
+func NewHTableClient(app *App) *HTableClient {
+	return &HTableClient{app: app, rpc: NewRSRpcClient(app)}
+}
+
+// putRow writes one row to the hosting server.
+//
+// Throws: SocketTimeoutException, NotEnoughReplicasException.
+func (t *HTableClient) putRow(ctx context.Context, region, row string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	rs := t.app.RegionServer(region)
+	return t.app.Cluster.Call(ctx, rs, func(n *common.Node) error {
+		n.Store.Put("row/"+row, "v")
+		return nil
+	})
+}
+
+// PutRow writes a row with a small bounded retry and pause. The cap is
+// correct; batch callers drive PutRow once per row over large batches and
+// tolerate individual failures — the caller-level re-driving that turns
+// into a missing-cap false positive for WASABI (§4.3).
+func (t *HTableClient) PutRow(ctx context.Context, region, row string) error {
+	maxRetries := 3
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := t.putRow(ctx, region, row)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 50*time.Millisecond)
+	}
+	return last
+}
+
+// ScannerCallable streams rows region by region.
+type ScannerCallable struct {
+	app     *App
+	servers []string
+}
+
+// NewScannerCallable returns a scanner over all region servers.
+func NewScannerCallable(app *App) *ScannerCallable {
+	var names []string
+	for _, n := range app.Cluster.Nodes() {
+		names = append(names, n.Name)
+	}
+	return &ScannerCallable{app: app, servers: names}
+}
+
+// openScanner opens a scanner on the server at index idx.
+//
+// Throws: SocketTimeoutException, ConnectException.
+func (s *ScannerCallable) openScanner(ctx context.Context, idx int) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	if idx >= len(s.servers) {
+		return "", errmodel.New("IllegalStateException", "no more servers")
+	}
+	rs := s.servers[idx]
+	if n := s.app.Cluster.Node(rs); n == nil || n.Down() {
+		return "", errmodel.Newf("ConnectException", "server %s down", rs)
+	}
+	return "scanner-" + strconv.Itoa(idx), nil
+}
+
+// Open opens a scanner, moving to the next region server on failure.
+// There is deliberately no pause between attempts: each retry talks to a
+// different server, so waiting buys nothing (the missing-delay FP shape).
+func (s *ScannerCallable) Open(ctx context.Context) (string, error) {
+	var last error
+	for retryCount := 0; retryCount < len(s.servers); retryCount++ {
+		id, err := s.openScanner(ctx, retryCount)
+		if err == nil {
+			return id, nil
+		}
+		last = err
+	}
+	return "", last
+}

@@ -1,0 +1,20 @@
+package hbase
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/vclock"
+)
+
+// pauseBetweenAttempts performs the standard client backoff between RPC
+// retry attempts. It lives in this file, away from its callers — a layout
+// that is irrelevant to the dynamic delay oracle (the sleep still shows up
+// on the coordinator's stack) but defeats a single-file reader, which is
+// exactly the paper's missing-delay false-positive mode for GPT-4 (§4.3).
+func pauseBetweenAttempts(ctx context.Context, attempt int) {
+	vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, attempt, 5*time.Second))
+}
+
+// regionKey renders the metadata key for a region.
+func regionKey(region string) string { return "region/" + region }

@@ -1,0 +1,101 @@
+package hbase
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/testkit"
+)
+
+// workloadTests are end-to-end scenario tests; each covers several retry
+// locations the focused tests also reach, creating the cross-test
+// redundancy that test planning deduplicates (§3.1.4).
+func workloadTests() []testkit.Test {
+	return []testkit.Test{
+		{
+			Name: "hbase.TestTableLifecycleFlow", App: "HB",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				exec := common.NewProcedureExecutor()
+				app.AddRegion("lf1", "rs1")
+				if err := exec.Run(ctx, NewUnassignProc(app, "lf1")); err != nil {
+					return err
+				}
+				if err := exec.Run(ctx, NewTruncateTableProc(app, "tlf")); err != nil {
+					return err
+				}
+				z := NewZKWatcher(app)
+				if err := z.SetData(ctx, "table/tlf/state", "ENABLED"); err != nil {
+					return err
+				}
+				v, err := z.GetData(ctx, "table/tlf/state")
+				if err != nil {
+					return err
+				}
+				return testkit.Assertf(v == "ENABLED", "state = %q", v)
+			},
+		},
+		{
+			Name: "hbase.TestClientReadWriteFlow", App: "HB",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				app.AddRegion("rw1", "rs2")
+				if _, err := NewMetaCache(app).Relocate(ctx, "rw1"); err != nil {
+					return err
+				}
+				c := NewRSRpcClient(app)
+				if _, err := c.Call(ctx, "rw1", "put", "k9"); err != nil {
+					return err
+				}
+				t := NewHTableClient(app)
+				for i := 0; i < 10; i++ {
+					if err := t.PutRow(ctx, "rw1", "wrow"+string(rune('a'+i))); err != nil {
+						return err
+					}
+				}
+				_, err := NewScannerCallable(app).Open(ctx)
+				return err
+			},
+		},
+		{
+			Name: "hbase.TestRegionServerHousekeepingFlow", App: "HB",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				app.AddRegion("hk1", "rs1")
+				if err := NewRegionFlusher(app).Flush(ctx, "hk1"); err != nil {
+					return err
+				}
+				if _, err := NewCompactionRunner(app).Compact(ctx, "hk1"); err != nil {
+					return err
+				}
+				if err := NewWALRoller(app).Roll(ctx); err != nil {
+					return err
+				}
+				return NewLeaseRecovery(app).Recover(ctx, "wal-hk")
+			},
+		},
+		{
+			Name: "hbase.TestCoordinationFlow", App: "HB",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				z := NewZKWatcher(app)
+				if err := z.CreateNode(ctx, "flow/lock", "held"); err != nil {
+					return err
+				}
+				if err := z.SyncEnsemble(ctx); err != nil {
+					return err
+				}
+				if err := z.DeleteNode(ctx, "flow/lock"); err != nil {
+					return err
+				}
+				b := NewBulkLoader(app)
+				b.Submit("cf-flow")
+				return b.Drain(ctx)
+			},
+		},
+	}
+}

@@ -1,0 +1,353 @@
+package hbase
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// This file is HBase's ZooKeeper access layer. Every public operation
+// wraps a transient-failure-prone ensemble call in its own ad-hoc retry
+// loop — the duplication is deliberate, mirroring the "range of unique
+// local implementations" the paper calls out (§4.5). The KeeperException
+// family is retried everywhere EXCEPT in ProcedureStore.Recover, which is
+// the application-wide retry-ratio outlier the IF-bug analysis flags
+// (modeled on HBASE-25743, where a new transient KeeperException subtype
+// went unretried for over a year).
+//
+// This file is also intentionally the largest in the package: the paper
+// found that GPT-4 misses retry logic in large files (100 missed loops in
+// 53 files of ~10.5 KB mean size, §4.2), so the loops here are found by
+// the structural analysis alone.
+
+// ZKWatcher is the client handle to the ZooKeeper ensemble.
+type ZKWatcher struct {
+	app *App
+}
+
+// NewZKWatcher returns a watcher over the deployment's ensemble.
+func NewZKWatcher(app *App) *ZKWatcher { return &ZKWatcher{app: app} }
+
+// zkGet reads a znode from the ensemble.
+//
+// Throws: KeeperException.
+func (z *ZKWatcher) zkGet(ctx context.Context, path string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	v, ok := z.app.ZK.Get(path)
+	if !ok {
+		return "", errmodel.Newf("KeeperException", "no node %s", path)
+	}
+	return v, nil
+}
+
+// zkSet writes a znode on the ensemble.
+//
+// Throws: KeeperException.
+func (z *ZKWatcher) zkSet(ctx context.Context, path, value string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	z.app.ZK.Put(path, value)
+	return nil
+}
+
+// zkCreate creates a znode, failing if it already exists.
+//
+// Throws: KeeperException.
+func (z *ZKWatcher) zkCreate(ctx context.Context, path, value string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	if !z.app.ZK.PutIfAbsent(path, value) {
+		return errmodel.Newf("KeeperException", "node exists %s", path)
+	}
+	return nil
+}
+
+// zkChildren lists the children of a znode prefix.
+//
+// Throws: KeeperException.
+func (z *ZKWatcher) zkChildren(ctx context.Context, prefix string) ([]string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return nil, err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	return z.app.ZK.ListPrefix(prefix), nil
+}
+
+// GetData reads a znode, retrying transient ensemble errors up to the
+// configured recovery retry count with a fixed pause.
+func (z *ZKWatcher) GetData(ctx context.Context, path string) (string, error) {
+	maxRetries := z.app.Config.GetInt("hbase.zookeeper.recovery.retry", 6)
+	pause := z.app.Config.GetDuration("hbase.client.pause", 100*time.Millisecond)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		v, err := z.zkGet(ctx, path)
+		if err == nil {
+			return v, nil
+		}
+		last = err
+		vclock.Sleep(ctx, pause)
+	}
+	return "", last
+}
+
+// SetData writes a znode, retrying transient ensemble errors with
+// exponential backoff.
+func (z *ZKWatcher) SetData(ctx context.Context, path, value string) error {
+	maxRetries := z.app.Config.GetInt("hbase.zookeeper.recovery.retry", 6)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := z.zkSet(ctx, path, value)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, vclock.Backoff(50*time.Millisecond, retry, 2*time.Second))
+	}
+	return last
+}
+
+// CreateNode creates a znode, retrying transient errors. An
+// already-exists outcome is treated as success on retry, since a previous
+// attempt may have succeeded on the ensemble before the client saw the
+// error (the create is idempotent by design here).
+func (z *ZKWatcher) CreateNode(ctx context.Context, path, value string) error {
+	maxRetries := z.app.Config.GetInt("hbase.zookeeper.recovery.retry", 6)
+	pause := z.app.Config.GetDuration("hbase.client.pause", 100*time.Millisecond)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := z.zkCreate(ctx, path, value)
+		if err == nil {
+			return nil
+		}
+		if strings.Contains(err.Error(), "node exists") {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, pause)
+	}
+	return last
+}
+
+// DeleteNode removes a znode, retrying transient ensemble errors up to
+// the configured cap.
+//
+// BUG (WHEN, missing delay): deletions are re-attempted back to back.
+// Because this file is too large for the LLM's context, only fault
+// injection through unit tests finds this bug (the "unit testing only"
+// region of Figure 3).
+func (z *ZKWatcher) DeleteNode(ctx context.Context, path string) error {
+	maxRetries := z.app.Config.GetInt("hbase.zookeeper.recovery.retry", 6)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := z.zkDelete(ctx, path)
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return last
+}
+
+// zkDelete removes a znode on the ensemble.
+//
+// Throws: KeeperException.
+func (z *ZKWatcher) zkDelete(ctx context.Context, path string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	z.app.ZK.Delete(path)
+	return nil
+}
+
+// SyncEnsemble forces a read barrier against the ensemble leader,
+// retrying until it goes through.
+//
+// BUG (WHEN, missing cap): the barrier "must" complete before reads can
+// proceed, so it retries forever (with a pause). Like DeleteNode above,
+// this hides in a file the LLM cannot digest, so only injected unit
+// testing reports it.
+func (z *ZKWatcher) SyncEnsemble(ctx context.Context) error {
+	pause := z.app.Config.GetDuration("hbase.client.pause", 100*time.Millisecond)
+	for {
+		err := z.zkSync(ctx)
+		if err == nil {
+			return nil
+		}
+		z.app.log(ctx, "ensemble sync failed, retrying: %v", err)
+		vclock.Sleep(ctx, pause)
+	}
+}
+
+// zkSync issues the sync barrier.
+//
+// Throws: KeeperException.
+func (z *ZKWatcher) zkSync(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	return nil
+}
+
+// MetaCache caches region locations read from ZooKeeper.
+type MetaCache struct {
+	app   *App
+	zk    *ZKWatcher
+	cache map[string]string
+}
+
+// NewMetaCache returns an empty cache.
+func NewMetaCache(app *App) *MetaCache {
+	return &MetaCache{app: app, zk: NewZKWatcher(app), cache: make(map[string]string)}
+}
+
+// locateOnce reads a region's location znode.
+//
+// Throws: KeeperException.
+func (m *MetaCache) locateOnce(ctx context.Context, region string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	if rs, ok := m.app.ZK.Get("meta/region/" + region); ok {
+		return rs, nil
+	}
+	if rs := m.app.RegionServer(region); rs != "" {
+		return rs, nil
+	}
+	return "", errmodel.Newf("KeeperException", "region %s not in meta", region)
+}
+
+// Relocate refreshes a region's cached location, retrying transient
+// ensemble errors with backoff.
+func (m *MetaCache) Relocate(ctx context.Context, region string) (string, error) {
+	maxRetries := m.app.Config.GetInt("hbase.client.retries.number", 5)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		rs, err := m.locateOnce(ctx, region)
+		if err == nil {
+			m.cache[region] = rs
+			return rs, nil
+		}
+		last = err
+		vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, retry, 3*time.Second))
+	}
+	return "", last
+}
+
+// Cached returns the cached location of a region ("" if absent).
+func (m *MetaCache) Cached(region string) string { return m.cache[region] }
+
+// SplitLogManager coordinates write-ahead-log splitting after a region
+// server crash by acquiring task znodes.
+type SplitLogManager struct {
+	app *App
+	zk  *ZKWatcher
+}
+
+// NewSplitLogManager returns a manager for the deployment.
+func NewSplitLogManager(app *App) *SplitLogManager {
+	return &SplitLogManager{app: app, zk: NewZKWatcher(app)}
+}
+
+// claimTask atomically claims a split task znode.
+//
+// Throws: KeeperException.
+func (s *SplitLogManager) claimTask(ctx context.Context, task string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	if !s.app.ZK.PutIfAbsent("splitlog/"+task, "owned") {
+		return errmodel.Newf("KeeperException", "task %s already owned", task)
+	}
+	return nil
+}
+
+// AcquireTask claims a split task, retrying transient ensemble errors a
+// bounded number of times with a pause between attempts.
+func (s *SplitLogManager) AcquireTask(ctx context.Context, task string) error {
+	maxRetries := s.app.Config.GetInt("hbase.zookeeper.recovery.retry", 6)
+	pause := s.app.Config.GetDuration("hbase.client.pause", 100*time.Millisecond)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := s.claimTask(ctx, task)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, pause)
+	}
+	return last
+}
+
+// ProcedureStore persists procedure state in ZooKeeper and recovers it on
+// master failover.
+type ProcedureStore struct {
+	app *App
+	zk  *ZKWatcher
+}
+
+// NewProcedureStore returns a store for the deployment.
+func NewProcedureStore(app *App) *ProcedureStore {
+	return &ProcedureStore{app: app, zk: NewZKWatcher(app)}
+}
+
+// loadEntries reads all persisted procedure entries.
+//
+// Throws: KeeperException.
+func (p *ProcedureStore) loadEntries(ctx context.Context) ([]string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return nil, err
+	}
+	vclock.Elapse(ctx, 2*time.Millisecond)
+	return p.app.ZK.ListPrefix("procs/"), nil
+}
+
+// Recover replays persisted procedures on failover, retrying when the
+// store is momentarily inconsistent.
+//
+// BUG (IF, wrong retry policy — the retry-ratio outlier, HBASE-25743
+// shape): unlike every other ensemble access in this file, a
+// KeeperException here aborts recovery immediately, even though the whole
+// family is transient and retried elsewhere 6 out of 7 times.
+func (p *ProcedureStore) Recover(ctx context.Context) (int, error) {
+	maxRetries := p.app.Config.GetInt("hbase.zookeeper.recovery.retry", 6)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		entries, err := p.loadEntries(ctx)
+		if err != nil {
+			if errmodel.IsClass(err, "KeeperException") {
+				return 0, err
+			}
+			last = err
+			vclock.Sleep(ctx, 100*time.Millisecond)
+			continue
+		}
+		recovered := 0
+		for _, e := range entries {
+			if v, ok := p.app.ZK.Get(e); ok && v != "corrupt" {
+				recovered++
+			}
+		}
+		return recovered, nil
+	}
+	return 0, last
+}
+
+// Persist stores a procedure entry with a sequence number.
+func (p *ProcedureStore) Persist(procID int, state string) {
+	p.app.ZK.Put("procs/"+strconv.Itoa(procID), state)
+}

@@ -1,0 +1,73 @@
+// Package hdfs is the corpus miniature of the Hadoop Distributed File
+// System (HD in the evaluation): a namenode with block metadata, datanodes
+// holding block replicas, and client/server components whose retry code
+// structures — loop, queue, and state-machine based — reproduce the retry
+// behaviours and seeded bugs described in the paper (HDFS-15439 style cap
+// handling, the createBlockReader NullPointerException HOW bug from §4.1,
+// replica-failover retries without delay, and more).
+//
+// Ground truth for every retry structure in this package is recorded in
+// manifest.go; WASABI's detectors never read it.
+package hdfs
+
+import (
+	"context"
+	"fmt"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/trace"
+)
+
+// App is a miniature HDFS deployment: one namespace, several datanodes.
+type App struct {
+	Config  *common.Config
+	Cluster *common.Cluster
+	Meta    *common.KV // namenode metadata: paths, block maps
+}
+
+// New constructs a small three-datanode deployment with default
+// configuration.
+func New() *App {
+	app := &App{
+		Config: common.NewConfig(map[string]string{
+			"dfs.client.retry.max.attempts":     "4",
+			"dfs.client.retry.delay":            "1s",
+			"dfs.mover.retry.max.attempts":      "10",
+			"dfs.image.transfer.retries":        "3",
+			"dfs.pipeline.setup.retries":        "5",
+			"dfs.ec.reconstruction.attempts":    "4",
+			"dfs.heartbeat.interval":            "3s",
+			"dfs.replication.monitor.max.retry": "3",
+		}),
+		Cluster: common.NewCluster("dn1", "dn2", "dn3"),
+		Meta:    common.NewKV(),
+	}
+	return app
+}
+
+// AddBlock registers a block with replicas on the given datanodes and
+// stores the payload on each.
+func (a *App) AddBlock(block, payload string, replicas ...string) {
+	for i, dn := range replicas {
+		a.Meta.Put(fmt.Sprintf("block/%s/replica/%d", block, i), dn)
+		if n := a.Cluster.Node(dn); n != nil {
+			n.Store.Put("block/"+block, payload)
+		}
+	}
+}
+
+// Replicas returns the datanodes holding block, in replica order.
+func (a *App) Replicas(block string) []string {
+	var out []string
+	for _, k := range a.Meta.ListPrefix(fmt.Sprintf("block/%s/replica/", block)) {
+		if dn, ok := a.Meta.Get(k); ok {
+			out = append(out, dn)
+		}
+	}
+	return out
+}
+
+// log emits an application log line into the run trace.
+func (a *App) log(ctx context.Context, format string, args ...any) {
+	trace.Note(ctx, "[hdfs] "+format, args...)
+}

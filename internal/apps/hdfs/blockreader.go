@@ -1,0 +1,202 @@
+package hdfs
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// readStats tracks per-read telemetry; it is allocated lazily once a
+// block reader connection is established.
+type readStats struct {
+	lastPeer string
+	bytes    int
+}
+
+// blockReader streams a block's bytes from one datanode.
+type blockReader struct {
+	app   *App
+	block string
+	peer  string
+}
+
+// read returns the block payload from the reader's peer.
+//
+// Throws: EOFException.
+func (r *blockReader) read(ctx context.Context) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	var payload string
+	err := r.app.Cluster.Call(ctx, r.peer, func(n *common.Node) error {
+		v, ok := n.Store.Get("block/" + r.block)
+		if !ok {
+			return errmodel.Newf("EOFException", "block %s missing on %s", r.block, n.Name)
+		}
+		payload = v
+		return nil
+	})
+	return payload, err
+}
+
+// DFSInputStream reads file blocks with transparent failover between
+// replicas.
+type DFSInputStream struct {
+	app    *App
+	reader *blockReader
+	stats  *readStats
+}
+
+// NewInputStream returns an input stream over the deployment.
+func NewInputStream(app *App) *DFSInputStream { return &DFSInputStream{app: app} }
+
+// createBlockReader connects to the first replica of block and, once the
+// connection succeeds, allocates the read statistics.
+//
+// Throws: SocketException, ConnectException.
+func (s *DFSInputStream) createBlockReader(ctx context.Context, block string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	replicas := s.app.Replicas(block)
+	if len(replicas) == 0 {
+		return errmodel.Newf("FileNotFoundException", "unknown block %s", block)
+	}
+	s.reader = &blockReader{app: s.app, block: block, peer: replicas[0]}
+	s.stats = &readStats{lastPeer: replicas[0]}
+	return nil
+}
+
+// ReadBlock reads a block with bounded retry on transient errors.
+//
+// BUG (HOW, modeled on the createBlockReader NullPointerException in
+// §4.1): when a transient error happens this early, the read statistics
+// were never allocated, yet the handler below logs the current peer from
+// them — a nil dereference on the very first retry attempt.
+func (s *DFSInputStream) ReadBlock(ctx context.Context, block string) (string, error) {
+	maxRetries := s.app.Config.GetInt("dfs.client.retry.max.attempts", 4)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		if err := s.createBlockReader(ctx, block); err != nil {
+			if errmodel.IsClass(err, "FileNotFoundException") {
+				return "", err
+			}
+			last = err
+			s.app.log(ctx, "read of %s failed on peer %s, retrying", block, s.stats.lastPeer)
+			vclock.Sleep(ctx, time.Second)
+			continue
+		}
+		payload, err := s.reader.read(ctx)
+		if err != nil {
+			last = err
+			s.app.log(ctx, "read of %s failed on peer %s, retrying", block, s.stats.lastPeer)
+			vclock.Sleep(ctx, time.Second)
+			continue
+		}
+		s.stats.bytes += len(payload)
+		return payload, nil
+	}
+	return "", last
+}
+
+// fetchReplica reads block directly from the replica at index idx.
+//
+// Throws: SocketTimeoutException, ConnectException.
+func (s *DFSInputStream) fetchReplica(ctx context.Context, block string, idx int) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	replicas := s.app.Replicas(block)
+	if idx >= len(replicas) {
+		return "", errmodel.Newf("EOFException", "replica %d of %s out of range", idx, block)
+	}
+	var payload string
+	err := s.app.Cluster.Call(ctx, replicas[idx], func(n *common.Node) error {
+		v, ok := n.Store.Get("block/" + block)
+		if !ok {
+			return errmodel.Newf("EOFException", "missing replica")
+		}
+		payload = v
+		return nil
+	})
+	return payload, err
+}
+
+// ReadWithFailover reads a block, moving to the next replica on failure.
+// There is deliberately no sleep between attempts: each retry contacts a
+// *different* datanode, so pausing is unnecessary — the pattern §4.3
+// describes as a missing-delay false positive for WASABI.
+func (s *DFSInputStream) ReadWithFailover(ctx context.Context, block string) (string, error) {
+	replicas := s.app.Replicas(block)
+	var last error
+	for retry := 0; retry < len(replicas); retry++ {
+		payload, err := s.fetchReplica(ctx, block, retry)
+		if err != nil {
+			last = err
+			s.app.log(ctx, "replica %d of %s failed, trying next", retry, block)
+			continue
+		}
+		return payload, nil
+	}
+	if last == nil {
+		last = errmodel.Newf("EOFException", "no replicas for %s", block)
+	}
+	return "", last
+}
+
+// BlockFetcher verifies block integrity while reading.
+type BlockFetcher struct {
+	app *App
+}
+
+// NewBlockFetcher returns a checksumming fetcher.
+func NewBlockFetcher(app *App) *BlockFetcher { return &BlockFetcher{app: app} }
+
+// transferChecksummed reads the block and its checksum from a datanode.
+//
+// Throws: SocketException, EOFException.
+func (f *BlockFetcher) transferChecksummed(ctx context.Context, block string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	replicas := f.app.Replicas(block)
+	if len(replicas) == 0 {
+		return "", errmodel.Newf("EOFException", "no replicas for %s", block)
+	}
+	var payload string
+	err := f.app.Cluster.Call(ctx, replicas[0], func(n *common.Node) error {
+		v, ok := n.Store.Get("block/" + block)
+		if !ok {
+			return errmodel.Newf("EOFException", "missing block")
+		}
+		payload = v
+		return nil
+	})
+	return payload, err
+}
+
+// FetchChecksummed reads a block, re-attempting the transfer when the
+// datanode connection drops mid-stream.
+//
+// BUG (WHEN, missing delay): attempts are issued back to back against the
+// same datanode with no pause; under a persistent transient condition this
+// hammers the node. The loop also carries no retry-named identifier — the
+// counter is called "tries" — making it invisible to keyword-filtered
+// structural analysis (a CodeQL false negative, found only by the LLM).
+func (f *BlockFetcher) FetchChecksummed(ctx context.Context, block string) (string, error) {
+	const maxTries = 6
+	var last error
+	for tries := 0; tries < maxTries; tries++ {
+		payload, err := f.transferChecksummed(ctx, block)
+		if err != nil {
+			last = err
+			continue
+		}
+		return payload, nil
+	}
+	return "", last
+}

@@ -1,0 +1,224 @@
+package hdfs
+
+import (
+	"context"
+	"strconv"
+	"strings"
+)
+
+// Maintenance chores of the HDFS miniature. Every loop here tolerates
+// per-item errors — it records the failure and moves to the NEXT item,
+// never re-executing the failed one. Structurally these are the
+// retry look-alikes that a keyword-free control-flow analysis flags and
+// the retry-naming filter prunes (the §4.4 ablation: "loops may iterate
+// through lists of items ... catch blocks may be used to simply track or
+// log errors").
+
+// DirectoryScanner reconciles on-disk blocks with the block map.
+type DirectoryScanner struct {
+	app *App
+	// Reconciled and Mismatched count scan outcomes.
+	Reconciled, Mismatched int
+}
+
+// NewDirectoryScanner returns a scanner.
+func NewDirectoryScanner(app *App) *DirectoryScanner { return &DirectoryScanner{app: app} }
+
+// reconcile checks one replica entry against the block map.
+func (d *DirectoryScanner) reconcile(key string) error {
+	dn, ok := d.app.Meta.Get(key)
+	if !ok {
+		return errInvalidPath(key, "dangling replica entry")
+	}
+	if d.app.Cluster.Node(dn) == nil {
+		return errInvalidPath(key, "unknown datanode "+dn)
+	}
+	return nil
+}
+
+// ScanOnce walks every replica entry once.
+func (d *DirectoryScanner) ScanOnce(ctx context.Context) {
+	for _, key := range d.app.Meta.ListPrefix("block/") {
+		if !strings.Contains(key, "/replica/") {
+			continue
+		}
+		if err := d.reconcile(key); err != nil {
+			d.app.log(ctx, "scanner mismatch: %v", err)
+			d.Mismatched++
+			continue
+		}
+		d.Reconciled++
+	}
+}
+
+// UsageCollector aggregates per-datanode storage usage.
+type UsageCollector struct {
+	app *App
+	// Bytes is the aggregate usage; Unreachable counts skipped nodes.
+	Bytes       int
+	Unreachable int
+}
+
+// NewUsageCollector returns a collector.
+func NewUsageCollector(app *App) *UsageCollector { return &UsageCollector{app: app} }
+
+// sample reads one datanode's usage figure.
+func (u *UsageCollector) sample(name string) (int, error) {
+	n := u.app.Cluster.Node(name)
+	if n == nil || n.Down() {
+		return 0, errInvalidPath(name, "node unreachable")
+	}
+	return n.Store.Len() * 128, nil
+}
+
+// CollectOnce samples every datanode once, skipping unreachable ones.
+func (u *UsageCollector) CollectOnce(ctx context.Context) {
+	for _, node := range u.app.Cluster.Nodes() {
+		bytes, err := u.sample(node.Name)
+		if err != nil {
+			u.app.log(ctx, "usage sample failed: %v", err)
+			u.Unreachable++
+			continue
+		}
+		u.Bytes += bytes
+	}
+}
+
+// SnapshotDiffCleaner drops snapshot diff records whose snapshot is gone.
+type SnapshotDiffCleaner struct {
+	app *App
+	// Dropped counts removed diffs; Kept counts valid ones.
+	Dropped, Kept int
+}
+
+// NewSnapshotDiffCleaner returns a cleaner.
+func NewSnapshotDiffCleaner(app *App) *SnapshotDiffCleaner { return &SnapshotDiffCleaner{app: app} }
+
+// validate checks one diff record's snapshot reference.
+func (s *SnapshotDiffCleaner) validate(key string) error {
+	ref, _ := s.app.Meta.Get(key)
+	if !s.app.Meta.Exists("snapshot/" + ref) {
+		return errInvalidPath(key, "snapshot "+ref+" gone")
+	}
+	return nil
+}
+
+// CleanOnce walks every diff record once, deleting invalid ones.
+func (s *SnapshotDiffCleaner) CleanOnce(ctx context.Context) {
+	for _, key := range s.app.Meta.ListPrefix("snapdiff/") {
+		if err := s.validate(key); err != nil {
+			s.app.Meta.Delete(key)
+			s.Dropped++
+			continue
+		}
+		s.Kept++
+	}
+}
+
+// DecommissionMonitor checks nodes slated for decommission.
+type DecommissionMonitor struct {
+	app *App
+	// Ready lists nodes whose replicas are fully evacuated.
+	Ready []string
+}
+
+// NewDecommissionMonitor returns a monitor.
+func NewDecommissionMonitor(app *App) *DecommissionMonitor { return &DecommissionMonitor{app: app} }
+
+// checkEvacuated verifies a node holds no live replicas.
+func (d *DecommissionMonitor) checkEvacuated(name string) error {
+	n := d.app.Cluster.Node(name)
+	if n == nil {
+		return errInvalidPath(name, "unknown node")
+	}
+	if len(n.Store.ListPrefix("block/")) > 0 {
+		return errInvalidPath(name, "still holds replicas")
+	}
+	return nil
+}
+
+// CheckOnce evaluates every decommissioning node once.
+func (d *DecommissionMonitor) CheckOnce(ctx context.Context) {
+	for _, key := range d.app.Meta.ListPrefix("decommissioning/") {
+		name := strings.TrimPrefix(key, "decommissioning/")
+		if err := d.checkEvacuated(name); err != nil {
+			d.app.log(ctx, "decommission pending: %v", err)
+			continue
+		}
+		d.Ready = append(d.Ready, name)
+	}
+}
+
+// QuotaVerifier recomputes directory quotas.
+type QuotaVerifier struct {
+	app *App
+	// Violations lists paths over quota.
+	Violations []string
+}
+
+// NewQuotaVerifier returns a verifier.
+func NewQuotaVerifier(app *App) *QuotaVerifier { return &QuotaVerifier{app: app} }
+
+// check compares one directory's usage with its quota.
+func (q *QuotaVerifier) check(key string) error {
+	limitStr, _ := q.app.Meta.Get(key)
+	limit, err := strconv.Atoi(limitStr)
+	if err != nil {
+		return errInvalidPath(key, "malformed quota "+limitStr)
+	}
+	dir := strings.TrimPrefix(key, "quota/")
+	used := len(q.app.Meta.ListPrefix("path" + dir))
+	if used > limit {
+		return errInvalidPath(dir, "over quota")
+	}
+	return nil
+}
+
+// VerifyOnce evaluates every quota entry once.
+func (q *QuotaVerifier) VerifyOnce(ctx context.Context) {
+	for _, key := range q.app.Meta.ListPrefix("quota/") {
+		if err := q.check(key); err != nil {
+			q.app.log(ctx, "quota violation: %v", err)
+			q.Violations = append(q.Violations, key)
+			continue
+		}
+	}
+}
+
+// TrashCleaner deletes expired trash entries.
+type TrashCleaner struct {
+	app *App
+	// Removed counts deleted entries; Skipped counts still-fresh ones.
+	Removed, Skipped int
+}
+
+// NewTrashCleaner returns a cleaner.
+func NewTrashCleaner(app *App) *TrashCleaner { return &TrashCleaner{app: app} }
+
+// expired reports whether one trash entry is past its retention.
+func (t *TrashCleaner) expired(key string) (bool, error) {
+	ageStr, _ := t.app.Meta.Get(key)
+	age, err := strconv.Atoi(ageStr)
+	if err != nil {
+		return false, errInvalidPath(key, "malformed age")
+	}
+	return age > 7, nil
+}
+
+// CleanOnce walks every trash entry once.
+func (t *TrashCleaner) CleanOnce(ctx context.Context) {
+	for _, key := range t.app.Meta.ListPrefix("trash/") {
+		old, err := t.expired(key)
+		if err != nil {
+			t.app.log(ctx, "trash entry skipped: %v", err)
+			t.Skipped++
+			continue
+		}
+		if !old {
+			t.Skipped++
+			continue
+		}
+		t.app.Meta.Delete(key)
+		t.Removed++
+	}
+}

@@ -1,0 +1,107 @@
+package hdfs
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// DataStreamer writes a client's data into a datanode pipeline, modeled on
+// the HDFS write path.
+type DataStreamer struct {
+	app      *App
+	pipeline []string
+	acked    int
+	pending  int
+}
+
+// NewDataStreamer returns a streamer for the deployment.
+func NewDataStreamer(app *App) *DataStreamer { return &DataStreamer{app: app} }
+
+// allocatePipeline asks the namenode for a fresh pipeline of datanodes.
+//
+// Throws: ConnectException, RemoteException.
+func (d *DataStreamer) allocatePipeline(ctx context.Context) ([]string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return nil, err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	nodes := d.app.Cluster.Nodes()
+	out := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.Down() {
+			out = append(out, n.Name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errmodel.New("RemoteException", "no datanodes available")
+	}
+	return out, nil
+}
+
+// SetupPipeline establishes the write pipeline, retrying allocation when
+// the namenode reports a transient condition.
+//
+// BUG (WHEN, missing delay, modeled on pipeline-recovery hot loops): the
+// retry loop re-requests a pipeline immediately, flooding the namenode
+// with allocation RPCs while the transient condition persists.
+func (d *DataStreamer) SetupPipeline(ctx context.Context) error {
+	maxRetries := d.app.Config.GetInt("dfs.pipeline.setup.retries", 5)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		p, err := d.allocatePipeline(ctx)
+		if err != nil {
+			last = err
+			d.app.log(ctx, "pipeline allocation failed: %v", err)
+			continue
+		}
+		d.pipeline = p
+		return nil
+	}
+	return last
+}
+
+// checkAcks polls the pipeline for write acknowledgements.
+//
+// Throws: SocketTimeoutException.
+func (d *DataStreamer) checkAcks(ctx context.Context) (int, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return d.acked, err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	if d.acked < d.pending {
+		d.acked++
+	}
+	return d.acked, nil
+}
+
+// WritePacketGroup submits n packets and waits until every packet is
+// acknowledged by the pipeline, retrying the acknowledgement check on
+// transient timeouts.
+//
+// BUG (WHEN, missing cap): acknowledgement checks are retried forever —
+// there is no bound on retry attempts nor on total wait time, so a
+// persistently failing pipeline wedges the writer (with a polite delay).
+func (d *DataStreamer) WritePacketGroup(ctx context.Context, n int) error {
+	if len(d.pipeline) == 0 {
+		if err := d.SetupPipeline(ctx); err != nil {
+			return err
+		}
+	}
+	d.pending += n
+	for {
+		acked, err := d.checkAcks(ctx)
+		if err != nil {
+			// Transient ack timeout: wait and retry the check.
+			d.app.log(ctx, "ack check failed: %v", err)
+			vclock.Sleep(ctx, 500*time.Millisecond)
+			continue
+		}
+		if acked >= d.pending {
+			return nil
+		}
+	}
+}

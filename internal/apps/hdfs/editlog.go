@@ -1,0 +1,130 @@
+package hdfs
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// EditLogTailer replays namespace edits from the shared journal onto the
+// standby namenode.
+type EditLogTailer struct {
+	app     *App
+	applied int
+}
+
+// NewEditLogTailer returns a tailer with no edits applied.
+func NewEditLogTailer(app *App) *EditLogTailer { return &EditLogTailer{app: app} }
+
+// fetchEdits pulls the next batch of edits from the journal nodes.
+//
+// Throws: SocketTimeoutException, EOFException.
+func (t *EditLogTailer) fetchEdits(ctx context.Context) (int, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return 0, err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	n := len(t.app.Meta.ListPrefix("edits/"))
+	return n - t.applied, nil
+}
+
+// CatchUp replays journal edits until the standby is current, retrying
+// transient journal failures.
+//
+// BUG (WHEN, missing cap): the tailer must eventually become current, so
+// failures are retried without any bound on attempts — if the journal
+// quorum stays unreachable, the standby wedges here forever (the backoff
+// makes it quiet, not bounded).
+func (t *EditLogTailer) CatchUp(ctx context.Context) (int, error) {
+	retryBackoff := 250 * time.Millisecond
+	for {
+		pending, err := t.fetchEdits(ctx)
+		if err != nil {
+			t.app.log(ctx, "journal fetch failed: %v", err)
+			vclock.Sleep(ctx, retryBackoff)
+			continue
+		}
+		t.applied += pending
+		return t.applied, nil
+	}
+}
+
+// Checkpointer uploads periodic namespace images from the standby to the
+// active namenode.
+type Checkpointer struct {
+	app *App
+}
+
+// NewCheckpointer returns a checkpointer for the deployment.
+func NewCheckpointer(app *App) *Checkpointer { return &Checkpointer{app: app} }
+
+// putImage transfers one checkpoint image to the active namenode.
+//
+// Throws: ConnectException, SocketTimeoutException.
+func (c *Checkpointer) putImage(ctx context.Context, txid int) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, 2*time.Millisecond)
+	c.app.Meta.Put("image/"+strconv.Itoa(txid), "uploaded")
+	return nil
+}
+
+// UploadImage transfers a checkpoint image with a small bounded retry.
+// The cap is correct; callers (including the checkpoint scheduler and the
+// application's own tests) invoke UploadImage once per image over many
+// images and tolerate individual failures — the caller-level re-driving
+// that §4.3 identifies as a missing-cap false-positive source for WASABI.
+func (c *Checkpointer) UploadImage(ctx context.Context, txid int) error {
+	maxRetries := c.app.Config.GetInt("dfs.image.transfer.retries", 3)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := c.putImage(ctx, txid)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 100*time.Millisecond)
+	}
+	return last
+}
+
+// LeaseRenewer keeps client write leases alive.
+type LeaseRenewer struct {
+	app *App
+}
+
+// NewLeaseRenewer returns a renewer for the deployment.
+func NewLeaseRenewer(app *App) *LeaseRenewer { return &LeaseRenewer{app: app} }
+
+// renewOnce sends one lease renewal to the namenode.
+//
+// Throws: ConnectException.
+func (l *LeaseRenewer) renewOnce(ctx context.Context, client string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	l.app.Meta.Put("lease/"+client, "renewed")
+	return nil
+}
+
+// Renew refreshes a client lease, re-attempting on connection failures.
+//
+// BUG (WHEN, missing delay): renewal attempts are fired back to back.
+// The attempt counter is named "tries", so keyword-filtered structural
+// analysis does not see this loop; only fuzzy comprehension does.
+func (l *LeaseRenewer) Renew(ctx context.Context, client string) error {
+	const maxTries = 5
+	var last error
+	for tries := 0; tries < maxTries; tries++ {
+		err := l.renewOnce(ctx, client)
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return last
+}

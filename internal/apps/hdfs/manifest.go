@@ -1,0 +1,122 @@
+package hdfs
+
+import "wasabi/internal/apps/meta"
+
+// Manifest is the ground-truth record of every retry code structure in
+// this package. WASABI's detectors never read it; the evaluation harness
+// scores detector reports against it (see internal/apps/meta).
+func Manifest() []meta.Structure {
+	return []meta.Structure{
+		{
+			App: "HD", Coordinator: "hdfs.WebFS.Fetch",
+			Retried: []string{"hdfs.WebFS.connect", "hdfs.WebFS.getResponse"},
+			File:    "webfs.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + delay, AccessControlException excluded even when wrapped (HADOOP-16683 patched behaviour)",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.WebFS.UploadChunked",
+			Retried: []string{"hdfs.WebFS.putChunk"},
+			File:    "webfs.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, WrapsErrors: true,
+			Note: "correct; wraps exhausted transport errors in HadoopException (different-exception oracle FP source)",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.DFSInputStream.ReadBlock",
+			Retried: []string{"hdfs.DFSInputStream.createBlockReader", "hdfs.blockReader.read"},
+			File:    "blockreader.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.How,
+			Note: "HOW: catch handler dereferences read stats that an early transient failure never allocated (NullPointerException; §4.1 createBlockReader bug)",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.DFSInputStream.ReadWithFailover",
+			Retried: []string{"hdfs.DFSInputStream.fetchReplica"},
+			File:    "blockreader.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, DelayUnneeded: true,
+			Note: "no delay, but each attempt targets a different replica (missing-delay FP source, §4.3)",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.BlockFetcher.FetchChecksummed",
+			Retried: []string{"hdfs.BlockFetcher.transferChecksummed"},
+			File:    "blockreader.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: false, Bug: meta.MissingDelay,
+			Note: "WHEN: back-to-back attempts against the same datanode; counter named 'tries' (CodeQL keyword miss)",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.DataStreamer.SetupPipeline",
+			Retried: []string{"hdfs.DataStreamer.allocatePipeline"},
+			File:    "datastreamer.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: pipeline allocation retried immediately, flooding the namenode",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.DataStreamer.WritePacketGroup",
+			Retried: []string{"hdfs.DataStreamer.checkAcks"},
+			File:    "datastreamer.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: false, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded ack-check retry (delay present, no cap); no retry-named identifier",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.Mover.MoveBlock",
+			Retried: []string{"hdfs.Mover.migrate"},
+			File:    "mover.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct under defaults; '!=' cap comparison turns a negative configured cap into infinite retry (HDFS-15439), a misconfiguration bug WASABI misses (§4.5)",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.Balancer.processTask",
+			Retried: []string{"hdfs.Balancer.transferBlock"},
+			File:    "mover.go", Mechanism: meta.Queue, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct queue re-enqueue retry: per-task cap and pause",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.EditLogTailer.CatchUp",
+			Retried: []string{"hdfs.EditLogTailer.fetchEdits"},
+			File:    "editlog.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: standby tailer retries journal fetches forever (backoff present)",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.Checkpointer.UploadImage",
+			Retried: []string{"hdfs.Checkpointer.putImage"},
+			File:    "editlog.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, HarnessRetried: true,
+			Note: "correct cap; callers drive it for many images per run (missing-cap FP source, §4.3)",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.LeaseRenewer.Renew",
+			Retried: []string{"hdfs.LeaseRenewer.renewOnce"},
+			File:    "editlog.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: false, Bug: meta.MissingDelay,
+			Note: "WHEN: renewal attempts fired back to back; counter named 'tries'",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.NamenodeRPC.Call",
+			Retried: []string{"hdfs.NamenodeRPC.invoke"},
+			File:    "namenode.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap, exponential backoff, permission/not-found/unsupported excluded",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.ReplicationMonitor.ProcessQueue",
+			File: "namenode.go", Mechanism: meta.Queue, Trigger: meta.ErrorCode,
+			Keyworded: true,
+			Note:      "correct error-code-triggered re-enqueue; uninjectable by exception-based testing (§4.2)",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.ReconstructionProc.Step",
+			Retried: []string{"hdfs.ReconstructionProc.readShards", "hdfs.ReconstructionProc.writeRecovered"},
+			File:    "procedures.go", Mechanism: meta.StateMachine, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct state-machine retry: in-place re-dispatch with backoff and cap",
+		},
+		{
+			App: "HD", Coordinator: "hdfs.RegistrationProc.Step",
+			Retried: []string{"hdfs.RegistrationProc.handshake", "hdfs.RegistrationProc.register"},
+			File:    "procedures.go", Mechanism: meta.StateMachine, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: implicit state retry re-dispatched hot with no pause (HBASE-20492 shape)",
+		},
+	}
+}

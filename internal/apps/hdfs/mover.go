@@ -1,0 +1,146 @@
+package hdfs
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// Mover migrates blocks between storage tiers, modeled on the HDFS mover
+// whose retry cap handling was the subject of HDFS-15439.
+type Mover struct {
+	app *App
+}
+
+// NewMover returns a mover for the deployment.
+func NewMover(app *App) *Mover { return &Mover{app: app} }
+
+// migrate copies one block to the target tier.
+//
+// Throws: SocketException, RemoteException.
+func (m *Mover) migrate(ctx context.Context, block, tier string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	replicas := m.app.Replicas(block)
+	if len(replicas) == 0 {
+		return errmodel.Newf("FileNotFoundException", "unknown block %s", block)
+	}
+	return m.app.Cluster.Call(ctx, replicas[0], func(n *common.Node) error {
+		n.Store.Put("tier/"+block, tier)
+		return nil
+	})
+}
+
+// MoveBlock migrates a block with retry up to
+// dfs.mover.retry.max.attempts.
+//
+// NOTE (modeled on HDFS-15439): the loop gives up when the attempt counter
+// *equals* the configured maximum. With the default configuration the cap
+// works, but a negative configured value can never be reached by the
+// incrementing counter, allowing infinite retries — the configuration-
+// dependent bug class WASABI misses unless a test uses the bad value
+// (§4.5).
+func (m *Mover) MoveBlock(ctx context.Context, block, tier string) error {
+	maxRetryAttempts := m.app.Config.GetInt("dfs.mover.retry.max.attempts", 10)
+	var last error
+	for attempts := 0; attempts != maxRetryAttempts; attempts++ {
+		err := m.migrate(ctx, block, tier)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, time.Second)
+	}
+	return last
+}
+
+// moveTask is a queued block-move request with its own attempt budget.
+type moveTask struct {
+	block    string
+	target   string
+	attempts int
+}
+
+// Balancer spreads blocks across datanodes by draining a queue of move
+// tasks; failed moves are re-submitted to the queue, the asynchronous
+// re-enqueue retry mechanism of §2.5.
+type Balancer struct {
+	app   *App
+	queue *common.Queue[*moveTask]
+}
+
+// NewBalancer returns a balancer with an empty move queue.
+func NewBalancer(app *App) *Balancer {
+	return &Balancer{app: app, queue: common.NewQueue[*moveTask]()}
+}
+
+// Submit enqueues a block move.
+func (b *Balancer) Submit(block, target string) {
+	b.queue.Put(&moveTask{block: block, target: target})
+}
+
+// transferBlock copies a block onto the target datanode.
+//
+// Throws: ConnectException, SocketTimeoutException.
+func (b *Balancer) transferBlock(ctx context.Context, block, target string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	replicas := b.app.Replicas(block)
+	if len(replicas) == 0 {
+		return errmodel.Newf("FileNotFoundException", "unknown block %s", block)
+	}
+	var payload string
+	if err := b.app.Cluster.Call(ctx, replicas[0], func(n *common.Node) error {
+		v, ok := n.Store.Get("block/" + block)
+		if !ok {
+			return errmodel.New("EOFException", "source replica lost")
+		}
+		payload = v
+		return nil
+	}); err != nil {
+		return err
+	}
+	return b.app.Cluster.Call(ctx, target, func(n *common.Node) error {
+		n.Store.Put("block/"+block, payload)
+		return nil
+	})
+}
+
+// processTask handles one queued move. A transient transfer failure
+// re-submits the task to the queue for retry after a pause, up to the
+// per-task retry budget; exhausting the budget fails the task. This is
+// the asynchronous re-enqueue retry mechanism of §2.5 (Listing 3): the
+// retry decision lives in a plain handler method with no loop, invisible
+// to loop-based structural analysis.
+func (b *Balancer) processTask(ctx context.Context, task *moveTask) error {
+	const maxTaskRetries = 4
+	if err := b.transferBlock(ctx, task.block, task.target); err != nil {
+		if task.attempts < maxTaskRetries {
+			task.attempts++
+			vclock.Sleep(ctx, 250*time.Millisecond)
+			b.queue.Put(task) // re-enqueue for retry
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// DrainQueue processes move tasks until the queue is empty.
+func (b *Balancer) DrainQueue(ctx context.Context) error {
+	for {
+		task, ok := b.queue.Take()
+		if !ok {
+			return nil
+		}
+		if err := b.processTask(ctx, task); err != nil {
+			return err
+		}
+	}
+}

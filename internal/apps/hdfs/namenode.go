@@ -1,0 +1,140 @@
+package hdfs
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// NamenodeRPC is the client-side RPC proxy to the namenode.
+type NamenodeRPC struct {
+	app *App
+}
+
+// NewNamenodeRPC returns a proxy for the deployment.
+func NewNamenodeRPC(app *App) *NamenodeRPC { return &NamenodeRPC{app: app} }
+
+// invoke performs one RPC against the namenode.
+//
+// Throws: IOException, RemoteException, FileNotFoundException.
+func (r *NamenodeRPC) invoke(ctx context.Context, method, arg string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	switch method {
+	case "getFileInfo":
+		if v, ok := r.app.Meta.Get("path" + arg); ok {
+			return v, nil
+		}
+		return "", errmodel.Newf("FileNotFoundException", "no such path %s", arg)
+	case "mkdirs":
+		r.app.Meta.Put("path"+arg, "dir")
+		return "ok", nil
+	default:
+		return "", errmodel.Newf("UnsupportedOperationException", "unknown method %s", method)
+	}
+}
+
+// Call performs a namenode RPC with the standard client retry policy:
+// bounded attempts with exponential backoff, retrying the whole
+// IOException family (the coarse policy HADOOP-16580 shows can be *too*
+// coarse — our corpus keeps it correct here by excluding the permission
+// and not-found subclasses).
+func (r *NamenodeRPC) Call(ctx context.Context, method, arg string) (string, error) {
+	maxRetries := r.app.Config.GetInt("dfs.client.retry.max.attempts", 4)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		out, err := r.invoke(ctx, method, arg)
+		if err == nil {
+			return out, nil
+		}
+		if errmodel.IsClass(err, "AccessControlException") {
+			return "", err
+		}
+		if errmodel.IsClass(err, "FileNotFoundException") {
+			return "", err
+		}
+		if errmodel.IsClass(err, "UnsupportedOperationException") {
+			return "", err
+		}
+		last = err
+		vclock.Sleep(ctx, vclock.Backoff(200*time.Millisecond, retry, 5*time.Second))
+	}
+	return "", last
+}
+
+// replicationItem is a block whose replication level must be repaired.
+// Outcomes are reported as status codes, not exceptions.
+type replicationItem struct {
+	block    string
+	attempts int
+}
+
+// Replication status codes returned by datanodes.
+const (
+	replOK      = "OK"
+	replTimeout = "TIMEOUT"
+	replCorrupt = "CORRUPT"
+)
+
+// ReplicationMonitor re-replicates under-replicated blocks. Work items
+// carry datanode *status codes*: the monitor retries TIMEOUT items by
+// re-queueing them but drops CORRUPT items — an error-code-triggered retry
+// structure, the kind WASABI's exception injection cannot exercise (§4.2).
+type ReplicationMonitor struct {
+	app     *App
+	queue   *common.Queue[*replicationItem]
+	statusF func(block string) string // datanode status source
+	Dropped []string
+}
+
+// NewReplicationMonitor returns a monitor whose datanode status source
+// always reports success; tests replace statusF to simulate outcomes.
+func NewReplicationMonitor(app *App) *ReplicationMonitor {
+	return &ReplicationMonitor{
+		app:     app,
+		queue:   common.NewQueue[*replicationItem](),
+		statusF: func(string) string { return replOK },
+	}
+}
+
+// SetStatusSource replaces the datanode status source.
+func (m *ReplicationMonitor) SetStatusSource(f func(string) string) { m.statusF = f }
+
+// Enqueue adds a block to the repair queue.
+func (m *ReplicationMonitor) Enqueue(block string) {
+	m.queue.Put(&replicationItem{block: block})
+}
+
+// ProcessQueue drains the repair queue. TIMEOUT outcomes are retried by
+// re-enqueueing up to the configured retry cap; CORRUPT outcomes are
+// dropped for quarantine.
+func (m *ReplicationMonitor) ProcessQueue(ctx context.Context) int {
+	maxRetry := m.app.Config.GetInt("dfs.replication.monitor.max.retry", 3)
+	repaired := 0
+	for {
+		item, ok := m.queue.Take()
+		if !ok {
+			return repaired
+		}
+		switch status := m.statusF(item.block); status {
+		case replOK:
+			repaired++
+		case replTimeout:
+			if item.attempts < maxRetry {
+				item.attempts++
+				vclock.Sleep(ctx, 100*time.Millisecond)
+				m.queue.Put(item)
+				continue
+			}
+			m.Dropped = append(m.Dropped, item.block)
+		case replCorrupt:
+			m.Dropped = append(m.Dropped, item.block)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package hdfs
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// Reconstruction states for erasure-coded block repair.
+const (
+	ecStateRead = iota
+	ecStateDecode
+	ecStateWrite
+	ecStateDone
+)
+
+// ReconstructionProc rebuilds a lost erasure-coded block as a
+// state-machine procedure: read surviving shards, decode, write the
+// recovered block. A failed state is retried in place with backoff up to
+// the configured attempt cap — a *correct* state-machine retry.
+type ReconstructionProc struct {
+	app      *App
+	block    string
+	state    int
+	attempts int
+	shards   []string
+	decoded  string
+}
+
+// NewReconstructionProc returns a procedure to rebuild block.
+func NewReconstructionProc(app *App, block string) *ReconstructionProc {
+	return &ReconstructionProc{app: app, block: block}
+}
+
+// Name implements common.Procedure.
+func (p *ReconstructionProc) Name() string { return "ec-reconstruction-" + p.block }
+
+// readShards fetches the surviving shards of the block.
+//
+// Throws: SocketException, EOFException.
+func (p *ReconstructionProc) readShards(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	replicas := p.app.Replicas(p.block)
+	if len(replicas) == 0 {
+		return errmodel.Newf("EOFException", "no shards for %s", p.block)
+	}
+	p.shards = replicas
+	return nil
+}
+
+// writeRecovered stores the reconstructed block on a target datanode.
+//
+// Throws: ConnectException.
+func (p *ReconstructionProc) writeRecovered(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	return p.app.Cluster.Call(ctx, p.shards[0], func(n *common.Node) error {
+		n.Store.Put("block/"+p.block+"/recovered", p.decoded)
+		return nil
+	})
+}
+
+// Step implements common.Procedure. On a transient error the state is
+// left unchanged so the executor re-runs it (implicit retry), after a
+// backoff and subject to the configured attempt cap.
+func (p *ReconstructionProc) Step(ctx context.Context) (bool, error) {
+	maxAttempts := p.app.Config.GetInt("dfs.ec.reconstruction.attempts", 4)
+	retryStep := func(err error) (bool, error) {
+		p.attempts++
+		if p.attempts >= maxAttempts {
+			return false, err
+		}
+		vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, p.attempts-1, 2*time.Second))
+		return false, nil // state unchanged: implicit retry
+	}
+	switch p.state {
+	case ecStateRead:
+		if err := p.readShards(ctx); err != nil {
+			return retryStep(err)
+		}
+		p.state, p.attempts = ecStateDecode, 0
+	case ecStateDecode:
+		p.decoded = "decoded:" + p.block
+		p.state, p.attempts = ecStateWrite, 0
+	case ecStateWrite:
+		if err := p.writeRecovered(ctx); err != nil {
+			return retryStep(err)
+		}
+		p.state = ecStateDone
+	case ecStateDone:
+		return true, nil
+	}
+	return p.state == ecStateDone, nil
+}
+
+// Registration states for datanode startup.
+const (
+	regStateHandshake = iota
+	regStateRegister
+	regStateFirstReport
+	regStateDone
+)
+
+// RegistrationProc drives a datanode's registration with the namenode as
+// a state-machine procedure.
+//
+// BUG (WHEN, missing delay, modeled on HBASE-20492's shape): a failed
+// handshake or registration leaves the state unchanged for the executor
+// to re-dispatch, but there is no pause before the implicit retry, so the
+// executor spins hot against the namenode while the condition persists.
+type RegistrationProc struct {
+	app      *App
+	node     string
+	state    int
+	attempts int
+}
+
+// NewRegistrationProc returns a registration procedure for node.
+func NewRegistrationProc(app *App, node string) *RegistrationProc {
+	return &RegistrationProc{app: app, node: node}
+}
+
+// Name implements common.Procedure.
+func (p *RegistrationProc) Name() string { return "register-" + p.node }
+
+// handshake negotiates namespace and version with the namenode.
+//
+// Throws: ConnectException.
+func (p *RegistrationProc) handshake(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	return nil
+}
+
+// register records the datanode in the namenode's registry.
+//
+// Throws: RemoteException.
+func (p *RegistrationProc) register(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	p.app.Meta.Put("datanode/"+p.node, "registered")
+	return nil
+}
+
+// Step implements common.Procedure. Transient errors are retried
+// implicitly, capped by attempt count — but with no delay in between.
+func (p *RegistrationProc) Step(ctx context.Context) (bool, error) {
+	const maxRetryAttempts = 8
+	retryStep := func(err error) (bool, error) {
+		p.attempts++
+		if p.attempts >= maxRetryAttempts {
+			return false, err
+		}
+		return false, nil // implicit retry, immediately re-dispatched
+	}
+	switch p.state {
+	case regStateHandshake:
+		if err := p.handshake(ctx); err != nil {
+			return retryStep(err)
+		}
+		p.state, p.attempts = regStateRegister, 0
+	case regStateRegister:
+		if err := p.register(ctx); err != nil {
+			return retryStep(err)
+		}
+		p.state, p.attempts = regStateFirstReport, 0
+	case regStateFirstReport:
+		p.app.Meta.Put("datanode/"+p.node+"/report", "sent")
+		p.state = regStateDone
+	case regStateDone:
+		return true, nil
+	}
+	return p.state == regStateDone, nil
+}

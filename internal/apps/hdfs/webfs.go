@@ -1,0 +1,128 @@
+package hdfs
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// WebFS is the HTTP gateway filesystem client, modeled on
+// WebHdfsFileSystem from HADOOP-16683 (Listing 2 in the paper).
+type WebFS struct {
+	app *App
+}
+
+// NewWebFS returns a gateway client for the deployment.
+func NewWebFS(app *App) *WebFS { return &WebFS{app: app} }
+
+// conn is an established gateway connection.
+type conn struct {
+	endpoint string
+}
+
+// connect opens a connection to the gateway.
+//
+// Throws: ConnectException, AccessControlException.
+func (w *WebFS) connect(ctx context.Context) (*conn, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return nil, err
+	}
+	vclock.Elapse(ctx, 2*time.Millisecond)
+	return &conn{endpoint: "gateway:9870"}, nil
+}
+
+// getResponse reads the response body for path over an open connection.
+//
+// Throws: SocketTimeoutException, EOFException, FileNotFoundException.
+func (w *WebFS) getResponse(ctx context.Context, c *conn, path string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	if v, ok := w.app.Meta.Get("path" + path); ok {
+		return v, nil
+	}
+	return "", errmodel.Newf("FileNotFoundException", "no such path %s", path)
+}
+
+// Fetch GETs a path, retrying transient connection and read failures up to
+// the configured attempt cap with a fixed delay, and giving up immediately
+// on permission errors — including permission errors wrapped inside
+// HadoopException by lower layers (the HADOOP-16683 patch behaviour).
+func (w *WebFS) Fetch(ctx context.Context, path string) (string, error) {
+	maxRetries := w.app.Config.GetInt("dfs.client.retry.max.attempts", 4)
+	delay := w.app.Config.GetDuration("dfs.client.retry.delay", time.Second)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		c, err := w.connect(ctx)
+		if err != nil {
+			if errmodel.IsClass(err, "AccessControlException") {
+				return "", err
+			}
+			if errmodel.IsClass(err, "HadoopException") && errmodel.CauseIsClass(err, "AccessControlException") {
+				return "", err
+			}
+			last = err
+			vclock.Sleep(ctx, delay)
+			continue
+		}
+		body, err := w.getResponse(ctx, c, path)
+		if err != nil {
+			if errmodel.IsClass(err, "FileNotFoundException") {
+				return "", err
+			}
+			last = err
+			vclock.Sleep(ctx, delay)
+			continue
+		}
+		return body, nil
+	}
+	return "", last
+}
+
+// putChunk uploads one chunk of a file to the gateway.
+//
+// Throws: ConnectException, SocketTimeoutException.
+func (w *WebFS) putChunk(ctx context.Context, path string, seq int, data string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	w.app.Meta.Put("upload"+path+"/"+strconv.Itoa(seq), data)
+	return nil
+}
+
+// UploadChunked writes data as fixed-size chunks, retrying each chunk up
+// to the attempt cap. Transport errors are wrapped in the module-level
+// HadoopException before being rethrown to the caller once retries are
+// exhausted — the wrapping pattern §4.3 identifies as a source of
+// "different exception" oracle false positives.
+func (w *WebFS) UploadChunked(ctx context.Context, path, data string) error {
+	const chunk = 4
+	maxRetries := w.app.Config.GetInt("dfs.client.retry.max.attempts", 4)
+	for seq, off := 0, 0; off < len(data); seq, off = seq+1, off+chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		var last error
+		ok := false
+		for retry := 0; retry < maxRetries; retry++ {
+			err := w.putChunk(ctx, path, seq, data[off:end])
+			if err == nil {
+				ok = true
+				break
+			}
+			last = err
+			vclock.Sleep(ctx, 500*time.Millisecond)
+		}
+		if !ok {
+			return errmodel.Wrap("HadoopException", "chunk upload failed", last)
+		}
+	}
+	w.app.Meta.Put("upload"+path+"/complete", "true")
+	return nil
+}

@@ -1,0 +1,92 @@
+package hdfs
+
+import (
+	"context"
+
+	"wasabi/internal/testkit"
+)
+
+// workloadTests are the suite's end-to-end scenario tests. Each drives a
+// whole user flow, so each covers SEVERAL retry locations that the
+// focused tests above already cover individually — the redundancy that
+// makes WASABI's test planning worthwhile (§3.1.4): without a plan, every
+// one of these tests would re-inject at every location it reaches.
+func workloadTests() []testkit.Test {
+	return []testkit.Test{
+		{
+			Name: "hdfs.TestWriteThenReadFlow", App: "HD",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				d := NewDataStreamer(app)
+				if err := d.SetupPipeline(ctx); err != nil {
+					return err
+				}
+				if err := d.WritePacketGroup(ctx, 2); err != nil {
+					return err
+				}
+				app.AddBlock("w1", "written", "dn1", "dn2")
+				payload, err := NewInputStream(app).ReadBlock(ctx, "w1")
+				if err != nil {
+					return err
+				}
+				return testkit.Assertf(payload == "written", "payload = %q", payload)
+			},
+		},
+		{
+			Name: "hdfs.TestClusterMaintenanceFlow", App: "HD",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				app.AddBlock("m1", "data", "dn1")
+				if err := NewMover(app).MoveBlock(ctx, "m1", "ARCHIVE"); err != nil {
+					return err
+				}
+				b := NewBalancer(app)
+				b.Submit("m1", "dn3")
+				if err := b.DrainQueue(ctx); err != nil {
+					return err
+				}
+				rpc := NewNamenodeRPC(app)
+				if _, err := rpc.Call(ctx, "mkdirs", "/maint"); err != nil {
+					return err
+				}
+				return NewCheckpointer(app).UploadImage(ctx, 1)
+			},
+		},
+		{
+			Name: "hdfs.TestStandbyCatchupFlow", App: "HD",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				app.Meta.Put("edits/1", "op")
+				if _, err := NewEditLogTailer(app).CatchUp(ctx); err != nil {
+					return err
+				}
+				for txid := 0; txid < 3; txid++ {
+					if err := NewCheckpointer(app).UploadImage(ctx, txid); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "hdfs.TestGatewayBrowseFlow", App: "HD",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				w := NewWebFS(app)
+				if err := w.UploadChunked(ctx, "/flow/f", "abcdefgh"); err != nil {
+					return err
+				}
+				app.Meta.Put("path/flow/f", "abcdefgh")
+				body, err := w.Fetch(ctx, "/flow/f")
+				if err != nil {
+					return err
+				}
+				return testkit.Assertf(body == "abcdefgh", "body = %q", body)
+			},
+		},
+	}
+}

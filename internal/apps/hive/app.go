@@ -1,0 +1,48 @@
+// Package hive is the corpus miniature of Apache Hive (HI in the
+// evaluation): metastore access, HiveServer2 statement execution, the Tez
+// task queue, and warehouse maintenance. Much of Hive's retry is driven
+// by error codes rather than exceptions, which is why HI has the lowest
+// dynamic retry coverage in Table 5. The package carries the HIVE-23894
+// cancel-retried bug and both sides of the TTransportException and
+// IllegalArgumentException retry-ratio outliers.
+//
+// Ground truth lives in manifest.go; detectors never read it.
+package hive
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/trace"
+)
+
+// App is a miniature Hive deployment: a metastore, two executors, and
+// warehouse state.
+type App struct {
+	Config    *common.Config
+	Cluster   *common.Cluster
+	Warehouse *common.KV
+}
+
+// New constructs a deployment with default configuration.
+func New() *App {
+	return &App{
+		Config: common.NewConfig(map[string]string{
+			"hive.metastore.connect.retries":    "5",
+			"hive.metastore.client.retry.delay": "300ms",
+			"hive.server2.statement.retries":    "3",
+			"hive.tez.task.max.attempts":        "4",
+			"hive.session.acquire.wait":         "150ms",
+			"hive.stats.publish.retries":        "4",
+			"hive.lock.numretries":              "6",
+			"hive.partition.fetch.retries":      "3",
+		}),
+		Cluster:   common.NewCluster("ms1", "exec1", "exec2"),
+		Warehouse: common.NewKV(),
+	}
+}
+
+// log emits an application log line into the run trace.
+func (a *App) log(ctx context.Context, format string, args ...any) {
+	trace.Note(ctx, "[hive] "+format, args...)
+}

@@ -1,0 +1,187 @@
+package hive
+
+import (
+	"context"
+	"strconv"
+	"strings"
+)
+
+// Housekeeping chores of the Hive miniature: per-item iteration with
+// error tolerance — structural retry look-alikes the retry-naming filter
+// prunes (§4.4).
+
+type houseError struct{ what string }
+
+func (e *houseError) Error() string { return e.what }
+
+// PartitionRetentionSweeper drops partitions past their retention.
+type PartitionRetentionSweeper struct {
+	app *App
+	// Dropped and Kept count pass outcomes.
+	Dropped, Kept int
+}
+
+// NewPartitionRetentionSweeper returns a sweeper.
+func NewPartitionRetentionSweeper(app *App) *PartitionRetentionSweeper {
+	return &PartitionRetentionSweeper{app: app}
+}
+
+// expired parses one partition's age record.
+func (p *PartitionRetentionSweeper) expired(key string) (bool, error) {
+	v, _ := p.app.Warehouse.Get(key)
+	days, err := strconv.Atoi(v)
+	if err != nil {
+		return false, &houseError{what: "unreadable partition age " + key}
+	}
+	return days > 90, nil
+}
+
+// SweepOnce walks every partition once.
+func (p *PartitionRetentionSweeper) SweepOnce(ctx context.Context) {
+	for _, key := range p.app.Warehouse.ListPrefix("partitionage/") {
+		old, err := p.expired(key)
+		if err != nil {
+			p.app.log(ctx, "retention sweep skipping %s: %v", key, err)
+			p.Kept++
+			continue
+		}
+		if !old {
+			p.Kept++
+			continue
+		}
+		p.app.Warehouse.Delete(key)
+		p.Dropped++
+	}
+}
+
+// FunctionRegistryValidator checks registered UDF descriptors.
+type FunctionRegistryValidator struct {
+	app *App
+	// Broken lists invalid function entries.
+	Broken []string
+}
+
+// NewFunctionRegistryValidator returns a validator.
+func NewFunctionRegistryValidator(app *App) *FunctionRegistryValidator {
+	return &FunctionRegistryValidator{app: app}
+}
+
+// validate checks one UDF descriptor ("class@jar").
+func (f *FunctionRegistryValidator) validate(key string) error {
+	v, _ := f.app.Warehouse.Get(key)
+	parts := strings.Split(v, "@")
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return &houseError{what: "malformed udf descriptor " + key}
+	}
+	return nil
+}
+
+// ValidateOnce walks every registered function once.
+func (f *FunctionRegistryValidator) ValidateOnce(ctx context.Context) {
+	for _, key := range f.app.Warehouse.ListPrefix("udf/") {
+		if err := f.validate(key); err != nil {
+			f.app.log(ctx, "udf registry: %v", err)
+			f.Broken = append(f.Broken, key)
+			continue
+		}
+	}
+}
+
+// TxnHouseKeeper aborts transactions open past the timeout.
+type TxnHouseKeeper struct {
+	app *App
+	// Aborted counts timed-out transactions.
+	Aborted int
+}
+
+// NewTxnHouseKeeper returns a housekeeper.
+func NewTxnHouseKeeper(app *App) *TxnHouseKeeper { return &TxnHouseKeeper{app: app} }
+
+// openTooLong parses one transaction's age record.
+func (t *TxnHouseKeeper) openTooLong(key string) (bool, error) {
+	v, _ := t.app.Warehouse.Get(key)
+	secs, err := strconv.Atoi(v)
+	if err != nil {
+		return false, &houseError{what: "unreadable txn age " + key}
+	}
+	return secs > 300, nil
+}
+
+// HouseKeepOnce walks every open transaction once.
+func (t *TxnHouseKeeper) HouseKeepOnce(ctx context.Context) {
+	for _, key := range t.app.Warehouse.ListPrefix("txnopen/") {
+		old, err := t.openTooLong(key)
+		if err != nil {
+			t.app.log(ctx, "txn housekeeping skipping %s: %v", key, err)
+			continue
+		}
+		if old {
+			t.app.Warehouse.Delete(key)
+			t.Aborted++
+		}
+	}
+}
+
+// ColumnStatsMerger folds partition-level column stats into table stats.
+type ColumnStatsMerger struct {
+	app *App
+	// Merged maps column name to merged cardinality; Bad counts skipped
+	// records.
+	Merged map[string]int
+	Bad    int
+}
+
+// NewColumnStatsMerger returns a merger.
+func NewColumnStatsMerger(app *App) *ColumnStatsMerger {
+	return &ColumnStatsMerger{app: app, Merged: make(map[string]int)}
+}
+
+// MergeOnce folds every partition stat record once.
+func (c *ColumnStatsMerger) MergeOnce(ctx context.Context) {
+	for _, key := range c.app.Warehouse.ListPrefix("colstats/") {
+		v, _ := c.app.Warehouse.Get(key)
+		parts := strings.SplitN(v, "=", 2)
+		if len(parts) != 2 {
+			c.app.log(ctx, "colstats merge skipping %s", key)
+			c.Bad++
+			continue
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			c.app.log(ctx, "colstats merge skipping %s: %v", key, err)
+			c.Bad++
+			continue
+		}
+		c.Merged[parts[0]] += n
+	}
+}
+
+// ScratchDirAuditor reports scratch directories without an owning session.
+type ScratchDirAuditor struct {
+	app *App
+	// Orphans lists unowned scratch dirs.
+	Orphans []string
+}
+
+// NewScratchDirAuditor returns an auditor.
+func NewScratchDirAuditor(app *App) *ScratchDirAuditor { return &ScratchDirAuditor{app: app} }
+
+// owned checks one scratch dir's session reference.
+func (s *ScratchDirAuditor) owned(key string) error {
+	sess, _ := s.app.Warehouse.Get(key)
+	if !s.app.Warehouse.Exists("session/" + sess) {
+		return &houseError{what: "scratch dir " + key + " has no session"}
+	}
+	return nil
+}
+
+// AuditOnce walks every scratch dir once.
+func (s *ScratchDirAuditor) AuditOnce(ctx context.Context) {
+	for _, key := range s.app.Warehouse.ListPrefix("scratch/") {
+		if err := s.owned(key); err != nil {
+			s.app.log(ctx, "scratch audit: %v", err)
+			s.Orphans = append(s.Orphans, key)
+			continue
+		}
+	}
+}

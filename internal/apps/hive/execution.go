@@ -1,0 +1,81 @@
+package hive
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+
+	"wasabi/internal/vclock"
+)
+
+// This file holds the ACID compaction initiator, whose retry is driven by
+// STATUS CODES rather than exceptions and therefore cannot be exercised
+// by exception injection (§4.2).
+
+// Compaction status codes reported by the worker pool.
+const (
+	compactDone    = "DONE"
+	compactBusy    = "WORKERS_BUSY"
+	compactAborted = "ABORTED"
+)
+
+// CompactionInitiator schedules delta-file compactions for ACID tables.
+type CompactionInitiator struct {
+	app     *App
+	statusF func(table string, round int) string
+	// Compacted counts completed compactions.
+	Compacted int
+}
+
+// NewCompactionInitiator returns an initiator whose workers are always
+// free; tests replace statusF.
+func NewCompactionInitiator(app *App) *CompactionInitiator {
+	return &CompactionInitiator{
+		app:     app,
+		statusF: func(string, int) string { return compactDone },
+	}
+}
+
+// SetStatusSource replaces the worker status source.
+func (c *CompactionInitiator) SetStatusSource(f func(table string, round int) string) {
+	c.statusF = f
+}
+
+// RunRound attempts to compact a table, re-requesting while the worker
+// pool is busy, with a pause, up to a bounded number of rounds. An
+// ABORTED status is final for this round.
+func (c *CompactionInitiator) RunRound(ctx context.Context, table string) string {
+	const maxRounds = 5
+	for round := 0; round < maxRounds; round++ {
+		status := c.statusF(table, round)
+		switch status {
+		case compactDone:
+			c.Compacted++
+			c.app.Warehouse.Put("compaction/"+table, "done")
+			return compactDone
+		case compactAborted:
+			c.app.log(ctx, "compaction of %s aborted", table)
+			return compactAborted
+		case compactBusy:
+			c.app.log(ctx, "workers busy for %s, re-requesting", table)
+			vclock.Sleep(ctx, 250*time.Millisecond)
+		}
+	}
+	return compactBusy
+}
+
+// DescribeWarehouse renders a human-readable summary of warehouse state,
+// used by the CLI's DESCRIBE FORMATTED output.
+func DescribeWarehouse(app *App) string {
+	var b strings.Builder
+	b.WriteString("warehouse summary\n")
+	for _, section := range []string{"table/", "dag/", "compaction/", "repl/"} {
+		keys := app.Warehouse.ListPrefix(section)
+		b.WriteString(section)
+		b.WriteString(": ")
+		b.WriteString(strconv.Itoa(len(keys)))
+		b.WriteString(" entries\n")
+	}
+	return b.String()
+}

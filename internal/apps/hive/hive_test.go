@@ -1,0 +1,133 @@
+package hive
+
+import (
+	"context"
+	"testing"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/trace"
+)
+
+func injected(coordinator, retried, exc string, k int) (context.Context, *trace.Run) {
+	in := fault.NewInjector([]fault.Rule{{
+		Loc: fault.Location{Coordinator: coordinator, Retried: retried, Exception: exc},
+		K:   k,
+	}})
+	run := trace.NewRun("t")
+	return fault.With(trace.With(context.Background(), run), in), run
+}
+
+// TestCancelledTaskIsResubmitted demonstrates HIVE-23894: the processor
+// re-submits a cancelled task until its budget runs out.
+func TestCancelledTaskIsResubmitted(t *testing.T) {
+	app := New()
+	p := NewTaskProcessor(app)
+	task := &TezTask{ID: "q1", IsShutdown: true}
+	p.Submit(task)
+	err := p.Drain(context.Background())
+	if err == nil {
+		t.Fatal("cancelled task should eventually fail the drain")
+	}
+	if task.attempts != app.Config.GetInt("hive.tez.task.max.attempts", 4) {
+		t.Errorf("attempts = %d; the whole budget was supposed to be burned", task.attempts)
+	}
+}
+
+// TestStatsPublishPartialStateBug demonstrates the HOW bug: one transient
+// flush failure leaves the stage marker behind, so the retry crashes with
+// IllegalStateException.
+func TestStatsPublishPartialStateBug(t *testing.T) {
+	app := New()
+	ctx, _ := injected("hive.StatsPublisher.Publish", "hive.StatsPublisher.publishOnce", "IOException", 1)
+	err := NewStatsPublisher(app).Publish(ctx, "t1")
+	if err == nil || !errmodel.IsClass(err, "IllegalStateException") {
+		t.Fatalf("err = %v, want IllegalStateException", err)
+	}
+}
+
+// TestExecuteStatementGivesUpOnTransport demonstrates the IF outlier: the
+// transient transport exception retried elsewhere aborts immediately here.
+func TestExecuteStatementGivesUpOnTransport(t *testing.T) {
+	app := New()
+	ctx, run := injected("hive.HS2Client.ExecuteStatement", "hive.HS2Client.execOnce", "TTransportException", 1)
+	_, err := NewHS2Client(app).ExecuteStatement(ctx, "select 1")
+	if err == nil || !errmodel.IsClass(err, "TTransportException") {
+		t.Fatalf("err = %v", err)
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection && e.Count > 1 {
+			t.Error("TTransportException must not be retried here (that is the bug)")
+		}
+	}
+}
+
+// TestAlterTableRetriesIllegalArgument demonstrates the other IF outlier.
+func TestAlterTableRetriesIllegalArgument(t *testing.T) {
+	app := New()
+	ctx, run := injected("hive.MetastoreClient.AlterTable", "hive.MetastoreClient.alterOnce", "IllegalArgumentException", 2)
+	if err := NewMetastoreClient(app).AlterTable(ctx, "t2", "c"); err != nil {
+		t.Fatalf("should heal after injections stop: %v", err)
+	}
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 2 {
+		t.Errorf("injections = %d; IllegalArgumentException was (wrongly) retried", injections)
+	}
+}
+
+// TestSessionAcquireUnbounded demonstrates the missing-cap bug healing
+// only because the fault stops.
+func TestSessionAcquireUnbounded(t *testing.T) {
+	app := New()
+	ctx, run := injected("hive.SessionPool.Acquire", "hive.SessionPool.acquireOnce", "TimeoutException", 120)
+	if _, err := NewSessionPool(app).Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 120 {
+		t.Errorf("injections = %d; only healing bounds this loop", injections)
+	}
+}
+
+// TestChores exercises the non-retry housekeeping services.
+func TestChores(t *testing.T) {
+	app := New()
+	ctx := context.Background()
+	app.Warehouse.Put("partitionage/p1", "120")
+	app.Warehouse.Put("partitionage/p2", "oops")
+	s := NewPartitionRetentionSweeper(app)
+	s.SweepOnce(ctx)
+	if s.Dropped != 1 || s.Kept != 1 {
+		t.Errorf("sweeper = %+v", s)
+	}
+	app.Warehouse.Put("udf/f1", "com.example.F@f.jar")
+	app.Warehouse.Put("udf/f2", "broken")
+	v := NewFunctionRegistryValidator(app)
+	v.ValidateOnce(ctx)
+	if len(v.Broken) != 1 {
+		t.Errorf("broken = %v", v.Broken)
+	}
+	app.Warehouse.Put("txnopen/t1", "600")
+	hk := NewTxnHouseKeeper(app)
+	hk.HouseKeepOnce(ctx)
+	if hk.Aborted != 1 {
+		t.Errorf("aborted = %d", hk.Aborted)
+	}
+	app.Warehouse.Put("colstats/c1", "ndv=10")
+	app.Warehouse.Put("colstats/c2", "garbage")
+	m := NewColumnStatsMerger(app)
+	m.MergeOnce(ctx)
+	if m.Merged["ndv"] != 10 || m.Bad != 1 {
+		t.Errorf("merger = %+v", m)
+	}
+}

@@ -1,0 +1,104 @@
+package hive
+
+import "wasabi/internal/apps/meta"
+
+// Manifest is the ground-truth record of every retry code structure in
+// this package; detectors never read it.
+func Manifest() []meta.Structure {
+	return []meta.Structure{
+		{
+			App: "HI", Coordinator: "hive.MetastoreClient.Connect",
+			Retried: []string{"hive.MetastoreClient.openTransport"},
+			File:    "metastore.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + delay, retries TTransportException, IllegalArgumentException excluded",
+		},
+		{
+			App: "HI", Coordinator: "hive.MetastoreClient.AlterTable",
+			Retried: []string{"hive.MetastoreClient.alterOnce"},
+			File:    "metastore.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.WrongPolicyRetried,
+			Note: "IF: IllegalArgumentException retried (retry-ratio outlier, 2/9 corpus-wide)",
+		},
+		{
+			App: "HI", Coordinator: "hive.HS2Client.ExecuteStatement",
+			Retried: []string{"hive.HS2Client.execOnce"},
+			File:    "metastore.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.WrongPolicyNotRetried,
+			Note: "IF: TTransportException NOT retried here though retried in 2/3 of the loops that can see it (retry-ratio outlier)",
+		},
+		{
+			App: "HI", Coordinator: "hive.ZKLockManager.AcquireLock",
+			Retried: []string{"hive.ZKLockManager.lockOnce"},
+			File:    "metastore.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: lock attempts stampede the coordination service back to back",
+		},
+		{
+			App: "HI", Coordinator: "hive.RemoteSparkClient.Connect",
+			Retried: []string{"hive.RemoteSparkClient.dial"},
+			File:    "metastore.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: false, Bug: meta.MissingDelay,
+			Note: "WHEN: dial storm back to back; counter named 'tries' (CodeQL keyword miss); uncovered by the suite",
+		},
+		{
+			App: "HI", Coordinator: "hive.TaskProcessor.processTask",
+			Retried: []string{"hive.TaskProcessor.executeTask"},
+			File:    "tasks.go", Mechanism: meta.Queue, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.WrongPolicyRetried,
+			Note: "IF: cancelled tasks re-submitted as if transient (HIVE-23894, Listing 3); invisible to WASABI's detectors (false negative)",
+		},
+		{
+			App: "HI", Coordinator: "hive.SessionPool.Acquire",
+			Retried: []string{"hive.SessionPool.acquireOnce"},
+			File:    "tasks.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded session acquisition (wait present)",
+		},
+		{
+			App: "HI", Coordinator: "hive.StatsPublisher.Publish",
+			Retried: []string{"hive.StatsPublisher.publishOnce"},
+			File:    "tasks.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.How,
+			Note: "HOW: stage marker not cleaned before retry; rewrite crashes with IllegalStateException (§2.4 partial-state pattern)",
+		},
+		{
+			App: "HI", Coordinator: "hive.PartitionPruner.FetchPartition",
+			Retried: []string{"hive.PartitionPruner.fetchPartition"},
+			File:    "tasks.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, HarnessRetried: true,
+			Note: "correct cap; planning re-drives it per partition (missing-cap FP source, §4.3)",
+		},
+		{
+			App: "HI", Coordinator: "hive.HookRunner.RunHook",
+			Retried: []string{"hive.HookRunner.runHook"},
+			File:    "tasks.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, WrapsErrors: true,
+			Note: "correct; wraps exhausted failures in ServiceException (different-exception oracle FP source)",
+		},
+		{
+			App: "HI", Coordinator: "hive.TezSubmitter.SubmitDAG",
+			File: "submitter.go", Mechanism: meta.Loop, Trigger: meta.ErrorCode,
+			Keyworded: false,
+			Note:      "correct error-code retry; uninjectable (§4.2) but LLM-identified",
+		},
+		{
+			App: "HI", Coordinator: "hive.LlapScheduler.Drain",
+			File: "submitter.go", Mechanism: meta.Queue, Trigger: meta.ErrorCode,
+			Keyworded: false,
+			Note:      "correct error-code re-queue; uninjectable (§4.2)",
+		},
+		{
+			App: "HI", Coordinator: "hive.CompactionInitiator.RunRound",
+			File: "execution.go", Mechanism: meta.Loop, Trigger: meta.ErrorCode,
+			Keyworded: false,
+			Note:      "correct error-code retry; uninjectable (§4.2)",
+		},
+		{
+			App: "HI", Coordinator: "hive.ReplLoader.LoadDump",
+			File: "submitter.go", Mechanism: meta.Loop, Trigger: meta.ErrorCode,
+			Keyworded: false,
+			Note:      "correct error-code retry; uninjectable (§4.2)",
+		},
+	}
+}

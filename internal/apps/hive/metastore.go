@@ -1,0 +1,204 @@
+package hive
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// MetastoreClient talks to the Hive metastore over a thrift-style
+// transport.
+type MetastoreClient struct {
+	app       *App
+	connected bool
+}
+
+// NewMetastoreClient returns an unconnected client.
+func NewMetastoreClient(app *App) *MetastoreClient { return &MetastoreClient{app: app} }
+
+// openTransport opens the thrift transport to the metastore.
+//
+// Throws: TTransportException, IllegalArgumentException.
+func (m *MetastoreClient) openTransport(ctx context.Context, uri string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	if uri == "" {
+		return errmodel.New("IllegalArgumentException", "empty metastore uri")
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	m.connected = true
+	return nil
+}
+
+// Connect opens the metastore connection, retrying transient transport
+// failures with a delay up to the configured cap. A malformed URI is the
+// caller's mistake and aborts immediately.
+func (m *MetastoreClient) Connect(ctx context.Context, uri string) error {
+	maxRetries := m.app.Config.GetInt("hive.metastore.connect.retries", 5)
+	delay := m.app.Config.GetDuration("hive.metastore.client.retry.delay", 300*time.Millisecond)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := m.openTransport(ctx, uri)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "IllegalArgumentException") {
+			return err
+		}
+		last = err
+		vclock.Sleep(ctx, delay)
+	}
+	return last
+}
+
+// alterOnce applies one table alteration.
+//
+// Throws: TTransportException, IllegalArgumentException.
+func (m *MetastoreClient) alterOnce(ctx context.Context, table, change string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	m.app.Warehouse.Put("table/"+table+"/schema", change)
+	return nil
+}
+
+// AlterTable applies a schema change with retry.
+//
+// BUG (IF, wrong retry policy — an IllegalArgumentException retry-ratio
+// outlier): a malformed alteration is retried together with transient
+// transport errors, burning the retry budget on a request that can never
+// succeed and delaying the error back to the user.
+func (m *MetastoreClient) AlterTable(ctx context.Context, table, change string) error {
+	maxRetries := m.app.Config.GetInt("hive.metastore.connect.retries", 5)
+	delay := m.app.Config.GetDuration("hive.metastore.client.retry.delay", 300*time.Millisecond)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := m.alterOnce(ctx, table, change)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, delay)
+	}
+	return last
+}
+
+// HS2Client executes statements against HiveServer2.
+type HS2Client struct {
+	app *App
+}
+
+// NewHS2Client returns a client.
+func NewHS2Client(app *App) *HS2Client { return &HS2Client{app: app} }
+
+// execOnce runs one statement.
+//
+// Throws: TTransportException, SocketTimeoutException.
+func (c *HS2Client) execOnce(ctx context.Context, stmt string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	vclock.Elapse(ctx, 2*time.Millisecond)
+	return "rows:1", nil
+}
+
+// ExecuteStatement runs a statement with retry on timeouts.
+//
+// BUG (IF, wrong retry policy — the TTransportException retry-ratio
+// outlier): transport failures are transient and retried everywhere else
+// in this codebase (2/3 of the loops that can see them), but this loop
+// gives up on them immediately, failing queries that a retry would save.
+func (c *HS2Client) ExecuteStatement(ctx context.Context, stmt string) (string, error) {
+	maxRetries := c.app.Config.GetInt("hive.server2.statement.retries", 3)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		out, err := c.execOnce(ctx, stmt)
+		if err == nil {
+			return out, nil
+		}
+		if errmodel.IsClass(err, "TTransportException") {
+			return "", err
+		}
+		last = err
+		vclock.Sleep(ctx, 200*time.Millisecond)
+	}
+	return "", last
+}
+
+// ZKLockManager acquires table locks through ZooKeeper.
+type ZKLockManager struct {
+	app *App
+}
+
+// NewZKLockManager returns a lock manager.
+func NewZKLockManager(app *App) *ZKLockManager { return &ZKLockManager{app: app} }
+
+// lockOnce attempts to create the lock znode.
+//
+// Throws: KeeperException.
+func (z *ZKLockManager) lockOnce(ctx context.Context, table string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	z.app.Warehouse.Put("lock/"+table, "held")
+	return nil
+}
+
+// AcquireLock takes a table lock, re-attempting transient coordination
+// failures up to hive.lock.numretries.
+//
+// BUG (WHEN, missing delay): lock attempts are fired back to back,
+// stampeding the coordination service.
+func (z *ZKLockManager) AcquireLock(ctx context.Context, table string) error {
+	numRetries := z.app.Config.GetInt("hive.lock.numretries", 6)
+	var last error
+	for retry := 0; retry < numRetries; retry++ {
+		err := z.lockOnce(ctx, table)
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return last
+}
+
+// RemoteSparkClient connects Hive-on-Spark sessions.
+type RemoteSparkClient struct {
+	app *App
+}
+
+// NewRemoteSparkClient returns a client.
+func NewRemoteSparkClient(app *App) *RemoteSparkClient { return &RemoteSparkClient{app: app} }
+
+// dial opens the remote driver connection.
+//
+// Throws: ConnectException.
+func (r *RemoteSparkClient) dial(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	return nil
+}
+
+// Connect dials the remote driver, re-attempting connection failures.
+//
+// BUG (WHEN, missing delay): the dial storm goes out back to back, and
+// the counter is named "tries", hiding the loop from keyword-filtered
+// structural analysis.
+func (r *RemoteSparkClient) Connect(ctx context.Context) error {
+	const maxTries = 5
+	var last error
+	for tries := 0; tries < maxTries; tries++ {
+		err := r.dial(ctx)
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return last
+}

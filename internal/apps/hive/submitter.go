@@ -1,0 +1,186 @@
+package hive
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/vclock"
+)
+
+// This file holds the submission-side services whose retry is status-code
+// driven: the DAG submitter, the LLAP scheduler, and the replication
+// loader. Their retry decisions inspect status results, not exceptions,
+// so WASABI's injection cannot exercise them (§4.2) — but the fuzzy
+// reader still identifies them as retry structures.
+
+// DAG submission status codes returned by the execution engine.
+const (
+	dagAccepted    = "ACCEPTED"
+	dagQueueFull   = "QUEUE_FULL"
+	dagInvalid     = "INVALID_DAG"
+	dagAMStarting  = "AM_STARTING"
+	dagUnavailable = "ENGINE_UNAVAILABLE"
+)
+
+// TezSubmitter submits query DAGs to the execution engine.
+type TezSubmitter struct {
+	app     *App
+	statusF func(dag string, attempt int) string
+	// Submitted counts accepted DAGs.
+	Submitted int
+}
+
+// NewTezSubmitter returns a submitter whose engine always accepts; tests
+// replace statusF to simulate engine conditions.
+func NewTezSubmitter(app *App) *TezSubmitter {
+	return &TezSubmitter{
+		app:     app,
+		statusF: func(string, int) string { return dagAccepted },
+	}
+}
+
+// SetStatusSource replaces the engine status source.
+func (t *TezSubmitter) SetStatusSource(f func(dag string, attempt int) string) { t.statusF = f }
+
+// SubmitDAG submits a DAG, re-submitting on transient engine statuses
+// (queue full, AM starting, engine unavailable) with a pause, up to the
+// configured attempt cap. An INVALID_DAG status is final.
+func (t *TezSubmitter) SubmitDAG(ctx context.Context, dag string) string {
+	maxAttempts := t.app.Config.GetInt("hive.tez.task.max.attempts", 4)
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		status := t.statusF(dag, attempt)
+		switch status {
+		case dagAccepted:
+			t.Submitted++
+			t.app.Warehouse.Put("dag/"+dag, "accepted")
+			return dagAccepted
+		case dagInvalid:
+			t.app.log(ctx, "dag %s rejected as invalid", dag)
+			return dagInvalid
+		case dagQueueFull, dagAMStarting, dagUnavailable:
+			t.app.log(ctx, "dag %s deferred (%s), resubmitting", dag, status)
+			vclock.Sleep(ctx, 200*time.Millisecond)
+		}
+	}
+	return dagUnavailable
+}
+
+// llapWork is a fragment scheduled onto LLAP daemons, carrying a status.
+type llapWork struct {
+	fragment string
+	requeues int
+}
+
+// LLAP scheduling status codes.
+const (
+	llapScheduled = "SCHEDULED"
+	llapNoSlots   = "NO_SLOTS"
+	llapRejected  = "REJECTED"
+)
+
+// LlapScheduler places query fragments onto LLAP daemons via a queue.
+// NO_SLOTS outcomes re-queue the fragment after a pause; REJECTED
+// fragments fall back to containers.
+type LlapScheduler struct {
+	app     *App
+	queue   *common.Queue[*llapWork]
+	statusF func(fragment string) string
+	// Placed counts scheduled fragments; FellBack lists rejected ones.
+	Placed   int
+	FellBack []string
+}
+
+// NewLlapScheduler returns a scheduler whose daemons always have slots;
+// tests replace statusF.
+func NewLlapScheduler(app *App) *LlapScheduler {
+	return &LlapScheduler{
+		app:     app,
+		queue:   common.NewQueue[*llapWork](),
+		statusF: func(string) string { return llapScheduled },
+	}
+}
+
+// SetStatusSource replaces the daemon status source.
+func (l *LlapScheduler) SetStatusSource(f func(string) string) { l.statusF = f }
+
+// Enqueue adds a fragment for scheduling.
+func (l *LlapScheduler) Enqueue(fragment string) {
+	l.queue.Put(&llapWork{fragment: fragment})
+}
+
+// Drain schedules queued fragments until the queue is empty. NO_SLOTS
+// re-queues a fragment up to a bounded number of times before falling
+// back; REJECTED falls back immediately.
+func (l *LlapScheduler) Drain(ctx context.Context) {
+	const maxRequeues = 3
+	for {
+		w, ok := l.queue.Take()
+		if !ok {
+			return
+		}
+		switch status := l.statusF(w.fragment); status {
+		case llapScheduled:
+			l.Placed++
+		case llapNoSlots:
+			if w.requeues < maxRequeues {
+				w.requeues++
+				vclock.Sleep(ctx, 100*time.Millisecond)
+				l.queue.Put(w)
+				continue
+			}
+			l.FellBack = append(l.FellBack, w.fragment)
+		case llapRejected:
+			l.FellBack = append(l.FellBack, w.fragment)
+		}
+	}
+}
+
+// Replication load status codes.
+const (
+	replLoaded  = "LOADED"
+	replPartial = "PARTIAL"
+	replCorrupt = "CORRUPT_DUMP"
+)
+
+// ReplLoader applies replication dumps from a source warehouse.
+type ReplLoader struct {
+	app     *App
+	statusF func(dump string, pass int) string
+	// Applied counts loaded dumps.
+	Applied int
+}
+
+// NewReplLoader returns a loader whose dumps always apply; tests replace
+// statusF.
+func NewReplLoader(app *App) *ReplLoader {
+	return &ReplLoader{
+		app:     app,
+		statusF: func(string, int) string { return replLoaded },
+	}
+}
+
+// SetStatusSource replaces the load status source.
+func (r *ReplLoader) SetStatusSource(f func(dump string, pass int) string) { r.statusF = f }
+
+// LoadDump applies a replication dump. A PARTIAL status re-runs the load
+// (it is idempotent) with a pause, bounded; CORRUPT_DUMP is final.
+func (r *ReplLoader) LoadDump(ctx context.Context, dump string) string {
+	const maxPasses = 4
+	for pass := 0; pass < maxPasses; pass++ {
+		status := r.statusF(dump, pass)
+		switch status {
+		case replLoaded:
+			r.Applied++
+			r.app.Warehouse.Put("repl/"+dump, "loaded")
+			return replLoaded
+		case replCorrupt:
+			r.app.log(ctx, "dump %s corrupt; manual intervention required", dump)
+			return replCorrupt
+		case replPartial:
+			r.app.log(ctx, "dump %s applied partially, re-running load", dump)
+			vclock.Sleep(ctx, 300*time.Millisecond)
+		}
+	}
+	return replPartial
+}

@@ -1,0 +1,237 @@
+package hive
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// TezTask is a queued execution task. A task may be shut down (cancelled)
+// while queued or running.
+type TezTask struct {
+	ID         string
+	IsShutdown bool
+	attempts   int
+}
+
+// TaskProcessor drains the Tez task queue; failed tasks are re-submitted —
+// the queue-based retry of the paper's Listing 3.
+type TaskProcessor struct {
+	app   *App
+	queue *common.Queue[*TezTask]
+	// Executed counts completed tasks.
+	Executed int
+}
+
+// NewTaskProcessor returns a processor with an empty queue.
+func NewTaskProcessor(app *App) *TaskProcessor {
+	return &TaskProcessor{app: app, queue: common.NewQueue[*TezTask]()}
+}
+
+// Submit enqueues a task.
+func (p *TaskProcessor) Submit(t *TezTask) { p.queue.Put(t) }
+
+// executeTask runs one task on an executor.
+//
+// Throws: RemoteException, SocketTimeoutException.
+func (p *TaskProcessor) executeTask(ctx context.Context, t *TezTask) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	if t.IsShutdown {
+		return errmodel.Newf("ServiceException", "task %s was cancelled", t.ID)
+	}
+	p.app.Warehouse.Put("task/"+t.ID, "done")
+	return nil
+}
+
+// processTask handles one queued task, re-submitting failures for retry.
+//
+// BUG (IF, wrong retry policy — HIVE-23894, Listing 3): a cancelled task
+// fails with a cancellation error, but the processor treats every failure
+// as transient and re-submits it, so "cancel" never takes effect and the
+// queue keeps burning executor slots on a dead task. The fix checks
+// IsShutdown before re-enqueueing.
+func (p *TaskProcessor) processTask(ctx context.Context, t *TezTask) error {
+	maxRetries := p.app.Config.GetInt("hive.tez.task.max.attempts", 4)
+	if err := p.executeTask(ctx, t); err != nil {
+		if t.attempts < maxRetries {
+			t.attempts++
+			vclock.Sleep(ctx, 100*time.Millisecond)
+			p.queue.Put(t) // re-submit — even when the task was cancelled
+			return nil
+		}
+		return err
+	}
+	p.Executed++
+	return nil
+}
+
+// Drain processes queued tasks until empty.
+func (p *TaskProcessor) Drain(ctx context.Context) error {
+	for {
+		t, ok := p.queue.Take()
+		if !ok {
+			return nil
+		}
+		if err := p.processTask(ctx, t); err != nil {
+			return err
+		}
+	}
+}
+
+// SessionPool hands out HiveServer2 sessions.
+type SessionPool struct {
+	app *App
+}
+
+// NewSessionPool returns a pool.
+func NewSessionPool(app *App) *SessionPool { return &SessionPool{app: app} }
+
+// acquireOnce claims a session slot.
+//
+// Throws: TimeoutException.
+func (s *SessionPool) acquireOnce(ctx context.Context) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	return "session-1", nil
+}
+
+// Acquire claims a session, retrying until one is available.
+//
+// BUG (WHEN, missing cap): session acquisition retries forever (with a
+// wait); if the pool is permanently exhausted the caller hangs here.
+func (s *SessionPool) Acquire(ctx context.Context) (string, error) {
+	retryWait := s.app.Config.GetDuration("hive.session.acquire.wait", 150*time.Millisecond)
+	for {
+		id, err := s.acquireOnce(ctx)
+		if err == nil {
+			return id, nil
+		}
+		s.app.log(ctx, "session acquire failed: %v", err)
+		vclock.Sleep(ctx, retryWait)
+	}
+}
+
+// StatsPublisher aggregates and publishes table statistics.
+type StatsPublisher struct {
+	app *App
+}
+
+// NewStatsPublisher returns a publisher.
+func NewStatsPublisher(app *App) *StatsPublisher { return &StatsPublisher{app: app} }
+
+// publishOnce stages the aggregate and then flushes it. The staging
+// happens before the flush, so a flush failure leaves the stage marker
+// behind.
+//
+// Throws: IOException.
+func (s *StatsPublisher) publishOnce(ctx context.Context, table string) error {
+	if !s.app.Warehouse.PutIfAbsent("stats/"+table+"/staged", "true") {
+		return errmodel.Newf("IllegalStateException", "stats for %s already staged", table)
+	}
+	if err := fault.Hook(ctx); err != nil {
+		return err // flush failed; stage marker left behind
+	}
+	s.app.Warehouse.Put("stats/"+table, "published")
+	return nil
+}
+
+// Publish publishes statistics with bounded, delayed retry.
+//
+// BUG (HOW, improper state reset): a failed flush leaves the stage marker
+// in place, so the retry crashes with IllegalStateException instead of
+// republishing — the §2.4 partial-state pattern.
+func (s *StatsPublisher) Publish(ctx context.Context, table string) error {
+	maxRetries := s.app.Config.GetInt("hive.stats.publish.retries", 4)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := s.publishOnce(ctx, table)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "IllegalStateException") {
+			return err
+		}
+		last = err
+		vclock.Sleep(ctx, 150*time.Millisecond)
+	}
+	return last
+}
+
+// PartitionPruner fetches partition metadata for query planning.
+type PartitionPruner struct {
+	app *App
+}
+
+// NewPartitionPruner returns a pruner.
+func NewPartitionPruner(app *App) *PartitionPruner { return &PartitionPruner{app: app} }
+
+// fetchPartition reads one partition descriptor.
+//
+// Throws: SocketTimeoutException.
+func (p *PartitionPruner) fetchPartition(ctx context.Context, part string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	return "desc:" + part, nil
+}
+
+// FetchPartition reads a partition descriptor with a small bounded retry
+// and pause. The cap is correct; query planning re-drives it for every
+// partition of every table and tolerates per-partition failures — the
+// caller-level re-driving behind §4.3's missing-cap false positives.
+func (p *PartitionPruner) FetchPartition(ctx context.Context, part string) (string, error) {
+	maxRetries := p.app.Config.GetInt("hive.partition.fetch.retries", 3)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		desc, err := p.fetchPartition(ctx, part)
+		if err == nil {
+			return desc, nil
+		}
+		last = err
+		vclock.Sleep(ctx, 50*time.Millisecond)
+	}
+	return "", last
+}
+
+// HookRunner executes pre/post execution hooks.
+type HookRunner struct {
+	app *App
+}
+
+// NewHookRunner returns a runner.
+func NewHookRunner(app *App) *HookRunner { return &HookRunner{app: app} }
+
+// runHook executes one hook.
+//
+// Throws: IOException.
+func (h *HookRunner) runHook(ctx context.Context, name string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	h.app.Warehouse.Put("hook/"+name, "ran")
+	return nil
+}
+
+// RunHook executes a hook with bounded, delayed retry; exhausted retries
+// are rethrown wrapped in the module's ServiceException — the wrapping
+// behind §4.3's "different exception" false positives.
+func (h *HookRunner) RunHook(ctx context.Context, name string) error {
+	const maxRetries = 3
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := h.runHook(ctx, name)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 100*time.Millisecond)
+	}
+	return errmodel.Wrap("ServiceException", "hook "+name+" failed", last)
+}

@@ -1,0 +1,70 @@
+package hive
+
+import (
+	"context"
+
+	"wasabi/internal/testkit"
+)
+
+// workloadTests are end-to-end scenario tests; each covers several retry
+// locations the focused tests also reach (§3.1.4 planning redundancy).
+func workloadTests() []testkit.Test {
+	return []testkit.Test{
+		{
+			Name: "hive.TestQueryEndToEndFlow", App: "HI",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				m := NewMetastoreClient(app)
+				if err := m.Connect(ctx, "thrift://ms1:9083"); err != nil {
+					return err
+				}
+				if err := NewZKLockManager(app).AcquireLock(ctx, "flow_t"); err != nil {
+					return err
+				}
+				if _, err := NewSessionPool(app).Acquire(ctx); err != nil {
+					return err
+				}
+				out, err := NewHS2Client(app).ExecuteStatement(ctx, "select count(*) from flow_t")
+				if err != nil {
+					return err
+				}
+				return testkit.Assertf(out == "rows:1", "out = %q", out)
+			},
+		},
+		{
+			Name: "hive.TestDDLFlow", App: "HI",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				m := NewMetastoreClient(app)
+				if err := m.Connect(ctx, "thrift://ms1:9083"); err != nil {
+					return err
+				}
+				if err := m.AlterTable(ctx, "flow_t2", "add col y string"); err != nil {
+					return err
+				}
+				if err := NewStatsPublisher(app).Publish(ctx, "flow_t2"); err != nil {
+					return err
+				}
+				return NewHookRunner(app).RunHook(ctx, "post-ddl")
+			},
+		},
+		{
+			Name: "hive.TestQueryPlanningFlow", App: "HI",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				p := NewPartitionPruner(app)
+				for i := 0; i < 5; i++ {
+					if _, err := p.FetchPartition(ctx, "fp"+string(rune('a'+i))); err != nil {
+						return err
+					}
+				}
+				t := NewTaskProcessor(app)
+				t.Submit(&TezTask{ID: "flow-q"})
+				return t.Drain(ctx)
+			},
+		},
+	}
+}

@@ -1,0 +1,45 @@
+// Package mapreduce is the corpus miniature of Hadoop MapReduce (MA in
+// the evaluation): job submission, task attempts, the shuffle, and output
+// commit. Its ground-truth bugs skew toward missing-delay re-enqueueing
+// (Table 3's MA row is delay-only), and it hosts the boolean-flag
+// control-flow pattern that produces the paper's single IF-analysis false
+// positive (FileNotFoundException "retried" in 1/4 loops, §4.3).
+//
+// Ground truth lives in manifest.go; detectors never read it.
+package mapreduce
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/trace"
+)
+
+// App is a miniature MapReduce deployment: an application master, two
+// node managers, and job state.
+type App struct {
+	Config  *common.Config
+	Cluster *common.Cluster
+	Jobs    *common.KV // job and attempt state
+}
+
+// New constructs a deployment with default configuration.
+func New() *App {
+	return &App{
+		Config: common.NewConfig(map[string]string{
+			"mapreduce.task.attempt.retries":    "4",
+			"mapreduce.shuffle.fetch.retries":   "5",
+			"mapreduce.jobclient.retries":       "3",
+			"mapreduce.committer.retries":       "4",
+			"mapreduce.am.register.retries":     "3",
+			"mapreduce.speculative.max.requeue": "2",
+		}),
+		Cluster: common.NewCluster("nm1", "nm2"),
+		Jobs:    common.NewKV(),
+	}
+}
+
+// log emits an application log line into the run trace.
+func (a *App) log(ctx context.Context, format string, args ...any) {
+	trace.Note(ctx, "[mapreduce] "+format, args...)
+}

@@ -1,0 +1,83 @@
+package mapreduce
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"time"
+
+	"wasabi/internal/vclock"
+)
+
+// Non-retry MapReduce code: split computation, counter parsing, and
+// progress polling — retry look-alikes for the ablation and Q4 prompts.
+
+// InputSplitter partitions input files into map splits.
+type InputSplitter struct {
+	app *App
+	// Splits counts produced splits; Skipped counts unreadable files.
+	Splits, Skipped int
+}
+
+// NewInputSplitter returns a splitter.
+func NewInputSplitter(app *App) *InputSplitter { return &InputSplitter{app: app} }
+
+// ComputeSplits walks the input files once, skipping unreadable ones —
+// per-item tolerance, never re-execution.
+func (s *InputSplitter) ComputeSplits(ctx context.Context, files []string) {
+	for _, f := range files {
+		if v, _ := s.app.Jobs.Get("input/" + f); v == "unreadable" {
+			s.app.log(ctx, "skipping unreadable input %s", f)
+			s.Skipped++
+			continue
+		}
+		s.Splits++
+	}
+}
+
+// ParseCounters parses "name=value" counter dumps, reporting the first
+// malformed entry.
+func ParseCounters(dump string) (map[string]int, error) {
+	out := make(map[string]int)
+	if dump == "" {
+		return out, nil
+	}
+	for _, kv := range strings.Split(dump, ",") {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return nil, &counterError{kv: kv}
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, &counterError{kv: kv}
+		}
+		out[parts[0]] = n
+	}
+	return out, nil
+}
+
+type counterError struct{ kv string }
+
+func (e *counterError) Error() string { return "bad counter " + e.kv }
+
+// ProgressPoller waits for a job to reach a progress threshold.
+type ProgressPoller struct {
+	app *App
+}
+
+// NewProgressPoller returns a poller.
+func NewProgressPoller(app *App) *ProgressPoller { return &ProgressPoller{app: app} }
+
+// WaitForProgress polls job progress until it reaches pct or the poll
+// budget runs out — status polling, not retry.
+func (p *ProgressPoller) WaitForProgress(ctx context.Context, job string, pct, polls int) bool {
+	for i := 0; i < polls; i++ {
+		v, _ := p.app.Jobs.Get("progress/" + job)
+		cur, _ := strconv.Atoi(v)
+		if cur >= pct {
+			return true
+		}
+		vclock.Sleep(ctx, 500*time.Millisecond)
+	}
+	return false
+}

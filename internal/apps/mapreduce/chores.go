@@ -1,0 +1,179 @@
+package mapreduce
+
+import (
+	"context"
+	"strconv"
+	"strings"
+)
+
+// Housekeeping chores of the MapReduce miniature: per-item iteration with
+// error tolerance — structural retry look-alikes the retry-naming filter
+// prunes (§4.4).
+
+// HistoryCleaner deletes finished-job records past retention.
+type HistoryCleaner struct {
+	app *App
+	// Deleted and Kept count pass outcomes.
+	Deleted, Kept int
+}
+
+// NewHistoryCleaner returns a cleaner.
+func NewHistoryCleaner(app *App) *HistoryCleaner { return &HistoryCleaner{app: app} }
+
+// ageOf parses one record's age.
+func (h *HistoryCleaner) ageOf(key string) (int, error) {
+	v, _ := h.app.Jobs.Get(key)
+	age, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &counterError{kv: key + "=" + v}
+	}
+	return age, nil
+}
+
+// CleanOnce walks every history record once.
+func (h *HistoryCleaner) CleanOnce(ctx context.Context) {
+	for _, key := range h.app.Jobs.ListPrefix("historyage/") {
+		age, err := h.ageOf(key)
+		if err != nil {
+			h.app.log(ctx, "history cleaner skipping %s: %v", key, err)
+			h.Kept++
+			continue
+		}
+		if age <= 30 {
+			h.Kept++
+			continue
+		}
+		h.app.Jobs.Delete(key)
+		h.Deleted++
+	}
+}
+
+// StagingPurger removes abandoned staging directories.
+type StagingPurger struct {
+	app *App
+	// Purged counts removed directories; Active counts live ones.
+	Purged, Active int
+}
+
+// NewStagingPurger returns a purger.
+func NewStagingPurger(app *App) *StagingPurger { return &StagingPurger{app: app} }
+
+// abandoned reports whether one staging dir's owning job is gone.
+func (s *StagingPurger) abandoned(key string) (bool, error) {
+	job, ok := s.app.Jobs.Get(key)
+	if !ok {
+		return false, &counterError{kv: key + " has no owner"}
+	}
+	return !s.app.Jobs.Exists("job/" + job), nil
+}
+
+// PurgeOnce walks every staging dir once.
+func (s *StagingPurger) PurgeOnce(ctx context.Context) {
+	for _, key := range s.app.Jobs.ListPrefix("staging/") {
+		orphan, err := s.abandoned(key)
+		if err != nil {
+			s.app.log(ctx, "staging purge skipping %s: %v", key, err)
+			continue
+		}
+		if !orphan {
+			s.Active++
+			continue
+		}
+		s.app.Jobs.Delete(key)
+		s.Purged++
+	}
+}
+
+// CounterMerger folds per-task counters into job totals.
+type CounterMerger struct {
+	app *App
+	// Totals maps counter name to its merged value; Bad counts skipped
+	// task records.
+	Totals map[string]int
+	Bad    int
+}
+
+// NewCounterMerger returns a merger.
+func NewCounterMerger(app *App) *CounterMerger {
+	return &CounterMerger{app: app, Totals: make(map[string]int)}
+}
+
+// MergeOnce folds every task counter dump once.
+func (c *CounterMerger) MergeOnce(ctx context.Context) {
+	for _, key := range c.app.Jobs.ListPrefix("taskcounters/") {
+		dump, _ := c.app.Jobs.Get(key)
+		parsed, err := ParseCounters(dump)
+		if err != nil {
+			c.app.log(ctx, "counter merge skipping %s: %v", key, err)
+			c.Bad++
+			continue
+		}
+		for name, v := range parsed {
+			c.Totals[name] += v
+		}
+	}
+}
+
+// LogArchiver moves completed task logs to the archive prefix.
+type LogArchiver struct {
+	app *App
+	// Archived counts moved logs.
+	Archived int
+}
+
+// NewLogArchiver returns an archiver.
+func NewLogArchiver(app *App) *LogArchiver { return &LogArchiver{app: app} }
+
+// archive moves one log entry.
+func (l *LogArchiver) archive(key string) error {
+	v, ok := l.app.Jobs.Get(key)
+	if !ok {
+		return &counterError{kv: key + " vanished"}
+	}
+	name := strings.TrimPrefix(key, "tasklog/")
+	l.app.Jobs.Put("archivedlog/"+name, v)
+	l.app.Jobs.Delete(key)
+	return nil
+}
+
+// ArchiveOnce walks every completed task log once.
+func (l *LogArchiver) ArchiveOnce(ctx context.Context) {
+	for _, key := range l.app.Jobs.ListPrefix("tasklog/") {
+		if err := l.archive(key); err != nil {
+			l.app.log(ctx, "log archive skipping %s: %v", key, err)
+			continue
+		}
+		l.Archived++
+	}
+}
+
+// SlotAuditor validates configured node-manager slot counts.
+type SlotAuditor struct {
+	app *App
+	// Invalid lists nodes with malformed slot configuration.
+	Invalid []string
+}
+
+// NewSlotAuditor returns an auditor.
+func NewSlotAuditor(app *App) *SlotAuditor { return &SlotAuditor{app: app} }
+
+// check parses one node's slot record.
+func (s *SlotAuditor) check(key string) error {
+	v, _ := s.app.Jobs.Get(key)
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return &counterError{kv: key + "=" + v}
+	}
+	return nil
+}
+
+// AuditOnce walks every slot record once.
+func (s *SlotAuditor) AuditOnce(ctx context.Context) {
+	for _, key := range s.app.Jobs.ListPrefix("slots/") {
+		if err := s.check(key); err != nil {
+			s.app.log(ctx, "slot audit: %v", err)
+			s.Invalid = append(s.Invalid, key)
+			continue
+		}
+	}
+}

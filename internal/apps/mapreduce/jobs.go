@@ -1,0 +1,239 @@
+package mapreduce
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// slowTask is a speculative-execution work item carrying a status code.
+type slowTask struct {
+	id       string
+	requeues int
+}
+
+// Speculative-execution status codes.
+const (
+	specLaunched = "LAUNCHED"
+	specBusyNode = "BUSY_NODE"
+	specStale    = "STALE"
+)
+
+// SpeculativeScheduler relaunches slow task attempts on other nodes. Its
+// outcomes are *status codes*, not exceptions: BUSY_NODE items are retried
+// by re-queueing, STALE items are dropped — error-code-triggered retry,
+// uninjectable by WASABI (§4.2).
+type SpeculativeScheduler struct {
+	app     *App
+	queue   *common.Queue[*slowTask]
+	statusF func(id string) string
+	// Relaunched counts successfully relaunched attempts.
+	Relaunched int
+	// Dropped lists abandoned items.
+	Dropped []string
+}
+
+// NewSpeculativeScheduler returns a scheduler whose status source always
+// reports success; tests replace statusF.
+func NewSpeculativeScheduler(app *App) *SpeculativeScheduler {
+	return &SpeculativeScheduler{
+		app:     app,
+		queue:   common.NewQueue[*slowTask](),
+		statusF: func(string) string { return specLaunched },
+	}
+}
+
+// SetStatusSource replaces the launch status source.
+func (s *SpeculativeScheduler) SetStatusSource(f func(string) string) { s.statusF = f }
+
+// Enqueue adds a slow task for speculative relaunch.
+func (s *SpeculativeScheduler) Enqueue(id string) {
+	s.queue.Put(&slowTask{id: id})
+}
+
+// Drain processes the speculation queue: BUSY_NODE outcomes re-queue the
+// item up to the configured budget, STALE outcomes abandon it.
+func (s *SpeculativeScheduler) Drain(ctx context.Context) {
+	maxRequeue := s.app.Config.GetInt("mapreduce.speculative.max.requeue", 2)
+	for {
+		item, ok := s.queue.Take()
+		if !ok {
+			return
+		}
+		switch status := s.statusF(item.id); status {
+		case specLaunched:
+			s.Relaunched++
+		case specBusyNode:
+			if item.requeues < maxRequeue {
+				item.requeues++
+				vclock.Sleep(ctx, 100*time.Millisecond)
+				s.queue.Put(item)
+				continue
+			}
+			s.Dropped = append(s.Dropped, item.id)
+		case specStale:
+			s.Dropped = append(s.Dropped, item.id)
+		}
+	}
+}
+
+// HistoryLoader reads finished-job records from the history server.
+type HistoryLoader struct {
+	app *App
+}
+
+// NewHistoryLoader returns a loader.
+func NewHistoryLoader(app *App) *HistoryLoader { return &HistoryLoader{app: app} }
+
+// loadRecord reads one job history record.
+//
+// Throws: SocketTimeoutException.
+func (h *HistoryLoader) loadRecord(ctx context.Context, job string) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	if v, ok := h.app.Jobs.Get("history/" + job); ok {
+		return v, nil
+	}
+	return "", errmodel.Newf("FileNotFoundException", "no history for %s", job)
+}
+
+// LoadJob reads a job record, re-attempting transient history-server
+// hiccups.
+//
+// BUG (WHEN, missing delay): re-attempts go out back to back, and the
+// counter is named "tries", so keyword-filtered structural analysis does
+// not see the loop — only fuzzy comprehension does.
+func (h *HistoryLoader) LoadJob(ctx context.Context, job string) (string, error) {
+	const maxTries = 4
+	var last error
+	for tries := 0; tries < maxTries; tries++ {
+		rec, err := h.loadRecord(ctx, job)
+		if err == nil {
+			return rec, nil
+		}
+		if errmodel.IsClass(err, "FileNotFoundException") {
+			return "", err
+		}
+		last = err
+	}
+	return "", last
+}
+
+// Launcher procedure states.
+const (
+	launchAllocate = iota
+	launchStart
+	launchDone
+)
+
+// TaskLauncherProc allocates a container and starts a task as a
+// state-machine procedure — correct retry: backoff + cap per state.
+type TaskLauncherProc struct {
+	app      *App
+	task     string
+	state    int
+	attempts int
+}
+
+// NewTaskLauncherProc returns a launcher procedure for task.
+func NewTaskLauncherProc(app *App, task string) *TaskLauncherProc {
+	return &TaskLauncherProc{app: app, task: task}
+}
+
+// Name implements common.Procedure.
+func (p *TaskLauncherProc) Name() string { return "launch-" + p.task }
+
+// allocateContainer reserves a container on a node manager.
+//
+// Throws: RemoteException.
+func (p *TaskLauncherProc) allocateContainer(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	p.app.Jobs.Put("container/"+p.task, "nm1")
+	return nil
+}
+
+// startTask starts the task inside its container.
+//
+// Throws: ConnectException.
+func (p *TaskLauncherProc) startTask(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	p.app.Jobs.Put("running/"+p.task, "true")
+	return nil
+}
+
+// Step implements common.Procedure.
+func (p *TaskLauncherProc) Step(ctx context.Context) (bool, error) {
+	const maxRetryAttempts = 5
+	retryStep := func(err error) (bool, error) {
+		p.attempts++
+		if p.attempts >= maxRetryAttempts {
+			return false, err
+		}
+		vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, p.attempts-1, time.Second))
+		return false, nil
+	}
+	switch p.state {
+	case launchAllocate:
+		if err := p.allocateContainer(ctx); err != nil {
+			return retryStep(err)
+		}
+		p.state, p.attempts = launchStart, 0
+	case launchStart:
+		if err := p.startTask(ctx); err != nil {
+			return retryStep(err)
+		}
+		p.state = launchDone
+	case launchDone:
+		return true, nil
+	}
+	return p.state == launchDone, nil
+}
+
+// LocalDirAllocator picks a healthy local directory for spill files.
+type LocalDirAllocator struct {
+	app  *App
+	dirs []string
+}
+
+// NewLocalDirAllocator returns an allocator over the standard spill dirs.
+func NewLocalDirAllocator(app *App) *LocalDirAllocator {
+	return &LocalDirAllocator{app: app, dirs: []string{"/disk1", "/disk2", "/disk3"}}
+}
+
+// probeDir checks that the directory at index idx is writable.
+//
+// Throws: IOException.
+func (l *LocalDirAllocator) probeDir(ctx context.Context, idx int) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	if v, _ := l.app.Jobs.Get("disk" + strconv.Itoa(idx)); v == "full" {
+		return "", errmodel.Newf("IOException", "disk %d full", idx)
+	}
+	return l.dirs[idx], nil
+}
+
+// PickDir returns the first writable directory, moving to the next disk
+// on failure — no pause on purpose, since every retry probes a different
+// disk (the missing-delay FP shape).
+func (l *LocalDirAllocator) PickDir(ctx context.Context) (string, error) {
+	var last error
+	for retry := 0; retry < len(l.dirs); retry++ {
+		dir, err := l.probeDir(ctx, retry)
+		if err == nil {
+			return dir, nil
+		}
+		last = err
+	}
+	return "", last
+}

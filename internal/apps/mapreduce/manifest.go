@@ -1,0 +1,65 @@
+package mapreduce
+
+import "wasabi/internal/apps/meta"
+
+// Manifest is the ground-truth record of every retry code structure in
+// this package; detectors never read it.
+func Manifest() []meta.Structure {
+	return []meta.Structure{
+		{
+			App: "MA", Coordinator: "mapreduce.TaskAttemptScheduler.processAttempt",
+			Retried: []string{"mapreduce.TaskAttemptScheduler.launchAttempt"},
+			File:    "tasks.go", Mechanism: meta.Queue, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: failed attempts re-enqueued with no pause before re-dispatch",
+		},
+		{
+			App: "MA", Coordinator: "mapreduce.ShuffleFetcher.FetchMapOutput",
+			Retried: []string{"mapreduce.ShuffleFetcher.fetchOutput"},
+			File:    "tasks.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: shuffle fetches re-attempted back to back against the same host",
+		},
+		{
+			App: "MA", Coordinator: "mapreduce.JobClient.Submit",
+			Retried: []string{"mapreduce.JobClient.submitOnce"},
+			File:    "tasks.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + delay, IllegalArgumentException excluded",
+		},
+		{
+			App: "MA", Coordinator: "mapreduce.OutputCommitter.CommitWithRetry",
+			Retried: []string{"mapreduce.OutputCommitter.commitOnce"},
+			File:    "tasks.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct; FileNotFoundException handled through a boolean flag, which the ratio analysis cannot track (its one IF FP, §4.3)",
+		},
+		{
+			App: "MA", Coordinator: "mapreduce.SpeculativeScheduler.Drain",
+			File: "jobs.go", Mechanism: meta.Queue, Trigger: meta.ErrorCode,
+			Keyworded: true,
+			Note:      "correct error-code-triggered re-queue; uninjectable (§4.2)",
+		},
+		{
+			App: "MA", Coordinator: "mapreduce.HistoryLoader.LoadJob",
+			Retried: []string{"mapreduce.HistoryLoader.loadRecord"},
+			File:    "jobs.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: false, Bug: meta.MissingDelay,
+			Note: "WHEN: back-to-back re-reads; counter named 'tries' (CodeQL keyword miss); uncovered by the suite",
+		},
+		{
+			App: "MA", Coordinator: "mapreduce.TaskLauncherProc.Step",
+			Retried: []string{"mapreduce.TaskLauncherProc.allocateContainer", "mapreduce.TaskLauncherProc.startTask"},
+			File:    "jobs.go", Mechanism: meta.StateMachine, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct state-machine retry: backoff + cap per state",
+		},
+		{
+			App: "MA", Coordinator: "mapreduce.LocalDirAllocator.PickDir",
+			Retried: []string{"mapreduce.LocalDirAllocator.probeDir"},
+			File:    "jobs.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, DelayUnneeded: true,
+			Note: "no pause, but each attempt probes a different disk (missing-delay FP source)",
+		},
+	}
+}

@@ -1,0 +1,100 @@
+package mapreduce
+
+import (
+	"context"
+	"testing"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/trace"
+)
+
+func injected(coordinator, retried, exc string, k int) (context.Context, *trace.Run) {
+	in := fault.NewInjector([]fault.Rule{{
+		Loc: fault.Location{Coordinator: coordinator, Retried: retried, Exception: exc},
+		K:   k,
+	}})
+	run := trace.NewRun("t")
+	return fault.With(trace.With(context.Background(), run), in), run
+}
+
+// TestAttemptRequeuedWithoutPause demonstrates the missing-delay bug in
+// the attempt scheduler's re-enqueue path.
+func TestAttemptRequeuedWithoutPause(t *testing.T) {
+	app := New()
+	s := NewTaskAttemptScheduler(app)
+	s.Submit("m-0")
+	ctx, run := injected("mapreduce.TaskAttemptScheduler.processAttempt",
+		"mapreduce.TaskAttemptScheduler.launchAttempt", "ConnectException", 3)
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain should heal: %v", err)
+	}
+	if s.Completed != 1 {
+		t.Errorf("completed = %d", s.Completed)
+	}
+	injections, sleeps := 0, 0
+	for _, e := range run.Events() {
+		switch e.Kind {
+		case trace.KindInjection:
+			injections++
+		case trace.KindSleep:
+			sleeps++
+		}
+	}
+	if injections != 3 {
+		t.Errorf("injections = %d", injections)
+	}
+	if sleeps != 0 {
+		t.Errorf("sleeps = %d; re-enqueue happens with no pause", sleeps)
+	}
+}
+
+// TestAttemptBudgetExhausted verifies the per-attempt cap holds.
+func TestAttemptBudgetExhausted(t *testing.T) {
+	app := New()
+	s := NewTaskAttemptScheduler(app)
+	s.Submit("m-1")
+	ctx, _ := injected("mapreduce.TaskAttemptScheduler.processAttempt",
+		"mapreduce.TaskAttemptScheduler.launchAttempt", "ConnectException", 100)
+	err := s.Drain(ctx)
+	if err == nil {
+		t.Fatal("expected exhaustion after the per-task budget")
+	}
+	if !errmodel.IsClass(err, "ConnectException") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestCommitFNFFlagBreaksLoop verifies the boolean-flag control flow: a
+// FileNotFoundException stops the retry immediately despite the loop
+// having budget left.
+func TestCommitFNFFlagBreaksLoop(t *testing.T) {
+	app := New()
+	ctx, run := injected("mapreduce.OutputCommitter.CommitWithRetry",
+		"mapreduce.OutputCommitter.commitOnce", "FileNotFoundException", 100)
+	err := NewOutputCommitter(app).CommitWithRetry(ctx, "j1")
+	if err == nil || !errmodel.IsClass(err, "FileNotFoundException") {
+		t.Fatalf("err = %v", err)
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection && e.Count > 1 {
+			t.Error("FileNotFoundException must not actually be retried")
+		}
+	}
+}
+
+// TestShuffleHealsBackToBack shows the fetch loop healing with no sleeps.
+func TestShuffleHealsBackToBack(t *testing.T) {
+	app := New()
+	ctx, run := injected("mapreduce.ShuffleFetcher.FetchMapOutput",
+		"mapreduce.ShuffleFetcher.fetchOutput", "SocketTimeoutException", 2)
+	seg, err := NewShuffleFetcher(app).FetchMapOutput(ctx, 1)
+	if err != nil || seg != "segment-1" {
+		t.Fatalf("fetch = %q, %v", seg, err)
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindSleep {
+			t.Error("no sleep expected (that is the bug)")
+		}
+	}
+}

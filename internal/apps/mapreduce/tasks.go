@@ -1,0 +1,211 @@
+package mapreduce
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// attempt is a queued task attempt with its own retry budget.
+type attempt struct {
+	task    string
+	retries int
+}
+
+// TaskAttemptScheduler launches task attempts from a queue; failed
+// attempts are re-enqueued — asynchronous queue retry (§2.5).
+type TaskAttemptScheduler struct {
+	app   *App
+	queue *common.Queue[*attempt]
+	// Completed counts finished tasks.
+	Completed int
+}
+
+// NewTaskAttemptScheduler returns a scheduler with an empty queue.
+func NewTaskAttemptScheduler(app *App) *TaskAttemptScheduler {
+	return &TaskAttemptScheduler{app: app, queue: common.NewQueue[*attempt]()}
+}
+
+// Submit enqueues a task.
+func (s *TaskAttemptScheduler) Submit(task string) {
+	s.queue.Put(&attempt{task: task})
+}
+
+// launchAttempt runs one attempt on a node manager.
+//
+// Throws: ConnectException, RemoteException.
+func (s *TaskAttemptScheduler) launchAttempt(ctx context.Context, task string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	return s.app.Cluster.Call(ctx, "nm1", func(n *common.Node) error {
+		n.Store.Put("attempt/"+task, "done")
+		return nil
+	})
+}
+
+// processAttempt runs one queued attempt and decides what to do on
+// failure: re-submit for retry while budget remains, otherwise fail the
+// task. The retry decision lives in this plain handler — no loop anywhere.
+//
+// BUG (WHEN, missing delay): the attempt is re-enqueued immediately; the
+// scheduler re-dispatches it in the same scheduling round, hammering the
+// node manager while the transient condition persists.
+func (s *TaskAttemptScheduler) processAttempt(ctx context.Context, a *attempt) error {
+	maxRetries := s.app.Config.GetInt("mapreduce.task.attempt.retries", 4)
+	if err := s.launchAttempt(ctx, a.task); err != nil {
+		if a.retries < maxRetries {
+			a.retries++
+			s.queue.Put(a) // re-submit for retry, no pause
+			return nil
+		}
+		return err
+	}
+	s.Completed++
+	return nil
+}
+
+// Drain runs queued attempts until the queue is empty.
+func (s *TaskAttemptScheduler) Drain(ctx context.Context) error {
+	for {
+		a, ok := s.queue.Take()
+		if !ok {
+			return nil
+		}
+		if err := s.processAttempt(ctx, a); err != nil {
+			return err
+		}
+	}
+}
+
+// ShuffleFetcher copies map outputs to reducers.
+type ShuffleFetcher struct {
+	app *App
+}
+
+// NewShuffleFetcher returns a fetcher.
+func NewShuffleFetcher(app *App) *ShuffleFetcher { return &ShuffleFetcher{app: app} }
+
+// fetchOutput copies one map output segment.
+//
+// Throws: SocketTimeoutException, EOFException.
+func (f *ShuffleFetcher) fetchOutput(ctx context.Context, mapID int) (string, error) {
+	if err := fault.Hook(ctx); err != nil {
+		return "", err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	return "segment-" + strconv.Itoa(mapID), nil
+}
+
+// FetchMapOutput copies a map output, re-attempting transient fetch
+// failures up to the configured cap.
+//
+// BUG (WHEN, missing delay): fetch attempts are issued back to back
+// against the same mapper host.
+func (f *ShuffleFetcher) FetchMapOutput(ctx context.Context, mapID int) (string, error) {
+	maxRetries := f.app.Config.GetInt("mapreduce.shuffle.fetch.retries", 5)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		seg, err := f.fetchOutput(ctx, mapID)
+		if err == nil {
+			return seg, nil
+		}
+		last = err
+	}
+	return "", last
+}
+
+// JobClient submits jobs to the resource manager.
+type JobClient struct {
+	app *App
+}
+
+// NewJobClient returns a client.
+func NewJobClient(app *App) *JobClient { return &JobClient{app: app} }
+
+// submitOnce performs one submission RPC.
+//
+// Throws: ConnectException, IllegalArgumentException.
+func (c *JobClient) submitOnce(ctx context.Context, job string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	if job == "" {
+		return errmodel.New("IllegalArgumentException", "empty job name")
+	}
+	c.app.Jobs.Put("job/"+job, "SUBMITTED")
+	return nil
+}
+
+// Submit submits a job with bounded, delayed retry. A malformed job is
+// the caller's mistake and aborts immediately.
+func (c *JobClient) Submit(ctx context.Context, job string) error {
+	maxRetries := c.app.Config.GetInt("mapreduce.jobclient.retries", 3)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := c.submitOnce(ctx, job)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "IllegalArgumentException") {
+			return err
+		}
+		last = err
+		vclock.Sleep(ctx, 250*time.Millisecond)
+	}
+	return last
+}
+
+// OutputCommitter finalizes job output directories.
+type OutputCommitter struct {
+	app *App
+}
+
+// NewOutputCommitter returns a committer.
+func NewOutputCommitter(app *App) *OutputCommitter { return &OutputCommitter{app: app} }
+
+// commitOnce promotes the temporary output directory.
+//
+// Throws: IOException, FileNotFoundException.
+func (c *OutputCommitter) commitOnce(ctx context.Context, job string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	c.app.Jobs.Put("output/"+job, "committed")
+	return nil
+}
+
+// CommitWithRetry promotes job output, retrying transient I/O failures.
+// A missing output directory is final — but the decision flows through an
+// auxiliary boolean rather than an early return, which is precisely the
+// control-flow shape the paper's ratio analysis fails to track, yielding
+// its one IF false positive ("FileNotFoundException retried in 1/4
+// cases", §4.3).
+func (c *OutputCommitter) CommitWithRetry(ctx context.Context, job string) error {
+	maxRetries := c.app.Config.GetInt("mapreduce.committer.retries", 4)
+	var last error
+	missingOutput := false
+	for retry := 0; retry < maxRetries; retry++ {
+		err := c.commitOnce(ctx, job)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "FileNotFoundException") {
+			missingOutput = true
+		}
+		if missingOutput {
+			break
+		}
+		last = err
+		vclock.Sleep(ctx, 200*time.Millisecond)
+	}
+	if missingOutput {
+		return errmodel.Newf("FileNotFoundException", "output of %s vanished", job)
+	}
+	return last
+}

@@ -1,0 +1,65 @@
+package mapreduce
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/testkit"
+)
+
+// workloadTests are end-to-end scenario tests; each covers several retry
+// locations the focused tests also reach (§3.1.4 planning redundancy).
+func workloadTests() []testkit.Test {
+	return []testkit.Test{
+		{
+			Name: "mapreduce.TestJobEndToEndFlow", App: "MA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				if err := NewJobClient(app).Submit(ctx, "sort"); err != nil {
+					return err
+				}
+				s := NewTaskAttemptScheduler(app)
+				s.Submit("sort-m-0")
+				s.Submit("sort-m-1")
+				if err := s.Drain(ctx); err != nil {
+					return err
+				}
+				if _, err := NewShuffleFetcher(app).FetchMapOutput(ctx, 0); err != nil {
+					return err
+				}
+				return NewOutputCommitter(app).CommitWithRetry(ctx, "sort")
+			},
+		},
+		{
+			Name: "mapreduce.TestContainerLaunchFlow", App: "MA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				exec := common.NewProcedureExecutor()
+				if err := exec.Run(ctx, NewTaskLauncherProc(app, "flow-r-0")); err != nil {
+					return err
+				}
+				dir, err := NewLocalDirAllocator(app).PickDir(ctx)
+				if err != nil {
+					return err
+				}
+				return testkit.Assertf(dir != "", "no spill dir")
+			},
+		},
+		{
+			Name: "mapreduce.TestShuffleHeavyFlow", App: "MA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				f := NewShuffleFetcher(app)
+				for mapID := 0; mapID < 6; mapID++ {
+					if _, err := f.FetchMapOutput(ctx, mapID); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+	}
+}

@@ -1,0 +1,124 @@
+// Package meta defines the ground-truth manifest of the corpus.
+//
+// Every corpus application exports a manifest describing its retry code
+// structures: where they are, which mechanism they use, how their trigger
+// is encoded, and which (if any) retry bug each one contains. The manifest
+// plays the role of the paper authors' *manual inspection*: WASABI's
+// detectors never read it — they analyze source code and test executions —
+// and the evaluation harness scores detector reports against it to compute
+// the true-bug and false-positive counts of Tables 3, 4 and Figure 3.
+package meta
+
+// Mechanism classifies how a retry structure re-executes work (§2.5).
+type Mechanism string
+
+const (
+	// Loop is simple loop-based retry (≈70% of corpus structures).
+	Loop Mechanism = "loop"
+	// Queue is asynchronous task re-enqueueing.
+	Queue Mechanism = "queue"
+	// StateMachine is framework-driven re-execution of a procedure state.
+	StateMachine Mechanism = "statemachine"
+)
+
+// Trigger classifies how task errors reach the retry decision.
+type Trigger string
+
+const (
+	// Exception triggers are typed exceptions caught by the coordinator
+	// (70% of the paper's study; the only kind WASABI can inject).
+	Exception Trigger = "exception"
+	// ErrorCode triggers are status codes inspected by the coordinator;
+	// out of scope for WASABI's exception injection (§4.2).
+	ErrorCode Trigger = "errorcode"
+)
+
+// Bug labels a structure's ground-truth defect, if any.
+type Bug string
+
+const (
+	// None marks a correct retry structure.
+	None Bug = ""
+	// MissingCap marks unbounded retry (WHEN, §2.3.2).
+	MissingCap Bug = "missing-cap"
+	// MissingDelay marks back-to-back retry without delay (WHEN, §2.3.1).
+	MissingDelay Bug = "missing-delay"
+	// How marks a defect in retry execution (state reset, job tracking;
+	// §2.4) that manifests when a fault strikes once.
+	How Bug = "how"
+	// WrongPolicyNotRetried marks a recoverable error that is not retried
+	// (IF, §2.2.1).
+	WrongPolicyNotRetried Bug = "if-not-retried"
+	// WrongPolicyRetried marks a non-recoverable error that is retried
+	// (IF, §2.2.1).
+	WrongPolicyRetried Bug = "if-retried"
+)
+
+// Structure describes one retry code structure in the corpus.
+type Structure struct {
+	// App is the application short code: HA, HD, MA, YA, HB, HI, CA, EL.
+	App string
+	// Coordinator is the method implementing the retry decision, in
+	// "pkg.Type.method" form matching runtime stack normalization.
+	Coordinator string
+	// Retried lists the retried methods invoked by the coordinator that
+	// carry fault hooks (empty for error-code structures).
+	Retried []string
+	// File is the source file basename implementing the coordinator.
+	File string
+
+	Mechanism Mechanism
+	Trigger   Trigger
+
+	// Keyworded reports whether the structure carries a retry-ish
+	// identifier or literal, making it detectable by the CodeQL-style
+	// analysis (§3.1.1 technique 1).
+	Keyworded bool
+
+	// Bug is the ground-truth defect class.
+	Bug Bug
+
+	// DelayUnneeded marks structures that retry without delay but
+	// compensate between attempts (e.g. switching replicas), so a
+	// missing-delay report against them is a false positive (§4.3).
+	DelayUnneeded bool
+
+	// HarnessRetried marks structures whose cap is correct but whose
+	// callers re-drive them for many independent tasks in one run, so a
+	// 100-injection missing-cap report is a false positive (§4.3).
+	HarnessRetried bool
+
+	// WrapsErrors marks structures that wrap caught exceptions in a
+	// general application exception before propagating, the source of
+	// "different exception" oracle false positives (§4.3).
+	WrapsErrors bool
+
+	// Note documents the bug or the real-world issue it is modeled on.
+	Note string
+}
+
+// HasBug reports whether the structure carries any ground-truth defect.
+func (s Structure) HasBug() bool { return s.Bug != None }
+
+// Key returns a unique identifier for the structure.
+func (s Structure) Key() string { return s.App + "/" + s.Coordinator }
+
+// CountByMechanism tallies structures per mechanism.
+func CountByMechanism(list []Structure) map[Mechanism]int {
+	out := make(map[Mechanism]int)
+	for _, s := range list {
+		out[s.Mechanism]++
+	}
+	return out
+}
+
+// Filter returns the structures for which keep returns true.
+func Filter(list []Structure, keep func(Structure) bool) []Structure {
+	var out []Structure
+	for _, s := range list {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Package yarn is the corpus miniature of Hadoop YARN (YA in the
+// evaluation): resource-manager state transitions, AM launching, node
+// heartbeats, and resource localization. It hosts the YARN-8362 bug
+// (a retry counter incremented twice, silently halving the configured
+// attempt budget) — a cap problem WASABI's oracles cannot observe, kept
+// here as a deliberate false negative.
+//
+// Ground truth lives in manifest.go; detectors never read it.
+package yarn
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/trace"
+)
+
+// App is a miniature YARN deployment: a resource manager and two node
+// managers.
+type App struct {
+	Config  *common.Config
+	Cluster *common.Cluster
+	State   *common.KV // RM state store
+}
+
+// New constructs a deployment with default configuration.
+func New() *App {
+	return &App{
+		Config: common.NewConfig(map[string]string{
+			"yarn.rm.transition.max.attempts": "8",
+			"yarn.am.launch.retries":          "4",
+			"yarn.nm.heartbeat.retries":       "3",
+			"yarn.localizer.fetch.retries":    "5",
+			"yarn.tracker.register.retries":   "4",
+			"yarn.cleanup.retries":            "3",
+		}),
+		Cluster: common.NewCluster("nm1", "nm2"),
+		State:   common.NewKV(),
+	}
+}
+
+// log emits an application log line into the run trace.
+func (a *App) log(ctx context.Context, format string, args ...any) {
+	trace.Note(ctx, "[yarn] "+format, args...)
+}

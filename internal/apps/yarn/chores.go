@@ -1,0 +1,190 @@
+package yarn
+
+import (
+	"context"
+	"strconv"
+	"strings"
+)
+
+// Housekeeping chores of the YARN miniature: per-item iteration with
+// error tolerance — structural retry look-alikes the retry-naming filter
+// prunes (§4.4).
+
+type choreError struct{ what string }
+
+func (e *choreError) Error() string { return e.what }
+
+// AppLogRoller rolls aggregated application logs.
+type AppLogRoller struct {
+	app *App
+	// Rolled and Skipped count pass outcomes.
+	Rolled, Skipped int
+}
+
+// NewAppLogRoller returns a roller.
+func NewAppLogRoller(app *App) *AppLogRoller { return &AppLogRoller{app: app} }
+
+// roll rotates one application's log bundle.
+func (a *AppLogRoller) roll(key string) error {
+	v, _ := a.app.State.Get(key)
+	size, err := strconv.Atoi(v)
+	if err != nil {
+		return &choreError{what: "unreadable log size for " + key}
+	}
+	if size < 1024 {
+		return &choreError{what: key + " below roll threshold"}
+	}
+	a.app.State.Put(key, "0")
+	return nil
+}
+
+// RollOnce walks every aggregated log once.
+func (a *AppLogRoller) RollOnce(ctx context.Context) {
+	for _, key := range a.app.State.ListPrefix("applog/") {
+		if err := a.roll(key); err != nil {
+			a.app.log(ctx, "log roll skipped: %v", err)
+			a.Skipped++
+			continue
+		}
+		a.Rolled++
+	}
+}
+
+// NodeLabelSyncer pushes label assignments to node managers.
+type NodeLabelSyncer struct {
+	app *App
+	// Synced counts delivered labels; Failed counts skipped nodes.
+	Synced, Failed int
+}
+
+// NewNodeLabelSyncer returns a syncer.
+func NewNodeLabelSyncer(app *App) *NodeLabelSyncer { return &NodeLabelSyncer{app: app} }
+
+// push delivers one node's labels.
+func (s *NodeLabelSyncer) push(name, label string) error {
+	n := s.app.Cluster.Node(name)
+	if n == nil || n.Down() {
+		return &choreError{what: "node " + name + " unreachable"}
+	}
+	n.Store.Put("label", label)
+	return nil
+}
+
+// SyncOnce walks every label assignment once.
+func (s *NodeLabelSyncer) SyncOnce(ctx context.Context) {
+	for _, key := range s.app.State.ListPrefix("label/") {
+		name := strings.TrimPrefix(key, "label/")
+		label, _ := s.app.State.Get(key)
+		if err := s.push(name, label); err != nil {
+			s.app.log(ctx, "label sync: %v", err)
+			s.Failed++
+			continue
+		}
+		s.Synced++
+	}
+}
+
+// ReservationSweeper expires stale reservations.
+type ReservationSweeper struct {
+	app *App
+	// Expired counts removed reservations.
+	Expired int
+}
+
+// NewReservationSweeper returns a sweeper.
+func NewReservationSweeper(app *App) *ReservationSweeper { return &ReservationSweeper{app: app} }
+
+// stale parses one reservation's deadline record.
+func (r *ReservationSweeper) stale(key string) (bool, error) {
+	v, _ := r.app.State.Get(key)
+	left, err := strconv.Atoi(v)
+	if err != nil {
+		return false, &choreError{what: "malformed reservation " + key}
+	}
+	return left <= 0, nil
+}
+
+// SweepOnce walks every reservation once.
+func (r *ReservationSweeper) SweepOnce(ctx context.Context) {
+	for _, key := range r.app.State.ListPrefix("reservation/") {
+		old, err := r.stale(key)
+		if err != nil {
+			r.app.log(ctx, "reservation sweep skipping %s: %v", key, err)
+			continue
+		}
+		if old {
+			r.app.State.Delete(key)
+			r.Expired++
+		}
+	}
+}
+
+// AclReloader re-parses queue ACL entries.
+type AclReloader struct {
+	app *App
+	// Loaded maps queue to its ACL; Rejected counts malformed entries.
+	Loaded   map[string]string
+	Rejected int
+}
+
+// NewAclReloader returns a reloader.
+func NewAclReloader(app *App) *AclReloader {
+	return &AclReloader{app: app, Loaded: make(map[string]string)}
+}
+
+// parse validates one ACL entry.
+func (a *AclReloader) parse(key, v string) error {
+	if !strings.Contains(v, ":") {
+		return &choreError{what: "acl " + key + " missing principal separator"}
+	}
+	return nil
+}
+
+// ReloadOnce walks every ACL entry once.
+func (a *AclReloader) ReloadOnce(ctx context.Context) {
+	for _, key := range a.app.State.ListPrefix("acl/") {
+		v, _ := a.app.State.Get(key)
+		if err := a.parse(key, v); err != nil {
+			a.app.log(ctx, "acl reload: %v", err)
+			a.Rejected++
+			continue
+		}
+		a.Loaded[strings.TrimPrefix(key, "acl/")] = v
+	}
+}
+
+// ContainerStatScanner aggregates per-container resource samples.
+type ContainerStatScanner struct {
+	app *App
+	// TotalMB is the aggregate memory footprint; Bad counts unreadable
+	// samples.
+	TotalMB, Bad int
+}
+
+// NewContainerStatScanner returns a scanner.
+func NewContainerStatScanner(app *App) *ContainerStatScanner {
+	return &ContainerStatScanner{app: app}
+}
+
+// sample parses one container's memory record.
+func (c *ContainerStatScanner) sample(key string) (int, error) {
+	v, _ := c.app.State.Get(key)
+	mb, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &choreError{what: "unreadable sample " + key}
+	}
+	return mb, nil
+}
+
+// ScanOnce walks every container sample once.
+func (c *ContainerStatScanner) ScanOnce(ctx context.Context) {
+	for _, key := range c.app.State.ListPrefix("containermb/") {
+		mb, err := c.sample(key)
+		if err != nil {
+			c.app.log(ctx, "stat scan: %v", err)
+			c.Bad++
+			continue
+		}
+		c.TotalMB += mb
+	}
+}

@@ -1,0 +1,77 @@
+package yarn
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/vclock"
+)
+
+// SchedulerEventDispatcher routes scheduler events; outcomes are status
+// codes, and REJECTED_TRANSIENT events are re-queued — error-code retry,
+// uninjectable by WASABI (§4.2).
+type SchedulerEventDispatcher struct {
+	app     *App
+	queue   *common.Queue[*schedEvent]
+	statusF func(kind string) string
+	// Handled counts dispatched events; Dropped lists abandoned ones.
+	Handled int
+	Dropped []string
+}
+
+type schedEvent struct {
+	kind     string
+	requeues int
+}
+
+// Scheduler event status codes.
+const (
+	schedOK        = "OK"
+	schedTransient = "REJECTED_TRANSIENT"
+	schedInvalid   = "REJECTED_INVALID"
+)
+
+// NewSchedulerEventDispatcher returns a dispatcher whose status source
+// always accepts; tests replace statusF.
+func NewSchedulerEventDispatcher(app *App) *SchedulerEventDispatcher {
+	return &SchedulerEventDispatcher{
+		app:     app,
+		queue:   common.NewQueue[*schedEvent](),
+		statusF: func(string) string { return schedOK },
+	}
+}
+
+// SetStatusSource replaces the scheduler status source.
+func (d *SchedulerEventDispatcher) SetStatusSource(f func(string) string) { d.statusF = f }
+
+// Enqueue adds an event.
+func (d *SchedulerEventDispatcher) Enqueue(kind string) {
+	d.queue.Put(&schedEvent{kind: kind})
+}
+
+// Drain dispatches queued events: transient rejections re-queue the event
+// up to a small retry budget, invalid events are dropped.
+func (d *SchedulerEventDispatcher) Drain(ctx context.Context) {
+	const maxRetry = 2
+	for {
+		ev, ok := d.queue.Take()
+		if !ok {
+			return
+		}
+		switch status := d.statusF(ev.kind); status {
+		case schedOK:
+			d.Handled++
+		case schedTransient:
+			if ev.requeues < maxRetry {
+				ev.requeues++
+				vclock.Sleep(ctx, 50*time.Millisecond)
+				d.queue.Put(ev)
+				continue
+			}
+			d.Dropped = append(d.Dropped, ev.kind)
+		case schedInvalid:
+			d.Dropped = append(d.Dropped, ev.kind)
+		}
+	}
+}

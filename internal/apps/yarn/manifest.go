@@ -1,0 +1,72 @@
+package yarn
+
+import "wasabi/internal/apps/meta"
+
+// Manifest is the ground-truth record of every retry code structure in
+// this package; detectors never read it.
+func Manifest() []meta.Structure {
+	return []meta.Structure{
+		{
+			App: "YA", Coordinator: "yarn.TransitionProc.Step",
+			Retried: []string{"yarn.TransitionProc.commitTransition"},
+			File:    "rm.go", Mechanism: meta.StateMachine, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "YARN-8362: counter double-increment halves the configured retry budget; symptom invisible to WASABI's oracles (deliberate false negative), otherwise backoff + cap are present",
+		},
+		{
+			App: "YA", Coordinator: "yarn.AMLauncher.LaunchAM",
+			Retried: []string{"yarn.AMLauncher.startAM"},
+			File:    "rm.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: AM launch spins hot — no cap, no delay; uncovered by the suite (static-only find). The same structure also lacks a delay.",
+		},
+		{
+			App: "YA", Coordinator: "yarn.RMStateStore.StoreApp",
+			Retried: []string{"yarn.RMStateStore.writeEntry"},
+			File:    "rm.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingCap,
+			Note: "WHEN: unbounded state-store retry; uncovered by the suite (static-only find)",
+		},
+		{
+			App: "YA", Coordinator: "yarn.NodeHealthScript.Run",
+			Retried: []string{"yarn.NodeHealthScript.runScript"},
+			File:    "rm.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct: cap + delay, ExitException excluded (majority policy)",
+		},
+		{
+			App: "YA", Coordinator: "yarn.NodeHeartbeatHandler.Handle",
+			Retried: []string{"yarn.NodeHeartbeatHandler.sendHeartbeat"},
+			File:    "nm.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, HarnessRetried: true,
+			Note: "correct cap; the heartbeat scheduler re-drives it per node per interval (missing-cap FP source, §4.3)",
+		},
+		{
+			App: "YA", Coordinator: "yarn.LocalizerRunner.FetchResource",
+			Retried: []string{"yarn.LocalizerRunner.download"},
+			File:    "nm.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: downloads re-attempted back to back; uncovered by the suite (static-only find)",
+		},
+		{
+			App: "YA", Coordinator: "yarn.ResourceTrackerClient.Register",
+			Retried: []string{"yarn.ResourceTrackerClient.registerOnce"},
+			File:    "nm.go", Mechanism: meta.Loop, Trigger: meta.Exception,
+			Keyworded: true, Bug: meta.MissingDelay,
+			Note: "WHEN: registration storms the RM back to back; uncovered by the suite (static-only find); IllegalArgumentException excluded",
+		},
+		{
+			App: "YA", Coordinator: "yarn.ContainerCleanup.processCleanup",
+			Retried: []string{"yarn.ContainerCleanup.removeDirs"},
+			File:    "nm.go", Mechanism: meta.Queue, Trigger: meta.Exception,
+			Keyworded: true,
+			Note:      "correct queue re-enqueue retry: per-task cap and pause",
+		},
+		{
+			App: "YA", Coordinator: "yarn.SchedulerEventDispatcher.Drain",
+			File: "dispatcher.go", Mechanism: meta.Queue, Trigger: meta.ErrorCode,
+			Keyworded: true,
+			Note:      "correct error-code-triggered re-queue; uninjectable (§4.2)",
+		},
+	}
+}

@@ -1,0 +1,200 @@
+package yarn
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// NodeHeartbeatHandler delivers node heartbeats to the resource manager.
+type NodeHeartbeatHandler struct {
+	app *App
+}
+
+// NewNodeHeartbeatHandler returns a handler.
+func NewNodeHeartbeatHandler(app *App) *NodeHeartbeatHandler {
+	return &NodeHeartbeatHandler{app: app}
+}
+
+// sendHeartbeat delivers one heartbeat.
+//
+// Throws: SocketTimeoutException.
+func (h *NodeHeartbeatHandler) sendHeartbeat(ctx context.Context, node string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	vclock.Elapse(ctx, time.Millisecond)
+	h.app.State.Put("heartbeat/"+node, "seen")
+	return nil
+}
+
+// Handle delivers a heartbeat with a small bounded retry and pause. The
+// cap is correct; the heartbeat scheduler re-drives Handle every interval
+// for every node and tolerates failures (the next interval supersedes
+// them) — the caller-level re-driving that becomes a missing-cap false
+// positive for WASABI (§4.3).
+func (h *NodeHeartbeatHandler) Handle(ctx context.Context, node string) error {
+	maxRetries := h.app.Config.GetInt("yarn.nm.heartbeat.retries", 3)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := h.sendHeartbeat(ctx, node)
+		if err == nil {
+			return nil
+		}
+		last = err
+		vclock.Sleep(ctx, 50*time.Millisecond)
+	}
+	return last
+}
+
+// LocalizerRunner downloads a container's resources onto the node.
+type LocalizerRunner struct {
+	app *App
+}
+
+// NewLocalizerRunner returns a runner.
+func NewLocalizerRunner(app *App) *LocalizerRunner { return &LocalizerRunner{app: app} }
+
+// download fetches one resource bundle.
+//
+// Throws: ConnectException, EOFException.
+func (l *LocalizerRunner) download(ctx context.Context, resource string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	l.app.State.Put("resource/"+resource, "localized")
+	return nil
+}
+
+// FetchResource downloads a resource, re-attempting transient failures up
+// to the configured cap.
+//
+// BUG (WHEN, missing delay): downloads are re-attempted immediately,
+// re-hammering the (possibly overloaded) source.
+func (l *LocalizerRunner) FetchResource(ctx context.Context, resource string) error {
+	maxRetries := l.app.Config.GetInt("yarn.localizer.fetch.retries", 5)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := l.download(ctx, resource)
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return last
+}
+
+// ResourceTrackerClient registers a node manager with the RM.
+type ResourceTrackerClient struct {
+	app *App
+}
+
+// NewResourceTrackerClient returns a client.
+func NewResourceTrackerClient(app *App) *ResourceTrackerClient {
+	return &ResourceTrackerClient{app: app}
+}
+
+// registerOnce performs one registration RPC.
+//
+// Throws: ConnectException, IllegalArgumentException.
+func (c *ResourceTrackerClient) registerOnce(ctx context.Context, node string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	if node == "" {
+		return errmodel.New("IllegalArgumentException", "empty node id")
+	}
+	c.app.State.Put("registered/"+node, "true")
+	return nil
+}
+
+// Register registers the node, re-attempting transient RM failures up to
+// the cap; a malformed node id is the caller's fault and aborts.
+//
+// BUG (WHEN, missing delay): registration storms the RM back to back —
+// exactly when the RM is already struggling to come up.
+func (c *ResourceTrackerClient) Register(ctx context.Context, node string) error {
+	maxRetries := c.app.Config.GetInt("yarn.tracker.register.retries", 4)
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := c.registerOnce(ctx, node)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "IllegalArgumentException") {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+// cleanupTask is a queued container cleanup with its own retry budget.
+type cleanupTask struct {
+	container string
+	attempts  int
+}
+
+// ContainerCleanup removes finished containers' work directories through
+// a queue; failed cleanups are re-submitted — correct queue retry.
+type ContainerCleanup struct {
+	app   *App
+	queue *common.Queue[*cleanupTask]
+	// Cleaned counts removed containers.
+	Cleaned int
+}
+
+// NewContainerCleanup returns a cleaner with an empty queue.
+func NewContainerCleanup(app *App) *ContainerCleanup {
+	return &ContainerCleanup{app: app, queue: common.NewQueue[*cleanupTask]()}
+}
+
+// Submit enqueues a container for cleanup.
+func (c *ContainerCleanup) Submit(container string) {
+	c.queue.Put(&cleanupTask{container: container})
+}
+
+// removeDirs deletes one container's directories.
+//
+// Throws: IOException.
+func (c *ContainerCleanup) removeDirs(ctx context.Context, container string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	c.app.State.Delete("workdir/" + container)
+	return nil
+}
+
+// processCleanup handles one queued cleanup: transient failures re-submit
+// the task after a pause, bounded per task.
+func (c *ContainerCleanup) processCleanup(ctx context.Context, task *cleanupTask) error {
+	maxRetries := c.app.Config.GetInt("yarn.cleanup.retries", 3)
+	if err := c.removeDirs(ctx, task.container); err != nil {
+		if task.attempts < maxRetries {
+			task.attempts++
+			vclock.Sleep(ctx, 100*time.Millisecond)
+			c.queue.Put(task) // re-submit for retry
+			return nil
+		}
+		return err
+	}
+	c.Cleaned++
+	return nil
+}
+
+// Drain processes queued cleanups until empty.
+func (c *ContainerCleanup) Drain(ctx context.Context) error {
+	for {
+		task, ok := c.queue.Take()
+		if !ok {
+			return nil
+		}
+		if err := c.processCleanup(ctx, task); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package yarn
+
+import (
+	"context"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+	"wasabi/internal/vclock"
+)
+
+// Transition procedure states.
+const (
+	transitionPrepare = iota
+	transitionCommit
+	transitionDone
+)
+
+// TransitionProc drives a resource-manager state transition as a
+// state-machine procedure with bounded, delayed in-place retry.
+//
+// BUG (WHEN, broken attempt tracking — YARN-8362): the attempt counter is
+// incremented both when the transition fails AND again in the subsequent
+// status check, so the effective retry budget is HALF the configured
+// maximum. The symptom (too few retries) is invisible to WASABI's
+// missing-cap/missing-delay oracles — a deliberate false negative, as in
+// the paper's study.
+type TransitionProc struct {
+	app      *App
+	appID    string
+	state    int
+	attempts int
+}
+
+// NewTransitionProc returns a transition procedure for appID.
+func NewTransitionProc(app *App, appID string) *TransitionProc {
+	return &TransitionProc{app: app, appID: appID}
+}
+
+// Name implements common.Procedure.
+func (p *TransitionProc) Name() string { return "transition-" + p.appID }
+
+// commitTransition applies the transition to the state store.
+//
+// Throws: ServiceException.
+func (p *TransitionProc) commitTransition(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	p.app.State.Put("appstate/"+p.appID, "RUNNING")
+	return nil
+}
+
+// checkStatus refreshes the transition's bookkeeping after a failure.
+func (p *TransitionProc) checkStatus() {
+	// YARN-8362: this bumps the same counter the failure path already
+	// incremented.
+	p.attempts++
+}
+
+// Step implements common.Procedure.
+func (p *TransitionProc) Step(ctx context.Context) (bool, error) {
+	maxRetryAttempts := p.app.Config.GetInt("yarn.rm.transition.max.attempts", 8)
+	switch p.state {
+	case transitionPrepare:
+		p.app.State.Put("appstate/"+p.appID, "ACCEPTED")
+		p.state = transitionCommit
+	case transitionCommit:
+		if err := p.commitTransition(ctx); err != nil {
+			p.attempts++
+			p.checkStatus()
+			if p.attempts >= maxRetryAttempts {
+				return false, err
+			}
+			vclock.Sleep(ctx, vclock.Backoff(100*time.Millisecond, p.attempts, 2*time.Second))
+			return false, nil // implicit retry
+		}
+		p.state = transitionDone
+	case transitionDone:
+		return true, nil
+	}
+	return p.state == transitionDone, nil
+}
+
+// Attempts exposes the counter for the regression test of YARN-8362.
+func (p *TransitionProc) Attempts() int { return p.attempts }
+
+// AMLauncher starts application masters.
+type AMLauncher struct {
+	app *App
+}
+
+// NewAMLauncher returns a launcher.
+func NewAMLauncher(app *App) *AMLauncher { return &AMLauncher{app: app} }
+
+// startAM asks a node manager to start the AM container.
+//
+// Throws: ConnectException, RemoteException.
+func (l *AMLauncher) startAM(ctx context.Context, appID string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	l.app.State.Put("am/"+appID, "started")
+	return nil
+}
+
+// LaunchAM starts an application master, retrying until the start
+// succeeds.
+//
+// BUG (WHEN, missing cap AND missing delay): the launcher loops hot —
+// no attempt bound, no pause — against whatever is failing.
+func (l *AMLauncher) LaunchAM(ctx context.Context, appID string) {
+	for {
+		err := l.startAM(ctx, appID)
+		if err == nil {
+			return
+		}
+		l.app.log(ctx, "AM launch for %s failed, retrying: %v", appID, err)
+	}
+}
+
+// RMStateStore persists resource-manager state.
+type RMStateStore struct {
+	app *App
+}
+
+// NewRMStateStore returns a store client.
+func NewRMStateStore(app *App) *RMStateStore { return &RMStateStore{app: app} }
+
+// writeEntry persists one application entry.
+//
+// Throws: IOException.
+func (s *RMStateStore) writeEntry(ctx context.Context, appID string) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	s.app.State.Put("store/"+appID, "persisted")
+	return nil
+}
+
+// StoreApp persists an application, retrying until the write lands.
+//
+// BUG (WHEN, missing cap): RM state "must" be durable, so writes retry
+// forever with a pause; a broken store wedges the dispatcher thread.
+func (s *RMStateStore) StoreApp(ctx context.Context, appID string) {
+	retryInterval := 200 * time.Millisecond
+	for {
+		err := s.writeEntry(ctx, appID)
+		if err == nil {
+			return
+		}
+		s.app.log(ctx, "state store write failed: %v", err)
+		vclock.Sleep(ctx, retryInterval)
+	}
+}
+
+// NodeHealthScript runs the node-manager health check script.
+type NodeHealthScript struct {
+	app *App
+}
+
+// NewNodeHealthScript returns a runner.
+func NewNodeHealthScript(app *App) *NodeHealthScript { return &NodeHealthScript{app: app} }
+
+// runScript executes the health script once.
+//
+// Throws: ExitException, IOException.
+func (n *NodeHealthScript) runScript(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	n.app.State.Put("health/last", "ok")
+	return nil
+}
+
+// Run executes the health check with bounded, delayed retry. A deliberate
+// script exit (ExitException) is final — the majority policy for that
+// exception class.
+func (n *NodeHealthScript) Run(ctx context.Context) error {
+	const maxRetries = 3
+	var last error
+	for retry := 0; retry < maxRetries; retry++ {
+		err := n.runScript(ctx)
+		if err == nil {
+			return nil
+		}
+		if errmodel.IsClass(err, "ExitException") {
+			return err
+		}
+		last = err
+		vclock.Sleep(ctx, 100*time.Millisecond)
+	}
+	return last
+}

@@ -1,0 +1,51 @@
+package yarn
+
+import (
+	"context"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/testkit"
+)
+
+// workloadTests are end-to-end scenario tests; each covers several retry
+// locations the focused tests also reach (§3.1.4 planning redundancy).
+func workloadTests() []testkit.Test {
+	return []testkit.Test{
+		{
+			Name: "yarn.TestAppLifecycleFlow", App: "YA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				exec := common.NewProcedureExecutor()
+				if err := exec.Run(ctx, NewTransitionProc(app, "flow-app")); err != nil {
+					return err
+				}
+				h := NewNodeHeartbeatHandler(app)
+				for round := 0; round < 3; round++ {
+					if err := h.Handle(ctx, "nm1"); err != nil {
+						return err
+					}
+				}
+				c := NewContainerCleanup(app)
+				c.Submit("flow-c1")
+				return c.Drain(ctx)
+			},
+		},
+		{
+			Name: "yarn.TestNodeHealthFlow", App: "YA",
+			Body: func(ctx context.Context, o map[string]string) error {
+				app := New()
+				app.Config.ApplyOverrides(o)
+				if err := NewNodeHealthScript(app).Run(ctx); err != nil {
+					return err
+				}
+				h := NewNodeHeartbeatHandler(app)
+				if err := h.Handle(ctx, "nm2"); err != nil {
+					return err
+				}
+				v, _ := app.State.Get("heartbeat/nm2")
+				return testkit.Assertf(v == "seen", "heartbeat = %q", v)
+			},
+		},
+	}
+}

@@ -1,0 +1,96 @@
+package yarn
+
+import (
+	"context"
+	"testing"
+
+	"wasabi/internal/apps/common"
+	"wasabi/internal/fault"
+	"wasabi/internal/trace"
+)
+
+func injected(coordinator, retried, exc string, k int) (context.Context, *trace.Run) {
+	in := fault.NewInjector([]fault.Rule{{
+		Loc: fault.Location{Coordinator: coordinator, Retried: retried, Exception: exc},
+		K:   k,
+	}})
+	run := trace.NewRun("t")
+	return fault.With(trace.With(context.Background(), run), in), run
+}
+
+// TestTransitionBudgetHalved is the regression test for YARN-8362: with a
+// configured maximum of 8, the double-incremented counter gives up after
+// only 4 actual attempts.
+func TestTransitionBudgetHalved(t *testing.T) {
+	app := New()
+	ctx, run := injected("yarn.TransitionProc.Step", "yarn.TransitionProc.commitTransition", "ServiceException", 100)
+	exec := common.NewProcedureExecutor()
+	p := NewTransitionProc(app, "app-x")
+	if err := exec.Run(ctx, p); err == nil {
+		t.Fatal("expected the transition to give up")
+	}
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != 4 {
+		t.Errorf("actual attempts = %d; the double-increment should halve the budget of 8", injections)
+	}
+}
+
+// TestAMLauncherSpinsUntilFaultHeals demonstrates the no-cap-no-delay bug.
+func TestAMLauncherSpinsUntilFaultHeals(t *testing.T) {
+	app := New()
+	ctx, run := injected("yarn.AMLauncher.LaunchAM", "yarn.AMLauncher.startAM", "ConnectException", 120)
+	NewAMLauncher(app).LaunchAM(ctx, "app-y")
+	injections, sleeps := 0, 0
+	for _, e := range run.Events() {
+		switch e.Kind {
+		case trace.KindInjection:
+			injections++
+		case trace.KindSleep:
+			sleeps++
+		}
+	}
+	if injections != 120 {
+		t.Errorf("injections = %d; only fault healing stops this loop", injections)
+	}
+	if sleeps != 0 {
+		t.Errorf("sleeps = %d; the loop also has no delay", sleeps)
+	}
+}
+
+// TestStateStoreRetriesWithDelay shows StoreApp has a delay but no cap.
+func TestStateStoreRetriesWithDelay(t *testing.T) {
+	app := New()
+	ctx, run := injected("yarn.RMStateStore.StoreApp", "yarn.RMStateStore.writeEntry", "IOException", 10)
+	NewRMStateStore(app).StoreApp(ctx, "app-z")
+	injections, sleeps := 0, 0
+	for _, e := range run.Events() {
+		switch e.Kind {
+		case trace.KindInjection:
+			injections++
+		case trace.KindSleep:
+			sleeps++
+		}
+	}
+	if injections != 10 || sleeps != 10 {
+		t.Errorf("injections = %d sleeps = %d", injections, sleeps)
+	}
+}
+
+// TestLocalizerNoDelay shows FetchResource's back-to-back attempts.
+func TestLocalizerNoDelay(t *testing.T) {
+	app := New()
+	ctx, run := injected("yarn.LocalizerRunner.FetchResource", "yarn.LocalizerRunner.download", "ConnectException", 2)
+	if err := NewLocalizerRunner(app).FetchResource(ctx, "job.jar"); err != nil {
+		t.Fatalf("should heal: %v", err)
+	}
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindSleep {
+			t.Error("no sleep expected between attempts")
+		}
+	}
+}

@@ -1,0 +1,321 @@
+// Package core orchestrates WASABI's two workflows over a corpus
+// application: the dynamic testing workflow (identify retry locations →
+// plan → inject trigger exceptions into existing unit tests → apply retry
+// oracles, §3.1) and the static checking workflow (LLM WHEN-bug detection
+// + retry-ratio IF-bug detection, §3.2).
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/fault"
+	"wasabi/internal/llm"
+	"wasabi/internal/oracle"
+	"wasabi/internal/planner"
+	"wasabi/internal/sast"
+	"wasabi/internal/testkit"
+)
+
+// Options configures a WASABI run.
+type Options struct {
+	// HowK and CapK are the two injection-count settings (§3.1.2).
+	HowK, CapK int
+	// Oracle tunes the test oracles.
+	Oracle oracle.Options
+	// LLM tunes the simulated model.
+	LLM llm.Config
+	// Ratio tunes the IF-bug outlier analysis.
+	Ratio sast.RatioOptions
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		HowK:   1,
+		CapK:   100,
+		Oracle: oracle.DefaultOptions(),
+		LLM:    llm.DefaultConfig(),
+		Ratio:  sast.DefaultRatioOptions(),
+	}
+}
+
+// Wasabi is the toolkit facade.
+type Wasabi struct {
+	opts Options
+	llm  *llm.Client
+}
+
+// New returns a toolkit with the given options.
+func New(opts Options) *Wasabi {
+	if opts.CapK == 0 {
+		opts = DefaultOptions()
+	}
+	return &Wasabi{opts: opts, llm: llm.NewClient(opts.LLM)}
+}
+
+// LLMUsage reports accumulated simulated-GPT-4 usage.
+func (w *Wasabi) LLMUsage() llm.Usage { return w.llm.Usage() }
+
+// FoundBy records which identification technique(s) located a structure.
+type FoundBy struct {
+	CodeQL bool
+	LLM    bool
+}
+
+// Structure is one identified retry code structure, merged across the two
+// identification techniques.
+type Structure struct {
+	Coordinator string
+	File        string
+	Mechanism   string // best-effort: "loop" | "queue" | "statemachine"
+	FoundBy     FoundBy
+	// Triplets are the injectable retry locations of the structure.
+	Triplets []fault.Location
+}
+
+// Identification is the result of running both identification techniques
+// over one application.
+type Identification struct {
+	App string
+	// Structures are the merged identified retry structures, sorted by
+	// coordinator.
+	Structures []Structure
+	// CandidateLoops counts structural loop candidates before the
+	// keyword filter (§4.4 ablation).
+	CandidateLoops int
+	// KeywordedLoops counts loops surviving the keyword filter.
+	KeywordedLoops int
+	// TruncatedFiles are files too large for the LLM (§4.2 misses).
+	TruncatedFiles []string
+	// Analysis is the underlying static analysis (reused by IF checks).
+	Analysis *sast.Analysis
+	// Reviews are the raw per-file LLM reviews (reused by static WHEN
+	// detection).
+	Reviews []llm.FileReview
+}
+
+// Locations returns every injectable triplet across all structures.
+func (id *Identification) Locations() []fault.Location {
+	var out []fault.Location
+	for _, s := range id.Structures {
+		out = append(out, s.Triplets...)
+	}
+	return out
+}
+
+// Identify runs both retry-identification techniques (§3.1.1) on the app.
+func (w *Wasabi) Identify(app corpus.App) (*Identification, error) {
+	analysis, err := sast.AnalyzeDir(app.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("identify %s: %w", app.Code, err)
+	}
+	id := &Identification{
+		App:            app.Code,
+		CandidateLoops: analysis.CandidateLoops,
+		KeywordedLoops: len(analysis.Loops),
+		Analysis:       analysis,
+	}
+	merged := make(map[string]*Structure)
+
+	// Technique 1: control-flow + naming (CodeQL analogue).
+	for _, loop := range analysis.Loops {
+		s := merged[loop.Coordinator]
+		if s == nil {
+			s = &Structure{Coordinator: loop.Coordinator, File: loop.File, Mechanism: "loop"}
+			merged[loop.Coordinator] = s
+		}
+		s.FoundBy.CodeQL = true
+		for _, t := range loop.Triplets {
+			s.Triplets = append(s.Triplets, fault.Location{
+				Coordinator: t.Coordinator, Retried: t.Retried, Exception: t.Exception,
+			})
+		}
+	}
+
+	// Technique 2: LLM fuzzy comprehension, with callee/throws resolution
+	// delegated back to traditional analysis.
+	files := make([]string, 0, len(analysis.Files))
+	for f := range analysis.Files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		rev, err := w.llm.ReviewFile(filepath.Join(app.Dir, f))
+		if err != nil {
+			return nil, fmt.Errorf("identify %s: %w", app.Code, err)
+		}
+		id.Reviews = append(id.Reviews, rev)
+		if rev.TruncatedContext {
+			id.TruncatedFiles = append(id.TruncatedFiles, f)
+			continue
+		}
+		for _, find := range rev.Findings {
+			s := merged[find.Coordinator]
+			if s == nil {
+				s = &Structure{Coordinator: find.Coordinator, File: find.File, Mechanism: find.Mechanism}
+				merged[find.Coordinator] = s
+			}
+			s.FoundBy.LLM = true
+			if s.Mechanism == "loop" && find.Mechanism != "loop" {
+				s.Mechanism = find.Mechanism
+			}
+			for _, t := range analysis.CalleesOf(find.Coordinator) {
+				s.Triplets = append(s.Triplets, fault.Location{
+					Coordinator: t.Coordinator, Retried: t.Retried, Exception: t.Exception,
+				})
+			}
+		}
+	}
+
+	for _, s := range merged {
+		s.Triplets = dedupLocations(s.Triplets)
+		id.Structures = append(id.Structures, *s)
+	}
+	sort.Slice(id.Structures, func(i, j int) bool {
+		return id.Structures[i].Coordinator < id.Structures[j].Coordinator
+	})
+	return id, nil
+}
+
+func dedupLocations(locs []fault.Location) []fault.Location {
+	seen := make(map[fault.Location]bool, len(locs))
+	var out []fault.Location
+	for _, l := range locs {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Retried != out[j].Retried {
+			return out[i].Retried < out[j].Retried
+		}
+		return out[i].Exception < out[j].Exception
+	})
+	return out
+}
+
+// DynamicResult is the outcome of the repurposed-unit-testing workflow on
+// one application.
+type DynamicResult struct {
+	App string
+	// Reports are the deduplicated oracle reports (distinct bugs).
+	Reports []oracle.Report
+	// Coverage statistics.
+	TestsTotal          int
+	TestsCoveringRetry  int
+	StructuresTotal     int
+	StructuresTested    int
+	StrippedOverrides   int
+	PlanEntries         int
+	NaiveRuns           int
+	PlannedRuns         int
+	InjectionRunsFailed int // runs that crashed (before oracle filtering)
+}
+
+// RunDynamic executes the dynamic workflow for one app, given its
+// identification.
+func (w *Wasabi) RunDynamic(app corpus.App, id *Identification) (*DynamicResult, error) {
+	locs := id.Locations()
+	cov := planner.Collect(app.Suite, locs)
+	plan := planner.BuildPlan(cov)
+
+	testsByName := make(map[string]testkit.Test, len(app.Suite.Tests))
+	for _, t := range app.Suite.Tests {
+		testsByName[t.Name] = t
+	}
+
+	var all []oracle.Report
+	failed := 0
+	for _, entry := range plan {
+		test, ok := testsByName[entry.Test]
+		if !ok {
+			return nil, fmt.Errorf("plan references unknown test %s", entry.Test)
+		}
+		for _, exc := range planner.Exceptions(locs, entry.Loc) {
+			loc := fault.Location{Coordinator: entry.Loc.Coordinator, Retried: entry.Loc.Retried, Exception: exc}
+			for _, k := range []int{w.opts.HowK, w.opts.CapK} {
+				rules := []fault.Rule{{Loc: loc, K: k}}
+				res := testkit.Run(test, fault.NewInjector(rules), cov.Prepared[test.Name])
+				if res.Failed() {
+					failed++
+				}
+				all = append(all, oracle.Evaluate(app.Code, res, rules, w.opts.Oracle)...)
+			}
+		}
+	}
+
+	tested := make(map[string]bool)
+	for p := range cov.Covered() {
+		tested[p.Coordinator] = true
+	}
+
+	return &DynamicResult{
+		App:                 app.Code,
+		Reports:             oracle.Dedup(all),
+		TestsTotal:          len(app.Suite.Tests),
+		TestsCoveringRetry:  cov.CoveringTests(),
+		StructuresTotal:     len(id.Structures),
+		StructuresTested:    len(tested),
+		StrippedOverrides:   cov.Stripped,
+		PlanEntries:         len(plan),
+		NaiveRuns:           planner.NaiveRuns(cov, locs),
+		PlannedRuns:         planner.PlannedRuns(plan, locs),
+		InjectionRunsFailed: failed,
+	}, nil
+}
+
+// StaticResult is the outcome of the static checking workflow for one app.
+type StaticResult struct {
+	App string
+	// WhenReports are the LLM's missing-cap/missing-delay findings.
+	WhenReports []llm.WhenReport
+	// Usage is the LLM traffic attributable to this app so far.
+	Usage llm.Usage
+}
+
+// RunStatic executes the LLM-based WHEN-bug detection for one app using
+// the reviews gathered during identification.
+func (w *Wasabi) RunStatic(app corpus.App, id *Identification) *StaticResult {
+	var reports []llm.WhenReport
+	for _, rev := range id.Reviews {
+		reports = append(reports, llm.DetectWhenBugs(rev)...)
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Coordinator != reports[j].Coordinator {
+			return reports[i].Coordinator < reports[j].Coordinator
+		}
+		return reports[i].Kind < reports[j].Kind
+	})
+	return &StaticResult{App: app.Code, WhenReports: reports, Usage: w.llm.Usage()}
+}
+
+// RunIFAnalysis runs the corpus-wide retry-ratio IF-bug detection over the
+// given identifications (§3.2.2).
+func (w *Wasabi) RunIFAnalysis(ids []*Identification) ([]sast.ExceptionRatio, []sast.IFReport) {
+	var analyses []*sast.Analysis
+	for _, id := range ids {
+		analyses = append(analyses, id.Analysis)
+	}
+	return sast.RatioAnalysis(analyses, w.opts.Ratio)
+}
+
+// VerifySources sanity-checks that an app directory exists and contains Go
+// sources; used by the CLI for friendlier errors.
+func VerifySources(app corpus.App) error {
+	entries, err := os.ReadDir(app.Dir)
+	if err != nil {
+		return fmt.Errorf("app %s: %w", app.Code, err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			return nil
+		}
+	}
+	return fmt.Errorf("app %s: no Go sources in %s", app.Code, app.Dir)
+}

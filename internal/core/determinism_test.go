@@ -1,0 +1,98 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/oracle"
+)
+
+// TestIdentificationDeterministic runs identification twice with fresh
+// toolkits: the seeded LLM and the static analysis must agree exactly.
+func TestIdentificationDeterministic(t *testing.T) {
+	app, err := corpus.ByCode("HB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(DefaultOptions()).Identify(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(DefaultOptions()).Identify(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Structures) != len(b.Structures) {
+		t.Fatalf("structure counts differ: %d vs %d", len(a.Structures), len(b.Structures))
+	}
+	for i := range a.Structures {
+		sa, sb := a.Structures[i], b.Structures[i]
+		if sa.Coordinator != sb.Coordinator || sa.FoundBy != sb.FoundBy ||
+			!reflect.DeepEqual(sa.Triplets, sb.Triplets) {
+			t.Errorf("structure %d differs:\n%+v\n%+v", i, sa, sb)
+		}
+	}
+	if a.CandidateLoops != b.CandidateLoops || len(a.TruncatedFiles) != len(b.TruncatedFiles) {
+		t.Error("ablation counters differ between runs")
+	}
+}
+
+// TestDynamicDeterministic runs the full dynamic workflow twice and
+// compares the deduplicated report sets.
+func TestDynamicDeterministic(t *testing.T) {
+	app, err := corpus.ByCode("HD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() map[string]bool {
+		w := New(DefaultOptions())
+		id, err := w.Identify(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.RunDynamic(app, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, r := range res.Reports {
+			out[string(r.Kind)+"|"+r.GroupKey] = true
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("report sets differ:\n%v\n%v", a, b)
+	}
+}
+
+// TestHowBugNeedsInjection checks that fault injection exposes the HDFS
+// NullPointerException HOW bug of §4.1 with the right crash class.
+func TestHowBugNeedsInjection(t *testing.T) {
+	app, err := corpus.ByCode("HD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := New(DefaultOptions())
+	id, err := w.Identify(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.RunDynamic(app, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Reports {
+		if r.Kind == oracle.How && r.Coordinator == "hdfs.DFSInputStream.ReadBlock" {
+			found = true
+			if r.Exception != "NullPointerException" {
+				t.Errorf("crash class = %s", r.Exception)
+			}
+		}
+	}
+	if !found {
+		t.Error("the createBlockReader NPE (§4.1) was not reported")
+	}
+}

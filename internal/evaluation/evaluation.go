@@ -1,0 +1,264 @@
+// Package evaluation reproduces the paper's evaluation (§4): it runs both
+// WASABI workflows over the whole corpus, scores every report against the
+// corpus ground truth (the role the authors' manual inspection plays in
+// the paper), and renders each table and figure.
+package evaluation
+
+import (
+	"fmt"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/apps/meta"
+	"wasabi/internal/core"
+	"wasabi/internal/llm"
+	"wasabi/internal/oracle"
+	"wasabi/internal/sast"
+)
+
+// Score is a reports-vs-ground-truth tally: True counts reports whose
+// coordinator carries the matching ground-truth bug, FP the rest.
+type Score struct {
+	True, FP int
+}
+
+// Reports returns the total number of reports.
+func (s Score) Reports() int { return s.True + s.FP }
+
+// Add accumulates another score.
+func (s *Score) Add(o Score) { s.True += o.True; s.FP += o.FP }
+
+// Cell renders the paper's "N_f" notation: report count with the
+// false-positive count as a subscript.
+func (s Score) Cell() string {
+	if s.Reports() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d_%d", s.Reports(), s.FP)
+}
+
+// AppScores holds the per-category scores for one app in one workflow —
+// one row of Table 3 or Table 4.
+type AppScores struct {
+	App   string
+	Cap   Score
+	Delay Score
+	How   Score
+}
+
+// Total sums the categories.
+func (a AppScores) Total() Score {
+	t := a.Cap
+	t.Add(a.Delay)
+	t.Add(a.How)
+	return t
+}
+
+// AppResult bundles everything measured for one application.
+type AppResult struct {
+	App         corpus.App
+	ID          *core.Identification
+	Dyn         *core.DynamicResult
+	Static      *core.StaticResult
+	DynScores   AppScores
+	StaticScore AppScores
+}
+
+// Evaluation is the complete corpus-wide measurement.
+type Evaluation struct {
+	Apps      []AppResult
+	IFRatios  []sast.ExceptionRatio
+	IFReports []sast.IFReport
+	IFScore   Score
+	Usage     llm.Usage
+}
+
+// manifestIndex maps coordinator names to ground truth for one app.
+func manifestIndex(app corpus.App) map[string]meta.Structure {
+	out := make(map[string]meta.Structure, len(app.Manifest))
+	for _, s := range app.Manifest {
+		out[s.Coordinator] = s
+	}
+	return out
+}
+
+// scoreKind classifies one report coordinator against ground truth.
+func scoreKind(idx map[string]meta.Structure, coordinator string, want meta.Bug) Score {
+	if s, ok := idx[coordinator]; ok && s.Bug == want {
+		return Score{True: 1}
+	}
+	return Score{FP: 1}
+}
+
+// ScoreDynamic scores the deduplicated oracle reports of one app.
+func ScoreDynamic(app corpus.App, reports []oracle.Report) AppScores {
+	idx := manifestIndex(app)
+	out := AppScores{App: app.Code}
+	for _, r := range reports {
+		switch r.Kind {
+		case oracle.MissingCap:
+			out.Cap.Add(scoreKind(idx, r.Coordinator, meta.MissingCap))
+		case oracle.MissingDelay:
+			out.Delay.Add(scoreKind(idx, r.Coordinator, meta.MissingDelay))
+		case oracle.How:
+			out.How.Add(scoreKind(idx, r.Coordinator, meta.How))
+		}
+	}
+	return out
+}
+
+// ScoreStatic scores the LLM WHEN reports of one app.
+func ScoreStatic(app corpus.App, reports []llm.WhenReport) AppScores {
+	idx := manifestIndex(app)
+	out := AppScores{App: app.Code}
+	for _, r := range reports {
+		switch r.Kind {
+		case "missing-cap":
+			out.Cap.Add(scoreKind(idx, r.Coordinator, meta.MissingCap))
+		case "missing-delay":
+			out.Delay.Add(scoreKind(idx, r.Coordinator, meta.MissingDelay))
+		}
+	}
+	return out
+}
+
+// ScoreIF scores the retry-ratio outlier reports corpus-wide.
+func ScoreIF(reports []sast.IFReport, manifests []meta.Structure) Score {
+	idx := make(map[string]meta.Structure, len(manifests))
+	for _, s := range manifests {
+		idx[s.Coordinator] = s
+	}
+	var out Score
+	for _, r := range reports {
+		want := meta.WrongPolicyNotRetried
+		if r.Retried {
+			want = meta.WrongPolicyRetried
+		}
+		if s, ok := idx[r.Coordinator]; ok && s.Bug == want {
+			out.True++
+		} else {
+			out.FP++
+		}
+	}
+	return out
+}
+
+// Run executes both workflows over the entire corpus and scores them.
+func Run() (*Evaluation, error) {
+	w := core.New(core.DefaultOptions())
+	ev := &Evaluation{}
+	var ids []*core.Identification
+	for _, app := range corpus.Apps() {
+		id, err := w.Identify(app)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := w.RunDynamic(app, id)
+		if err != nil {
+			return nil, err
+		}
+		st := w.RunStatic(app, id)
+		ev.Apps = append(ev.Apps, AppResult{
+			App:         app,
+			ID:          id,
+			Dyn:         dyn,
+			Static:      st,
+			DynScores:   ScoreDynamic(app, dyn.Reports),
+			StaticScore: ScoreStatic(app, st.WhenReports),
+		})
+		ids = append(ids, id)
+	}
+	ev.IFRatios, ev.IFReports = w.RunIFAnalysis(ids)
+	ev.IFScore = ScoreIF(ev.IFReports, corpus.Manifests())
+	ev.Usage = w.LLMUsage()
+	return ev, nil
+}
+
+// TrueBugKeys returns the set of distinct true bugs found by the dynamic
+// workflow and by the static workflow (LLM WHEN + IF), keyed by
+// kind+coordinator — the input of the Figure 3 overlap analysis.
+func (ev *Evaluation) TrueBugKeys() (dynamic, static map[string]bool) {
+	dynamic, static = map[string]bool{}, map[string]bool{}
+	for _, ar := range ev.Apps {
+		idx := manifestIndex(ar.App)
+		for _, r := range ar.Dyn.Reports {
+			want := map[oracle.Kind]meta.Bug{
+				oracle.MissingCap:   meta.MissingCap,
+				oracle.MissingDelay: meta.MissingDelay,
+				oracle.How:          meta.How,
+			}[r.Kind]
+			if s, ok := idx[r.Coordinator]; ok && s.Bug == want {
+				dynamic[string(r.Kind)+"|"+r.Coordinator] = true
+			}
+		}
+		for _, r := range ar.Static.WhenReports {
+			want := meta.MissingCap
+			if r.Kind == "missing-delay" {
+				want = meta.MissingDelay
+			}
+			if s, ok := idx[r.Coordinator]; ok && s.Bug == want {
+				static[r.Kind+"|"+r.Coordinator] = true
+			}
+		}
+	}
+	idx := make(map[string]meta.Structure)
+	for _, s := range corpus.Manifests() {
+		idx[s.Coordinator] = s
+	}
+	for _, r := range ev.IFReports {
+		want := meta.WrongPolicyNotRetried
+		if r.Retried {
+			want = meta.WrongPolicyRetried
+		}
+		if s, ok := idx[r.Coordinator]; ok && s.Bug == want {
+			static["if|"+r.Coordinator] = true
+		}
+	}
+	return dynamic, static
+}
+
+// IdentificationBreakdown summarizes Figure 4 for one app: ground-truth
+// structures identified by each technique, by mechanism.
+type IdentificationBreakdown struct {
+	App string
+	// ByMechanism[mech] = [codeqlOnly, llmOnly, both]
+	ByMechanism map[meta.Mechanism][3]int
+	// Missed counts ground-truth structures no technique identified.
+	Missed int
+	// SpuriousLLM counts LLM-identified coordinators absent from ground
+	// truth (identification false positives, §4.2).
+	SpuriousLLM int
+}
+
+// BreakdownIdentification computes Figure 4's data for one app result.
+func BreakdownIdentification(ar AppResult) IdentificationBreakdown {
+	idx := map[string]core.Structure{}
+	for _, s := range ar.ID.Structures {
+		idx[s.Coordinator] = s
+	}
+	out := IdentificationBreakdown{App: ar.App.Code, ByMechanism: map[meta.Mechanism][3]int{}}
+	known := map[string]bool{}
+	for _, gt := range ar.App.Manifest {
+		known[gt.Coordinator] = true
+		s, ok := idx[gt.Coordinator]
+		if !ok {
+			out.Missed++
+			continue
+		}
+		cell := out.ByMechanism[gt.Mechanism]
+		switch {
+		case s.FoundBy.CodeQL && s.FoundBy.LLM:
+			cell[2]++
+		case s.FoundBy.CodeQL:
+			cell[0]++
+		case s.FoundBy.LLM:
+			cell[1]++
+		}
+		out.ByMechanism[gt.Mechanism] = cell
+	}
+	for _, s := range ar.ID.Structures {
+		if !known[s.Coordinator] && s.FoundBy.LLM {
+			out.SpuriousLLM++
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package evaluation
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/apps/meta"
+	"wasabi/internal/oracle"
+)
+
+// The full evaluation is expensive enough to share across tests.
+var (
+	once sync.Once
+	ev   *Evaluation
+	err  error
+)
+
+func sharedEval(t *testing.T) *Evaluation {
+	t.Helper()
+	once.Do(func() { ev, err = Run() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestRunCoversAllApps(t *testing.T) {
+	e := sharedEval(t)
+	if len(e.Apps) != 8 {
+		t.Fatalf("apps = %d", len(e.Apps))
+	}
+}
+
+// TestShapeTable3 checks the qualitative properties of the dynamic results
+// the paper reports: true bugs outnumber false positives roughly 2:1, and
+// every category has findings.
+func TestShapeTable3(t *testing.T) {
+	e := sharedEval(t)
+	var total AppScores
+	for _, a := range e.Apps {
+		total.Cap.Add(a.DynScores.Cap)
+		total.Delay.Add(a.DynScores.Delay)
+		total.How.Add(a.DynScores.How)
+	}
+	if total.Cap.True == 0 || total.Delay.True == 0 || total.How.True == 0 {
+		t.Errorf("every category needs true findings: %+v", total)
+	}
+	tt := total.Total()
+	if tt.True <= tt.FP {
+		t.Errorf("true (%d) should outnumber FPs (%d), as in the paper's 2:1", tt.True, tt.FP)
+	}
+	if total.Cap.FP == 0 || total.Delay.FP == 0 || total.How.FP == 0 {
+		t.Errorf("each FP mode of §4.3 should reproduce: %+v", total)
+	}
+}
+
+// TestShapeTable4 checks the LLM detector reports more WHEN bugs than unit
+// testing but with a worse precision, as the paper observes.
+func TestShapeTable4(t *testing.T) {
+	e := sharedEval(t)
+	var dynWhen, llmWhen, dynWhenFP, llmWhenFP int
+	for _, a := range e.Apps {
+		dynWhen += a.DynScores.Cap.True + a.DynScores.Delay.True
+		dynWhenFP += a.DynScores.Cap.FP + a.DynScores.Delay.FP
+		llmWhen += a.StaticScore.Cap.True + a.StaticScore.Delay.True
+		llmWhenFP += a.StaticScore.Cap.FP + a.StaticScore.Delay.FP
+	}
+	if llmWhen+llmWhenFP <= dynWhen+dynWhenFP {
+		t.Errorf("LLM should report more WHEN bugs (%d) than unit testing (%d)",
+			llmWhen+llmWhenFP, dynWhen+dynWhenFP)
+	}
+	if llmWhenFP <= dynWhenFP {
+		t.Errorf("LLM should have more FPs (%d) than unit testing (%d)", llmWhenFP, dynWhenFP)
+	}
+}
+
+// TestShapeTable5 checks HBase has the most identified structures and that
+// tested never exceeds identified.
+func TestShapeTable5(t *testing.T) {
+	e := sharedEval(t)
+	maxApp, maxN := "", 0
+	for _, a := range e.Apps {
+		if a.Dyn.StructuresTested > a.Dyn.StructuresTotal {
+			t.Errorf("%s: tested %d > identified %d", a.App.Code, a.Dyn.StructuresTested, a.Dyn.StructuresTotal)
+		}
+		if a.Dyn.StructuresTotal > maxN {
+			maxN, maxApp = a.Dyn.StructuresTotal, a.App.Code
+		}
+	}
+	if maxApp != "HB" {
+		t.Errorf("HBase should have the most structures (got %s with %d)", maxApp, maxN)
+	}
+}
+
+// TestShapeTable6 checks planning strictly reduces runs for every app.
+func TestShapeTable6(t *testing.T) {
+	e := sharedEval(t)
+	for _, a := range e.Apps {
+		if a.Dyn.PlannedRuns >= a.Dyn.NaiveRuns {
+			t.Errorf("%s: planned %d !< naive %d", a.App.Code, a.Dyn.PlannedRuns, a.Dyn.NaiveRuns)
+		}
+	}
+}
+
+// TestShapeFigure3 checks the overlap structure: both workflows find true
+// bugs, they overlap, and each finds bugs the other misses.
+func TestShapeFigure3(t *testing.T) {
+	e := sharedEval(t)
+	dyn, st := e.TrueBugKeys()
+	overlap, dynOnly, stOnly := 0, 0, 0
+	for k := range dyn {
+		if st[k] {
+			overlap++
+		} else {
+			dynOnly++
+		}
+	}
+	for k := range st {
+		if !dyn[k] {
+			stOnly++
+		}
+	}
+	if overlap == 0 || dynOnly == 0 || stOnly == 0 {
+		t.Errorf("overlap=%d dynOnly=%d staticOnly=%d; all must be positive", overlap, dynOnly, stOnly)
+	}
+	if len(st) <= len(dyn) {
+		t.Errorf("static (%d) should find more true bugs than dynamic (%d), as in the paper", len(st), len(dyn))
+	}
+}
+
+// TestShapeIF checks the retry-ratio analysis: mostly true reports with
+// exactly the boolean-flag FP the paper describes.
+func TestShapeIF(t *testing.T) {
+	e := sharedEval(t)
+	if e.IFScore.True < 5 {
+		t.Errorf("IF true = %d, want the seeded outliers found", e.IFScore.True)
+	}
+	if e.IFScore.FP != 1 {
+		t.Errorf("IF FPs = %d, want exactly the CommitWithRetry flag-flow FP", e.IFScore.FP)
+	}
+	foundFNF := false
+	for _, r := range e.IFReports {
+		if r.Exception == "FileNotFoundException" && r.Coordinator == "mapreduce.OutputCommitter.CommitWithRetry" {
+			foundFNF = true
+		}
+	}
+	if !foundFNF {
+		t.Error("the FileNotFoundException boolean-flag FP (§4.3) did not reproduce")
+	}
+}
+
+// TestShapeFigure4 checks identification: structural analysis covers most
+// loops, finds no non-loop structures, and the LLM covers non-loop retry.
+func TestShapeFigure4(t *testing.T) {
+	e := sharedEval(t)
+	total := map[meta.Mechanism][3]int{}
+	for _, a := range e.Apps {
+		bd := BreakdownIdentification(a)
+		for m, c := range bd.ByMechanism {
+			tt := total[m]
+			tt[0] += c[0]
+			tt[1] += c[1]
+			tt[2] += c[2]
+			total[m] = tt
+		}
+	}
+	if total[meta.Queue][0] != 0 || total[meta.StateMachine][0] != 0 {
+		t.Errorf("structural analysis must not find non-loop retry: %v", total)
+	}
+	if total[meta.Queue][1]+total[meta.Queue][2] == 0 {
+		t.Error("LLM should identify queue retry")
+	}
+	if total[meta.StateMachine][1]+total[meta.StateMachine][2] == 0 {
+		t.Error("LLM should identify state-machine retry")
+	}
+	loops := total[meta.Loop]
+	loopSum := loops[0] + loops[1] + loops[2]
+	codeqlShare := float64(loops[0]+loops[2]) / float64(loopSum)
+	if codeqlShare < 0.75 {
+		t.Errorf("structural analysis should find most loops (got %.0f%%, paper >85%%)", codeqlShare*100)
+	}
+	if loops[0] == 0 {
+		t.Error("large-file LLM misses should leave some loops CodeQL-only")
+	}
+}
+
+// TestAblationKeywordFilter checks the filter prunes a meaningful fraction.
+func TestAblationKeywordFilter(t *testing.T) {
+	e := sharedEval(t)
+	cand, kw := 0, 0
+	for _, a := range e.Apps {
+		cand += a.ID.CandidateLoops
+		kw += a.ID.KeywordedLoops
+	}
+	if float64(cand)/float64(kw) < 1.5 {
+		t.Errorf("candidates/keyworded = %d/%d; the filter should prune substantially (paper 3.5x)", cand, kw)
+	}
+}
+
+// TestRenderersNonEmpty smoke-tests every table renderer.
+func TestRenderersNonEmpty(t *testing.T) {
+	e := sharedEval(t)
+	for name, out := range map[string]string{
+		"t1": Table1(), "t2": Table2(), "study": StudyStats(),
+		"t3": e.Table3(), "t4": e.Table4(), "t5": e.Table5(), "t6": e.Table6(),
+		"f3": e.Figure3(), "f4": e.Figure4(),
+		"cost": e.CostReport(), "abl": e.AblationKeywordFilter(), "if": e.IFReportText(),
+	} {
+		if len(strings.TrimSpace(out)) == 0 {
+			t.Errorf("%s rendered empty", name)
+		}
+	}
+}
+
+// TestScoreDynamicClassification unit-tests the scorer directly.
+func TestScoreDynamicClassification(t *testing.T) {
+	app, _ := corpus.ByCode("HD")
+	scores := ScoreDynamic(app, []oracle.Report{
+		{Kind: oracle.MissingCap, Coordinator: "hdfs.EditLogTailer.CatchUp"},        // true
+		{Kind: oracle.MissingCap, Coordinator: "hdfs.Checkpointer.UploadImage"},     // FP (harness)
+		{Kind: oracle.MissingDelay, Coordinator: "hdfs.DataStreamer.SetupPipeline"}, // true
+		{Kind: oracle.How, Coordinator: "hdfs.DFSInputStream.ReadBlock"},            // true
+		{Kind: oracle.How, Coordinator: "hdfs.WebFS.UploadChunked"},                 // FP (wrap)
+		{Kind: oracle.MissingDelay, Coordinator: "not.in.manifest"},                 // FP
+	})
+	if scores.Cap.True != 1 || scores.Cap.FP != 1 {
+		t.Errorf("cap = %+v", scores.Cap)
+	}
+	if scores.Delay.True != 1 || scores.Delay.FP != 1 {
+		t.Errorf("delay = %+v", scores.Delay)
+	}
+	if scores.How.True != 1 || scores.How.FP != 1 {
+		t.Errorf("how = %+v", scores.How)
+	}
+}
+
+func TestScoreCell(t *testing.T) {
+	if (Score{}).Cell() != "-" {
+		t.Error("empty cell should render as dash")
+	}
+	if (Score{True: 3, FP: 1}).Cell() != "4_1" {
+		t.Errorf("cell = %s", (Score{True: 3, FP: 1}).Cell())
+	}
+}

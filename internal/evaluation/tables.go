@@ -1,0 +1,296 @@
+package evaluation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wasabi/internal/apps/meta"
+	"wasabi/internal/sast"
+	"wasabi/internal/study"
+)
+
+// appOrder is the evaluation column order of Tables 3–6.
+var appOrder = []string{"HA", "HD", "MA", "YA", "HB", "HI", "CA", "EL"}
+
+func (ev *Evaluation) byCode() map[string]AppResult {
+	out := make(map[string]AppResult, len(ev.Apps))
+	for _, a := range ev.Apps {
+		out[a.App.Code] = a
+	}
+	return out
+}
+
+// Table1 renders the studied applications (study data; identical to the
+// paper, since it is input not measurement).
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Applications included in our study\n")
+	fmt.Fprintf(&b, "%-15s %-28s %6s %5s\n", "Application", "Category", "Stars", "Bugs")
+	counts := study.CountByApp(study.Issues())
+	for _, a := range study.Applications() {
+		fmt.Fprintf(&b, "%-15s %-28s %5dK %5d\n", a.Name, a.Category, a.StarsK, counts[a.Name])
+	}
+	return b.String()
+}
+
+// Table2 renders the root-cause taxonomy of the 70 studied issues.
+func Table2() string {
+	var b strings.Builder
+	issues := study.Issues()
+	cat := study.CountByCategory(issues)
+	fmt.Fprintf(&b, "Table 2: Root causes of retry bugs\n")
+	fmt.Fprintf(&b, "IF retry should be performed\n")
+	fmt.Fprintf(&b, "  - Wrong retry policy                  %3d\n", cat[study.WrongPolicy])
+	fmt.Fprintf(&b, "  - Missing or disabled retry mechanism %3d\n", cat[study.MissingMechanism])
+	fmt.Fprintf(&b, "WHEN retry should be performed\n")
+	fmt.Fprintf(&b, "  - Delay problem                       %3d\n", cat[study.DelayProblem])
+	fmt.Fprintf(&b, "  - Cap problem                         %3d\n", cat[study.CapProblem])
+	fmt.Fprintf(&b, "HOW to execute retry\n")
+	fmt.Fprintf(&b, "  - Improper state reset                %3d\n", cat[study.StateReset])
+	fmt.Fprintf(&b, "  - Broken/raced job tracking           %3d\n", cat[study.JobTracking])
+	fmt.Fprintf(&b, "  - Other                               %3d\n", cat[study.Other])
+	fmt.Fprintf(&b, "Total                                   %3d\n", len(issues))
+	return b.String()
+}
+
+// StudyStats renders the §2.5 statistics.
+func StudyStats() string {
+	var b strings.Builder
+	issues := study.Issues()
+	sev := study.CountBySeverity(issues)
+	mech := study.CountByMechanism(issues)
+	trig := study.CountByTrigger(issues)
+	n := float64(len(issues))
+	fmt.Fprintf(&b, "Study statistics (section 2.5)\n")
+	fmt.Fprintf(&b, "severity: blocker %.0f%%, critical %.0f%%, major %.0f%%, minor %.0f%%, unlabeled %.0f%%\n",
+		float64(sev[study.Blocker])/n*100, float64(sev[study.Critical])/n*100,
+		float64(sev[study.Major])/n*100, float64(sev[study.Minor])/n*100,
+		float64(sev[study.Unlabeled])/n*100)
+	fmt.Fprintf(&b, "mechanism: loop %.0f%%, queue re-enqueue %.0f%%, state machine %.0f%%\n",
+		float64(mech[study.Loop])/n*100, float64(mech[study.Queue])/n*100,
+		float64(mech[study.StateMachine])/n*100)
+	fmt.Fprintf(&b, "triggers: exceptions %.0f%%, error codes %.0f%%\n",
+		float64(trig[study.Exception])/n*100, float64(trig[study.ErrorCode])/n*100)
+	fmt.Fprintf(&b, "regression tests added with fixes: %d/%d\n",
+		study.RegressionTested(issues), len(issues))
+	return b.String()
+}
+
+// renderScoresTable renders a Table 3/4 style grid from per-app scores.
+func renderScoresTable(title string, rows map[string]AppScores, withHow bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "(cells are reports_falsePositives)\n")
+	fmt.Fprintf(&b, "%-26s", "Retry Bug Type")
+	for _, app := range appOrder {
+		fmt.Fprintf(&b, "%8s", app)
+	}
+	fmt.Fprintf(&b, "%8s\n", "Total")
+
+	line := func(label string, get func(AppScores) Score) {
+		fmt.Fprintf(&b, "%-26s", label)
+		var total Score
+		for _, app := range appOrder {
+			s := get(rows[app])
+			total.Add(s)
+			fmt.Fprintf(&b, "%8s", s.Cell())
+		}
+		fmt.Fprintf(&b, "%8s\n", total.Cell())
+	}
+	line("WHEN bugs: missing cap", func(a AppScores) Score { return a.Cap })
+	line("WHEN bugs: missing delay", func(a AppScores) Score { return a.Delay })
+	if withHow {
+		line("HOW retry bugs", func(a AppScores) Score { return a.How })
+	}
+	line("Total", func(a AppScores) Score { return a.Total() })
+	return b.String()
+}
+
+// Table3 renders the repurposed-unit-testing results.
+func (ev *Evaluation) Table3() string {
+	rows := map[string]AppScores{}
+	for _, a := range ev.Apps {
+		rows[a.App.Code] = a.DynScores
+	}
+	return renderScoresTable("Table 3: Retry bugs reported by WASABI unit testing", rows, true)
+}
+
+// Table4 renders the LLM static-detector results.
+func (ev *Evaluation) Table4() string {
+	rows := map[string]AppScores{}
+	for _, a := range ev.Apps {
+		rows[a.App.Code] = a.StaticScore
+	}
+	return renderScoresTable("Table 4: Retry bugs reported by WASABI GPT-4 detector (simulated)", rows, false)
+}
+
+// Table5 renders identified vs dynamically covered retry structures.
+func (ev *Evaluation) Table5() string {
+	var b strings.Builder
+	by := ev.byCode()
+	fmt.Fprintf(&b, "Table 5: Retry code structures identified and covered in unit tests\n")
+	fmt.Fprintf(&b, "%-12s", "App.")
+	for _, app := range appOrder {
+		fmt.Fprintf(&b, "%6s", app)
+	}
+	fmt.Fprintf(&b, "\n%-12s", "Identified")
+	for _, app := range appOrder {
+		fmt.Fprintf(&b, "%6d", by[app].Dyn.StructuresTotal)
+	}
+	fmt.Fprintf(&b, "\n%-12s", "Tested")
+	for _, app := range appOrder {
+		fmt.Fprintf(&b, "%6d", by[app].Dyn.StructuresTested)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}
+
+// Table6 renders unit-test counts and the planning reduction.
+func (ev *Evaluation) Table6() string {
+	var b strings.Builder
+	by := ev.byCode()
+	fmt.Fprintf(&b, "Table 6: Details of WASABI unit testing\n")
+	fmt.Fprintf(&b, "%-6s %8s %12s %14s %14s %10s\n",
+		"App.", "Total", "CoverRetry", "w/o planning", "w/ planning", "reduction")
+	for _, app := range appOrder {
+		d := by[app].Dyn
+		red := "-"
+		if d.PlannedRuns > 0 {
+			red = fmt.Sprintf("%.1fx", float64(d.NaiveRuns)/float64(d.PlannedRuns))
+		}
+		fmt.Fprintf(&b, "%-6s %8d %12d %14d %14d %10s\n",
+			app, d.TestsTotal, d.TestsCoveringRetry, d.NaiveRuns, d.PlannedRuns, red)
+	}
+	return b.String()
+}
+
+// Figure3 renders the bug-overlap Venn data.
+func (ev *Evaluation) Figure3() string {
+	dyn, st := ev.TrueBugKeys()
+	overlap := 0
+	for k := range dyn {
+		if st[k] {
+			overlap++
+		}
+	}
+	union := len(dyn) + len(st) - overlap
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: True bugs found by WASABI unit testing and static checking\n")
+	fmt.Fprintf(&b, "unit testing:    %d true bugs\n", len(dyn))
+	fmt.Fprintf(&b, "static checking: %d true bugs (LLM WHEN + IF ratio)\n", len(st))
+	fmt.Fprintf(&b, "found by both:   %d\n", overlap)
+	fmt.Fprintf(&b, "total distinct:  %d\n", union)
+	return b.String()
+}
+
+// Figure4 renders the identification breakdown by mechanism & technique.
+func (ev *Evaluation) Figure4() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: Retry code structures identified\n")
+	total := map[meta.Mechanism][3]int{}
+	missed, spurious, totalGT := 0, 0, 0
+	for _, a := range ev.Apps {
+		bd := BreakdownIdentification(a)
+		for m, c := range bd.ByMechanism {
+			t := total[m]
+			t[0] += c[0]
+			t[1] += c[1]
+			t[2] += c[2]
+			total[m] = t
+		}
+		missed += bd.Missed
+		spurious += bd.SpuriousLLM
+		totalGT += len(a.App.Manifest)
+	}
+	mechs := []meta.Mechanism{meta.Loop, meta.Queue, meta.StateMachine}
+	fmt.Fprintf(&b, "%-14s %12s %9s %6s %7s\n", "mechanism", "codeql-only", "llm-only", "both", "total")
+	identified := 0
+	for _, m := range mechs {
+		c := total[m]
+		sum := c[0] + c[1] + c[2]
+		identified += sum
+		fmt.Fprintf(&b, "%-14s %12d %9d %6d %7d\n", m, c[0], c[1], c[2], sum)
+	}
+	loops := total[meta.Loop]
+	loopSum := loops[0] + loops[1] + loops[2]
+	fmt.Fprintf(&b, "identified %d of %d ground-truth structures (%d missed by both)\n",
+		identified, totalGT, missed)
+	if loopSum > 0 {
+		fmt.Fprintf(&b, "structural analysis found %.0f%% of identified loops; the LLM missed %d loops (large files)\n",
+			float64(loops[0]+loops[2])/float64(loopSum)*100, loops[0])
+	}
+	fmt.Fprintf(&b, "non-loop structures found by structural analysis: 0 (by design)\n")
+	fmt.Fprintf(&b, "spurious LLM identifications (non-retry code): %d\n", spurious)
+	return b.String()
+}
+
+// CostReport renders the §4.3 cost accounting.
+func (ev *Evaluation) CostReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cost of WASABI (section 4.3)\n")
+	totalNaive, totalPlanned := 0, 0
+	for _, a := range ev.Apps {
+		totalNaive += a.Dyn.NaiveRuns
+		totalPlanned += a.Dyn.PlannedRuns
+	}
+	fmt.Fprintf(&b, "fault-injection runs: %d naive vs %d planned (%.1fx reduction)\n",
+		totalNaive, totalPlanned, float64(totalNaive)/float64(totalPlanned))
+	fmt.Fprintf(&b, "simulated GPT-4: %d API calls, %.1fK tokens, $%.2f total (~$%.2f per app)\n",
+		ev.Usage.Calls, float64(ev.Usage.TokensIn)/1000, ev.Usage.CostUSD,
+		ev.Usage.CostUSD/float64(len(ev.Apps)))
+	return b.String()
+}
+
+// AblationKeywordFilter renders the §4.4 keyword-filter ablation.
+func (ev *Evaluation) AblationKeywordFilter() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: structural loop candidates without the retry-keyword filter (section 4.4)\n")
+	totalCand, totalKw := 0, 0
+	for _, a := range ev.Apps {
+		totalCand += a.ID.CandidateLoops
+		totalKw += a.ID.KeywordedLoops
+		fmt.Fprintf(&b, "%-4s candidates %3d -> keyworded %3d\n", a.App.Code, a.ID.CandidateLoops, a.ID.KeywordedLoops)
+	}
+	fmt.Fprintf(&b, "total: %d vs %d (%.1fx more loops without the filter)\n",
+		totalCand, totalKw, float64(totalCand)/float64(totalKw))
+	return b.String()
+}
+
+// AblationOracles renders the §4.4 oracle ablation: without the three
+// retry-specific oracles, the only signal is a crashed test run — which
+// misses every WHEN bug whose injected fault heals (the run passes) and
+// drowns the rest in re-thrown-injected crashes.
+func (ev *Evaluation) AblationOracles() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: without the retry test oracles (section 4.4)\n")
+	crashed, whenTrue, howReports := 0, 0, 0
+	for _, a := range ev.Apps {
+		crashed += a.Dyn.InjectionRunsFailed
+		whenTrue += a.DynScores.Cap.True + a.DynScores.Delay.True
+		howReports += a.DynScores.How.Reports()
+	}
+	fmt.Fprintf(&b, "injection runs that crashed: %d — without oracles these would be the only signal,\n", crashed)
+	fmt.Fprintf(&b, "and most are the application correctly re-throwing the injected exception\n")
+	fmt.Fprintf(&b, "(filtered by the different-exception oracle; only %d are genuine HOW reports)\n", howReports)
+	fmt.Fprintf(&b, "WHEN bugs whose detection depends entirely on oracles over PASSING runs: %d\n", whenTrue)
+	fmt.Fprintf(&b, "(a missing-cap/missing-delay run passes once the fault heals, so no crash ever flags it)\n")
+	return b.String()
+}
+
+// IFReportText renders the retry-ratio outliers.
+func (ev *Evaluation) IFReportText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IF-bug detection (retry-ratio outliers, section 3.2.2)\n")
+	reports := append([]sast.IFReport(nil), ev.IFReports...)
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Coordinator < reports[j].Coordinator })
+	for _, r := range reports {
+		verb := "not retried"
+		if r.Retried {
+			verb = "retried"
+		}
+		fmt.Fprintf(&b, "  %-28s %s in %s (%s)\n", r.Exception, verb, r.Coordinator, r.Ratio.String())
+	}
+	fmt.Fprintf(&b, "reports: %d (%d true, %d FP)\n", ev.IFScore.Reports(), ev.IFScore.True, ev.IFScore.FP)
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"wasabi/internal/trace"
+)
+
+// concurrentRetried is a retried method driven from many goroutines.
+func concurrentRetried(ctx context.Context) error {
+	if err := Hook(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// concurrentCoordinator retries until success, counting throws.
+func concurrentCoordinator(ctx context.Context, throws *int64) {
+	for {
+		if err := concurrentRetried(ctx); err != nil {
+			atomic.AddInt64(throws, 1)
+			continue
+		}
+		return
+	}
+}
+
+// TestConcurrentInjectionRespectsK drives one armed rule from eight
+// goroutines: exactly K exceptions must be thrown in total, with no data
+// race (run under -race in CI).
+func TestConcurrentInjectionRespectsK(t *testing.T) {
+	const K = 1000
+	in := NewInjector([]Rule{{
+		Loc: Location{
+			Coordinator: "fault.concurrentCoordinator",
+			Retried:     "fault.concurrentRetried",
+			Exception:   "ConnectException",
+		},
+		K: K,
+	}})
+	run := trace.NewRun("t")
+	ctx := With(trace.With(context.Background(), run), in)
+
+	var throws int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			concurrentCoordinator(ctx, &throws)
+		}()
+	}
+	wg.Wait()
+
+	if throws != K {
+		t.Errorf("throws = %d, want exactly K=%d", throws, K)
+	}
+	injections := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindInjection {
+			injections++
+		}
+	}
+	if injections != K {
+		t.Errorf("trace injections = %d, want %d", injections, K)
+	}
+}
+
+// TestConcurrentObserverCoverage checks coverage recording under
+// concurrent hooks.
+func TestConcurrentObserverCoverage(t *testing.T) {
+	in := NewObserver([]Location{{Retried: "fault.concurrentRetried"}})
+	run := trace.NewRun("t")
+	ctx := With(trace.With(context.Background(), run), in)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n int64
+			concurrentCoordinator(ctx, &n)
+		}()
+	}
+	wg.Wait()
+	if got := len(in.Covered()); got != 1 {
+		t.Errorf("covered = %d, want exactly one (coordinator, retried) pair", got)
+	}
+}

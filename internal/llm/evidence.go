@@ -1,0 +1,370 @@
+package llm
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// evidence is what the simulated model "notices" about one function. The
+// paper's observation is that comments, names, and literals are better
+// retry indicators than structure alone (§2.1, §3.1.1); this struct scores
+// exactly those signals.
+type evidence struct {
+	commentRetry   bool // comments mention retry-ish vocabulary
+	identRetry     bool // identifiers carry strong retry substrings
+	identRetryWeak bool // identifiers carry weak evidence (attempt/tries)
+	loopErrOnErr   bool // a loop re-checks an error and keeps going
+	statusLoop     bool // a loop switches on a status and pauses (error-code retry)
+	requeue        bool // a task is re-submitted to a queue on error
+	stateMach      bool // procedure/state-machine shape
+	sleeps         bool // Q2: a sleep happens before re-execution
+	capped         bool // Q3: attempts are bounded
+	pollish        bool // Q4: poll / spin-lock / status-wait shape
+}
+
+func (e evidence) score() int {
+	s := 0
+	if e.commentRetry {
+		s += 2
+	}
+	if e.identRetry {
+		s += 2
+	}
+	if e.identRetryWeak {
+		s++
+	}
+	if e.loopErrOnErr {
+		s++
+	}
+	if e.statusLoop {
+		s++
+	}
+	if e.requeue {
+		s++
+	}
+	return s
+}
+
+// hasReexecutionShape reports whether the function contains any structural
+// re-execution form — the Q1 clarification that definitions-only files are
+// not retry.
+func (e evidence) hasReexecutionShape() bool {
+	return e.loopErrOnErr || e.statusLoop || e.requeue || e.stateMach
+}
+
+func (e evidence) mechanism() string {
+	switch {
+	case e.stateMach:
+		return "statemachine"
+	case e.requeue:
+		return "queue"
+	default:
+		return "loop"
+	}
+}
+
+// retryCommentWords is the vocabulary the model associates with retry in
+// prose.
+var retryCommentWords = []string{
+	"retry", "retri", "re-try", "reattempt", "re-attempt",
+	"resubmit", "re-submit", "resubmitting", "re-enqueue", "requeue",
+	"re-queue", "re-dispatch", "re-request", "re-run", "re-sent",
+	"resend", "re-send", "re-execut", "re-evaluat",
+	"backoff", "back off",
+}
+
+// retryIdentWords is the strong identifier vocabulary.
+var retryIdentWords = []string{
+	"retry", "retrie", "backoff", "requeue", "resubmit",
+}
+
+// weakIdentWords carry weaker evidence: "attempt" and "tries" also name
+// ordinary counters.
+var weakIdentWords = []string{
+	"attempt", "tries",
+}
+
+// pollWords marks poll/spin shapes for Q4.
+var pollWords = []string{
+	"poll", "waitfor", "spin", "compareandswap", "compareandset", "probe",
+}
+
+func containsAny(s string, words []string) bool {
+	l := strings.ToLower(s)
+	for _, w := range words {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// gatherEvidence inspects one function declaration plus the file's
+// comments, emulating a careful single-file read.
+func gatherEvidence(fd *ast.FuncDecl, fileComments []*ast.CommentGroup, localSleepFuncs map[string]bool) evidence {
+	var ev evidence
+
+	// Comments: the doc comment plus every comment group positioned
+	// inside the function body.
+	var comments []string
+	if fd.Doc != nil {
+		comments = append(comments, fd.Doc.Text())
+	}
+	for _, cg := range fileComments {
+		if cg.Pos() >= fd.Pos() && cg.End() <= fd.End() {
+			comments = append(comments, cg.Text())
+		}
+	}
+	for _, c := range comments {
+		if containsAny(c, retryCommentWords) {
+			ev.commentRetry = true
+		}
+		if containsAny(c, pollWords) {
+			ev.pollish = true
+		}
+	}
+
+	if containsAny(fd.Name.Name, pollWords) {
+		ev.pollish = true
+	}
+	if fd.Name.Name == "Step" {
+		ev.stateMach = true
+	}
+
+	var errIdentSeen bool
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			if containsAny(v.Name, retryIdentWords) {
+				ev.identRetry = true
+			}
+			if containsAny(v.Name, weakIdentWords) {
+				ev.identRetryWeak = true
+			}
+			if containsAny(v.Name, pollWords) {
+				ev.pollish = true
+			}
+		case *ast.BasicLit:
+			if v.Kind.String() == "STRING" && containsAny(v.Value, retryIdentWords) {
+				ev.identRetry = true
+			}
+		case *ast.ForStmt:
+			if loopHandlesError(v.Body) {
+				ev.loopErrOnErr = true
+			}
+			if loopSwitchesStatusAndPauses(v.Body) {
+				ev.statusLoop = true
+			}
+			if boundedLoopCond(v.Cond) {
+				ev.capped = true
+			}
+		case *ast.RangeStmt:
+			if loopHandlesError(v.Body) {
+				ev.loopErrOnErr = true
+			}
+			// Ranging over a fixed collection is inherently bounded.
+			ev.capped = ev.capped || loopHandlesError(v.Body)
+		case *ast.IfStmt:
+			if attemptComparison(v.Cond) {
+				ev.capped = true
+			}
+		case *ast.SwitchStmt:
+			if tag, ok := v.Tag.(*ast.Ident); ok && strings.Contains(strings.ToLower(tag.Name), "state") {
+				ev.stateMach = true
+			}
+			if sel, ok := v.Tag.(*ast.SelectorExpr); ok && strings.Contains(strings.ToLower(sel.Sel.Name), "state") {
+				ev.stateMach = true
+			}
+		case *ast.CallExpr:
+			name := calleeName(v)
+			low := strings.ToLower(name)
+			// Only sleeps visible in THIS file count: a direct Sleep call
+			// or a helper defined in the same file. Helpers in other files
+			// are invisible to a single-file reader — the paper's
+			// missing-delay FP mode (§4.3).
+			if name == "Sleep" || strings.Contains(low, "sleep") || localSleepFuncs[name] {
+				ev.sleeps = true
+			}
+			if strings.Contains(low, "requeue") || strings.Contains(low, "resubmit") ||
+				((name == "Put" || name == "Enqueue" || name == "Submit") && receiverIsQueue(v)) {
+				ev.requeue = ev.requeue || errIdentSeen
+			}
+			if strings.Contains(low, "compareandswap") || strings.Contains(low, "compareandset") {
+				ev.pollish = true
+			}
+			if name == "NewPolicy" || name == "Do" && usesResilience(v) {
+				ev.capped = true
+				ev.sleeps = true
+			}
+		case *ast.BinaryExpr:
+			if isErrNilCheck(v) {
+				errIdentSeen = true
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// loopSwitchesStatusAndPauses recognizes the error-code retry shape: a
+// loop whose body switches on some status value and sleeps in at least
+// one branch before the next iteration.
+func loopSwitchesStatusAndPauses(body *ast.BlockStmt) bool {
+	hasSwitch, hasSleep := false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SwitchStmt:
+			hasSwitch = true
+		case *ast.CallExpr:
+			if strings.Contains(strings.ToLower(calleeName(v)), "sleep") {
+				hasSleep = true
+			}
+		}
+		return !(hasSwitch && hasSleep)
+	})
+	return hasSwitch && hasSleep
+}
+
+// loopHandlesError reports whether a loop body contains an error-nil check
+// — the model's rough notion of "checks for exceptions or errors before
+// retry" from prompt Q1.
+func loopHandlesError(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok {
+			if bin, ok := ifs.Cond.(*ast.BinaryExpr); ok && isErrNilCheck(bin) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isErrNilCheck(bin *ast.BinaryExpr) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	isErrName := func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return strings.HasSuffix(strings.ToLower(v.Name), "err") || v.Name == "e"
+		case *ast.SelectorExpr:
+			return strings.HasSuffix(strings.ToLower(v.Sel.Name), "err")
+		}
+		return false
+	}
+	if bin.Op.String() != "!=" && bin.Op.String() != "==" {
+		return false
+	}
+	return (isNil(bin.X) && isErrName(bin.Y)) || (isNil(bin.Y) && isErrName(bin.X))
+}
+
+// boundedLoopCond treats "i < max", "i <= max", and "i != max" loop
+// conditions as caps.
+func boundedLoopCond(cond ast.Expr) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op.String() {
+	case "<", "<=", "!=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// attemptComparison recognizes cap checks like "attempts >= maxAttempts".
+func attemptComparison(cond ast.Expr) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op.String() {
+	case "<", "<=", ">", ">=", "==", "!=":
+	default:
+		return false
+	}
+	mentionsAttempt := func(e ast.Expr) bool {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return containsAny(v.Name, []string{"attempt", "tries", "retry", "retrie", "count"})
+		case *ast.SelectorExpr:
+			return containsAny(v.Sel.Name, []string{"attempt", "tries", "retry", "retrie", "count"})
+		}
+		return false
+	}
+	return mentionsAttempt(bin.X) || mentionsAttempt(bin.Y)
+}
+
+// receiverIsQueue reports whether a method call's receiver expression
+// looks like a queue ("s.queue.Put(...)").
+func receiverIsQueue(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(x.Name), "queue")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(x.Sel.Name), "queue")
+	}
+	return false
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// usesResilience reports whether a .Do call is on a resilience policy
+// (receiver mentions "policy").
+func usesResilience(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(x.Name), "policy")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(x.Sel.Name), "policy")
+	}
+	return false
+}
+
+// localSleepFunctions returns the names of file-local functions whose own
+// bodies call a sleep — visible to a single-file reader. Helpers defined
+// in OTHER files are invisible, reproducing the paper's single-file
+// false-positive mode for missing-delay (§4.3).
+func localSleepFunctions(f *ast.File) map[string]bool {
+	out := make(map[string]bool)
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		found := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				name := calleeName(call)
+				if name == "Sleep" || strings.Contains(strings.ToLower(name), "sleep") {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			out[fd.Name.Name] = true
+		}
+	}
+	return out
+}

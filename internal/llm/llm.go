@@ -1,0 +1,299 @@
+// Package llm is the reproduction's stand-in for GPT-4: a deterministic
+// model of the large language model's *measured* behaviour in the WASABI
+// paper, used for fuzzy retry identification (§3.1.1 technique 2) and
+// static WHEN-bug detection (§3.2.1).
+//
+// The environment is offline, so instead of calling an LLM API, the client
+// reproduces the capability envelope the paper reports for GPT-4:
+//
+//   - it identifies retry from NON-structural evidence — names, comments,
+//     string literals — and therefore finds queue- and state-machine-based
+//     retry that control-flow analysis cannot (§4.2, Figure 4);
+//   - it answers the paper's prompt chain Q1 (does the file retry?), Q2
+//     (sleep before retry?), Q3 (cap on retries?), Q4 (poll/spin-lock?);
+//   - it FAILS on large files: beyond a context threshold it does not even
+//     realize retry exists (the paper's 100 missed loops in 53 large
+//     files, mean ~10.5 KB);
+//   - it produces the paper's false-positive modes at seeded-deterministic
+//     rates: labeling poll/status-update code as retry when Q4 misfires,
+//     missing sleeps that live in helpers outside the file (single-file
+//     context), and occasionally misreading an explicit cap;
+//   - it accounts API calls, tokens, and dollar cost (§4.3 "Cost of
+//     GPT-4").
+//
+// Every decision is a pure function of (seed, file path, function name),
+// so runs are reproducible.
+package llm
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"hash/fnv"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Config tunes the simulated model.
+type Config struct {
+	// LargeFileThreshold is the context limit in bytes: files larger than
+	// this defeat the model's retry comprehension entirely.
+	LargeFileThreshold int
+	// Seed perturbs all stochastic-looking decisions deterministically.
+	Seed uint64
+	// PricePerMTokens is the dollar price per million input tokens used
+	// for cost accounting.
+	PricePerMTokens float64
+
+	// Noise denominators: a hash bucket of 1-in-N triggers the failure
+	// mode. Zero disables the mode.
+	HallucinateRetryDenom int // borderline function labeled retry (Q1 FP)
+	Q4MissDenom           int // poll/spin exclusion fails
+	CapMisreadDenom       int // explicit cap not comprehended (Q3 FP)
+	DelayMisreadDenom     int // in-file sleep not comprehended (Q2 FP)
+}
+
+// DefaultConfig mirrors the paper's measured behaviour.
+func DefaultConfig() Config {
+	return Config{
+		LargeFileThreshold:    7500,
+		Seed:                  2024,
+		PricePerMTokens:       2.50,
+		HallucinateRetryDenom: 4,
+		Q4MissDenom:           5,
+		CapMisreadDenom:       11,
+		DelayMisreadDenom:     13,
+	}
+}
+
+// Client is a simulated GPT-4 endpoint with usage accounting.
+type Client struct {
+	cfg Config
+
+	mu       sync.Mutex
+	calls    int
+	tokensIn int64
+}
+
+// NewClient returns a client with the given configuration.
+func NewClient(cfg Config) *Client {
+	if cfg.LargeFileThreshold == 0 {
+		cfg.LargeFileThreshold = DefaultConfig().LargeFileThreshold
+	}
+	if cfg.PricePerMTokens == 0 {
+		cfg.PricePerMTokens = DefaultConfig().PricePerMTokens
+	}
+	return &Client{cfg: cfg}
+}
+
+// Usage summarizes the API traffic so far.
+type Usage struct {
+	Calls    int
+	TokensIn int64
+	CostUSD  float64
+}
+
+// Usage returns accumulated usage.
+func (c *Client) Usage() Usage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Usage{
+		Calls:    c.calls,
+		TokensIn: c.tokensIn,
+		CostUSD:  float64(c.tokensIn) / 1e6 * c.cfg.PricePerMTokens,
+	}
+}
+
+// ResetUsage zeroes the accounting counters.
+func (c *Client) ResetUsage() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls, c.tokensIn = 0, 0
+}
+
+// Finding is one coordinator method the model believes implements retry.
+type Finding struct {
+	// Coordinator is the normalized method name "pkg.Type.method".
+	Coordinator string
+	// File is the source file basename.
+	File string
+	// Mechanism is the model's classification: "loop", "queue", or
+	// "statemachine".
+	Mechanism string
+	// SleepsBeforeRetry is the Q2 answer.
+	SleepsBeforeRetry bool
+	// HasCap is the Q3 answer.
+	HasCap bool
+	// PollOrSpin is the Q4 answer; true findings are excluded from
+	// retry identification and bug reports.
+	PollOrSpin bool
+	// Hallucinated marks Q1 false positives (for introspection only;
+	// callers must not branch on it).
+	Hallucinated bool
+}
+
+// FileReview is the outcome of the Q1–Q4 prompt chain over one file.
+type FileReview struct {
+	File string
+	Size int
+	// PerformsRetry is the Q1 answer.
+	PerformsRetry bool
+	// TruncatedContext marks the large-file failure mode.
+	TruncatedContext bool
+	// Findings are the retained (non-poll) retry coordinators.
+	Findings []Finding
+}
+
+// ReviewFile runs the prompt chain over the file at path.
+func (c *Client) ReviewFile(path string) (FileReview, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return FileReview{}, err
+	}
+	return c.Review(path, src), nil
+}
+
+// Review runs the prompt chain over in-memory file contents.
+func (c *Client) Review(path string, src []byte) FileReview {
+	base := path[strings.LastIndex(path, "/")+1:]
+	rev := FileReview{File: base, Size: len(src)}
+
+	// Q1 costs one call over the whole file.
+	c.charge(len(src))
+
+	if len(src) > c.cfg.LargeFileThreshold {
+		// The model loses the thread in large inputs and answers Q1 "No"
+		// — the dominant false-negative mode of §4.2.
+		rev.TruncatedContext = true
+		return rev
+	}
+
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		// Unparseable input: the real model would still answer; ours
+		// conservatively says no.
+		return rev
+	}
+	pkg := f.Name.Name
+	sleepFuncs := localSleepFunctions(f)
+
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		name := pkg + "." + funcKey(fd)
+		ev := gatherEvidence(fd, f.Comments, sleepFuncs)
+		// Q1's clarifications: a file that merely *defines* retry policies
+		// or passes retry parameters around is not performing retry — the
+		// model demands a re-execution shape (loop on error, re-enqueue,
+		// or state machine) on top of naming/comment evidence.
+		isRetry := ev.score() >= 3 && ev.hasReexecutionShape()
+		hallucinated := false
+		if !isRetry && ev.score() >= 2 && c.bucket(path, name, "q1", c.cfg.HallucinateRetryDenom) {
+			isRetry, hallucinated = true, true
+		}
+		if !isRetry {
+			continue
+		}
+		// Follow-up prompts Q2–Q4 cost three more calls over the file.
+		c.charge(3 * len(src))
+
+		find := Finding{
+			Coordinator:       name,
+			File:              base,
+			Mechanism:         ev.mechanism(),
+			SleepsBeforeRetry: ev.sleeps,
+			HasCap:            ev.capped,
+			PollOrSpin:        ev.pollish,
+			Hallucinated:      hallucinated,
+		}
+		// Q2/Q3 misreads.
+		if find.HasCap && c.bucket(path, name, "q3", c.cfg.CapMisreadDenom) {
+			find.HasCap = false
+		}
+		if find.SleepsBeforeRetry && c.bucket(path, name, "q2", c.cfg.DelayMisreadDenom) {
+			find.SleepsBeforeRetry = false
+		}
+		// Q4: poll/spin exclusion, which occasionally misses.
+		if find.PollOrSpin {
+			if c.bucket(path, name, "q4", c.cfg.Q4MissDenom) {
+				find.PollOrSpin = false // exclusion failed: FP retained
+			} else {
+				continue // correctly excluded
+			}
+		}
+		rev.Findings = append(rev.Findings, find)
+	}
+	rev.PerformsRetry = len(rev.Findings) > 0
+	return rev
+}
+
+// WhenReport is a static WHEN-bug report produced from a finding (§3.2.1).
+type WhenReport struct {
+	Coordinator string
+	File        string
+	// Kind is "missing-cap" or "missing-delay".
+	Kind string
+}
+
+// DetectWhenBugs derives WHEN-bug reports from a review: every retained
+// retry coordinator without a cap yields a missing-cap report, and without
+// a pre-retry sleep a missing-delay report.
+func DetectWhenBugs(rev FileReview) []WhenReport {
+	var out []WhenReport
+	for _, f := range rev.Findings {
+		if !f.HasCap {
+			out = append(out, WhenReport{Coordinator: f.Coordinator, File: f.File, Kind: "missing-cap"})
+		}
+		if !f.SleepsBeforeRetry {
+			out = append(out, WhenReport{Coordinator: f.Coordinator, File: f.File, Kind: "missing-delay"})
+		}
+	}
+	return out
+}
+
+// charge accounts one API call carrying n bytes of context.
+func (c *Client) charge(n int) {
+	c.mu.Lock()
+	c.calls++
+	c.tokensIn += int64(n) / 4 // ~4 bytes per token
+	c.mu.Unlock()
+}
+
+// bucket returns true for a deterministic 1-in-denom fraction of
+// (seed, path, fn, salt) tuples.
+func (c *Client) bucket(path, fn, salt string, denom int) bool {
+	if denom <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	h.Write([]byte{0})
+	h.Write([]byte(fn))
+	h.Write([]byte{0})
+	h.Write([]byte(salt))
+	var seed [8]byte
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(c.cfg.Seed >> (8 * i))
+	}
+	h.Write(seed[:])
+	return h.Sum64()%uint64(denom) == 0
+}
+
+// funcKey renders "Type.method" for methods and "func" for functions.
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,137 @@
+package planner
+
+import (
+	"context"
+	"testing"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/fault"
+	"wasabi/internal/testkit"
+)
+
+// fakeSuite builds a synthetic coverage scenario without real corpus code.
+func fakeCoverage() Coverage {
+	return Coverage{
+		Order: []string{"t1", "t2", "t3"},
+		TestLocs: map[string][]LocPair{
+			"t1": {{Coordinator: "c1", Retried: "m1"}, {Coordinator: "c2", Retried: "m2"}},
+			"t2": {{Coordinator: "c1", Retried: "m1"}},
+			"t3": {{Coordinator: "c3", Retried: "m3"}, {Coordinator: "c4", Retried: "m4"}},
+		},
+	}
+}
+
+func TestBuildPlanCoversEveryLocationOnce(t *testing.T) {
+	plan := BuildPlan(fakeCoverage())
+	seen := map[LocPair]int{}
+	for _, e := range plan {
+		seen[e.Loc]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("plan covers %d locations, want 4: %+v", len(seen), plan)
+	}
+	for l, n := range seen {
+		if n != 1 {
+			t.Errorf("location %v planned %d times", l, n)
+		}
+	}
+}
+
+func TestBuildPlanSpreadsAcrossTests(t *testing.T) {
+	plan := BuildPlan(fakeCoverage())
+	// Pass 1 should use t1, t2(no new loc? c1/m1 already planned by t1 ->
+	// t2 contributes nothing), t3. Pass 2 picks the leftovers.
+	tests := map[string]int{}
+	for _, e := range plan {
+		tests[e.Test]++
+	}
+	if tests["t1"] == 0 || tests["t3"] == 0 {
+		t.Errorf("plan should use multiple tests: %+v", plan)
+	}
+}
+
+func TestBuildPlanEmptyCoverage(t *testing.T) {
+	if plan := BuildPlan(Coverage{}); len(plan) != 0 {
+		t.Errorf("plan = %+v", plan)
+	}
+}
+
+func TestRunCounts(t *testing.T) {
+	cov := fakeCoverage()
+	locs := []fault.Location{
+		{Coordinator: "c1", Retried: "m1", Exception: "A"},
+		{Coordinator: "c1", Retried: "m1", Exception: "B"},
+		{Coordinator: "c2", Retried: "m2", Exception: "A"},
+		{Coordinator: "c3", Retried: "m3", Exception: "A"},
+		{Coordinator: "c4", Retried: "m4", Exception: "A"},
+	}
+	// naive: t1 covers c1/m1 (2 excs) + c2/m2 (1) = 3; t2 covers c1/m1 (2);
+	// t3 covers 1+1. Total pairs = 7, times 2 K settings = 14.
+	if got := NaiveRuns(cov, locs); got != 14 {
+		t.Errorf("NaiveRuns = %d, want 14", got)
+	}
+	plan := BuildPlan(cov)
+	// planned: each of 4 locations once = 2+1+1+1 = 5 exception-runs × 2.
+	if got := PlannedRuns(plan, locs); got != 10 {
+		t.Errorf("PlannedRuns = %d, want 10", got)
+	}
+}
+
+func TestExceptionsSorted(t *testing.T) {
+	locs := []fault.Location{
+		{Coordinator: "c", Retried: "m", Exception: "B"},
+		{Coordinator: "c", Retried: "m", Exception: "A"},
+		{Coordinator: "c", Retried: "m", Exception: "A"},
+	}
+	got := Exceptions(locs, LocPair{Coordinator: "c", Retried: "m"})
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Exceptions = %v", got)
+	}
+}
+
+func TestCollectOnHDFS(t *testing.T) {
+	app, err := corpus.ByCode("HD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := []fault.Location{
+		{Coordinator: "hdfs.WebFS.Fetch", Retried: "hdfs.WebFS.connect", Exception: "ConnectException"},
+		{Coordinator: "hdfs.EditLogTailer.CatchUp", Retried: "hdfs.EditLogTailer.fetchEdits", Exception: "SocketTimeoutException"},
+		{Coordinator: "hdfs.RegistrationProc.Step", Retried: "hdfs.RegistrationProc.handshake", Exception: "ConnectException"},
+	}
+	cov := Collect(app.Suite, locs)
+	if len(cov.Order) != len(app.Suite.Tests) {
+		t.Fatalf("order = %d tests", len(cov.Order))
+	}
+	covered := cov.Covered()
+	if !covered[LocPair{Coordinator: "hdfs.WebFS.Fetch", Retried: "hdfs.WebFS.connect"}] {
+		t.Error("WebFS.Fetch/connect should be covered by the suite")
+	}
+	if !covered[LocPair{Coordinator: "hdfs.EditLogTailer.CatchUp", Retried: "hdfs.EditLogTailer.fetchEdits"}] {
+		t.Error("CatchUp/fetchEdits should be covered")
+	}
+	if covered[LocPair{Coordinator: "hdfs.RegistrationProc.Step", Retried: "hdfs.RegistrationProc.handshake"}] {
+		t.Error("RegistrationProc is never exercised by the suite; it must not be covered")
+	}
+	if cov.Stripped == 0 {
+		t.Error("the mover test's retry-restricting override should be stripped")
+	}
+}
+
+func TestPreparedOverridesPropagated(t *testing.T) {
+	suite := testkit.Suite{App: "XX", Name: "X", Tests: []testkit.Test{{
+		Name: "x.TestCfg", App: "XX",
+		Overrides: map[string]string{"a.retry.max": "1", "a.buffer": "64"},
+		Body: func(ctx context.Context, o map[string]string) error {
+			return nil
+		},
+	}}}
+	cov := Collect(suite, nil)
+	eff := cov.Prepared["x.TestCfg"]
+	if _, ok := eff["a.retry.max"]; ok {
+		t.Error("retry-restricting override survived preparation")
+	}
+	if eff["a.buffer"] != "64" {
+		t.Error("unrelated override should survive")
+	}
+}

@@ -1,0 +1,124 @@
+// Package resilience is a small retry/fault-tolerance library in the mold
+// of the "resilience frameworks" the paper discusses (§1, e.g. Polly and
+// Hystrix): configurable retry-on-error with bounded attempts and backoff.
+//
+// The paper's observation is that such frameworks help with *configurable*
+// policy aspects but (a) cannot decide which errors are transient, (b)
+// cannot prevent HOW-retry implementation bugs, and (c) only support simple
+// loop-shaped retry. This package exists both as a correct-usage baseline
+// for the ablation benchmarks and as the utility a few well-behaved corpus
+// components use, in contrast to the ad-hoc retry the rest of the corpus
+// implements inline (which is precisely what makes WASABI's identification
+// problem hard).
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"wasabi/internal/vclock"
+)
+
+// Classifier decides whether an error is worth retrying.
+type Classifier func(error) bool
+
+// Policy configures bounded, delayed retry. The zero value retries nothing;
+// construct policies with NewPolicy and the With* options.
+type Policy struct {
+	maxAttempts int
+	baseDelay   time.Duration
+	maxDelay    time.Duration
+	maxElapsed  time.Duration
+	retryOn     Classifier
+}
+
+// Option mutates a policy under construction.
+type Option func(*Policy)
+
+// NewPolicy returns a policy that performs at most maxAttempts executions
+// (so maxAttempts-1 retries) with a fixed 1s delay between attempts and
+// retries every error. maxAttempts < 1 is treated as 1.
+func NewPolicy(maxAttempts int, opts ...Option) *Policy {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	p := &Policy{
+		maxAttempts: maxAttempts,
+		baseDelay:   time.Second,
+		maxDelay:    time.Second,
+		retryOn:     func(error) bool { return true },
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// WithFixedDelay sets a constant delay between attempts.
+func WithFixedDelay(d time.Duration) Option {
+	return func(p *Policy) { p.baseDelay, p.maxDelay = d, d }
+}
+
+// WithExponentialBackoff sets exponential backoff from base up to max.
+func WithExponentialBackoff(base, max time.Duration) Option {
+	return func(p *Policy) { p.baseDelay, p.maxDelay = base, max }
+}
+
+// WithMaxElapsed bounds the total virtual time spent retrying. Zero means
+// no time bound (attempts still bound the loop).
+func WithMaxElapsed(d time.Duration) Option {
+	return func(p *Policy) { p.maxElapsed = d }
+}
+
+// WithRetryOn sets the transient-error classifier.
+func WithRetryOn(c Classifier) Option {
+	return func(p *Policy) { p.retryOn = c }
+}
+
+// MaxAttempts returns the configured attempt bound.
+func (p *Policy) MaxAttempts() int { return p.maxAttempts }
+
+// ErrAttemptsExhausted wraps the last error when the attempt cap is hit.
+var ErrAttemptsExhausted = errors.New("resilience: retry attempts exhausted")
+
+// ErrDeadlineExhausted wraps the last error when the elapsed-time cap is hit.
+var ErrDeadlineExhausted = errors.New("resilience: retry deadline exhausted")
+
+// exhaustedError carries the sentinel plus the last attempt's error.
+type exhaustedError struct {
+	sentinel error
+	last     error
+}
+
+func (e *exhaustedError) Error() string   { return e.sentinel.Error() + ": " + e.last.Error() }
+func (e *exhaustedError) Unwrap() error   { return e.last }
+func (e *exhaustedError) Is(t error) bool { return t == e.sentinel }
+
+// Do executes fn until it succeeds, the classifier rejects its error, the
+// attempt cap is reached, or the elapsed-time cap is exceeded. Delays
+// between attempts go through the virtual clock, so instrumented runs
+// observe them as proper retry delays.
+func (p *Policy) Do(ctx context.Context, fn func(context.Context) error) error {
+	start := vclock.Now(ctx)
+	var last error
+	for attempt := 0; attempt < p.maxAttempts; attempt++ {
+		if attempt > 0 {
+			vclock.Sleep(ctx, vclock.Backoff(p.baseDelay, attempt-1, p.maxDelay))
+			if p.maxElapsed > 0 && vclock.Now(ctx)-start > p.maxElapsed {
+				return &exhaustedError{sentinel: ErrDeadlineExhausted, last: last}
+			}
+		}
+		last = fn(ctx)
+		if last == nil {
+			return nil
+		}
+		if !p.retryOn(last) {
+			return last
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return &exhaustedError{sentinel: ErrAttemptsExhausted, last: last}
+}

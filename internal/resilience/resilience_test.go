@@ -1,0 +1,187 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/trace"
+)
+
+func ctxWithRun() (context.Context, *trace.Run) {
+	r := trace.NewRun("t")
+	return trace.With(context.Background(), r), r
+}
+
+func failN(n int, class string) func(context.Context) error {
+	calls := 0
+	return func(context.Context) error {
+		calls++
+		if calls <= n {
+			return errmodel.New(class, "transient")
+		}
+		return nil
+	}
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	ctx, run := ctxWithRun()
+	p := NewPolicy(3)
+	if err := p.Do(ctx, failN(0, "ConnectException")); err != nil {
+		t.Fatal(err)
+	}
+	if run.Len() != 0 {
+		t.Error("no sleep expected on first-try success")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	ctx, run := ctxWithRun()
+	p := NewPolicy(5, WithFixedDelay(time.Second))
+	if err := p.Do(ctx, failN(3, "ConnectException")); err != nil {
+		t.Fatal(err)
+	}
+	sleeps := 0
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindSleep {
+			sleeps++
+		}
+	}
+	if sleeps != 3 {
+		t.Errorf("sleeps = %d, want one per retry", sleeps)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	ctx, _ := ctxWithRun()
+	p := NewPolicy(3, WithFixedDelay(time.Millisecond))
+	err := p.Do(ctx, failN(100, "ConnectException"))
+	if !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if !errmodel.CauseIsClass(err, "ConnectException") {
+		t.Error("last error not preserved in the chain")
+	}
+}
+
+func TestDoClassifierStopsEarly(t *testing.T) {
+	ctx, _ := ctxWithRun()
+	calls := 0
+	p := NewPolicy(10, WithRetryOn(func(err error) bool {
+		return errmodel.IsClass(err, "ConnectException")
+	}))
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		return errmodel.New("AccessControlException", "denied")
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d, non-retriable must not be retried", calls)
+	}
+	if !errmodel.IsClass(err, "AccessControlException") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDoDeadline(t *testing.T) {
+	ctx, _ := ctxWithRun()
+	p := NewPolicy(1000, WithFixedDelay(time.Second), WithMaxElapsed(3*time.Second))
+	err := p.Do(ctx, failN(1000, "ConnectException"))
+	if !errors.Is(err, ErrDeadlineExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoExponentialBackoffDurations(t *testing.T) {
+	ctx, run := ctxWithRun()
+	p := NewPolicy(4, WithExponentialBackoff(100*time.Millisecond, time.Second))
+	_ = p.Do(ctx, failN(3, "ConnectException"))
+	var ds []time.Duration
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindSleep {
+			ds = append(ds, e.Duration)
+		}
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(ds) != len(want) {
+		t.Fatalf("sleeps = %v", ds)
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, ds[i], want[i])
+		}
+	}
+}
+
+func TestDoContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPolicy(100, WithFixedDelay(0))
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errmodel.New("ConnectException", "x")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, cancellation must stop the loop", calls)
+	}
+}
+
+func TestMinimumOneAttempt(t *testing.T) {
+	p := NewPolicy(0)
+	if p.MaxAttempts() != 1 {
+		t.Errorf("MaxAttempts = %d, want clamped to 1", p.MaxAttempts())
+	}
+	calls := 0
+	_ = p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return errors.New("x")
+	})
+	if calls != 1 {
+		t.Errorf("calls = %d", calls)
+	}
+}
+
+// Property: for a function failing f times, Do calls it exactly
+// min(f+1, maxAttempts) times.
+func TestAttemptCountProperty(t *testing.T) {
+	prop := func(failures, max uint8) bool {
+		f, m := int(failures%20), int(max%20)+1
+		calls := 0
+		p := NewPolicy(m, WithFixedDelay(0))
+		_ = p.Do(context.Background(), func(context.Context) error {
+			calls++
+			if calls <= f {
+				return errmodel.New("ConnectException", "x")
+			}
+			return nil
+		})
+		want := f + 1
+		if want > m {
+			want = m
+		}
+		return calls == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExhaustedErrorRendering(t *testing.T) {
+	ctx, _ := ctxWithRun()
+	p := NewPolicy(1)
+	err := p.Do(ctx, failN(5, "SocketException"))
+	if err == nil || !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if err.Error() == "" {
+		t.Error("empty rendering")
+	}
+}

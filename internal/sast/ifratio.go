@@ -1,0 +1,108 @@
+package sast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ExceptionRatio summarizes corpus-wide retry policy for one exception
+// class: in how many retry loops it can be thrown and in how many of those
+// it is actually retried (§3.2.2).
+type ExceptionRatio struct {
+	Exception string
+	Retried   int
+	Total     int
+	RetriedIn []string // coordinators retrying the exception
+	SkippedIn []string // coordinators not retrying it
+}
+
+// Ratio returns the application-wide retry ratio R_E / N_E.
+func (r ExceptionRatio) Ratio() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Retried) / float64(r.Total)
+}
+
+// String renders "retried 17/20".
+func (r ExceptionRatio) String() string {
+	return fmt.Sprintf("%s retried %d/%d", r.Exception, r.Retried, r.Total)
+}
+
+// IFReport flags one outlier loop whose retry-or-not decision for an
+// exception disagrees with the rest of the codebase.
+type IFReport struct {
+	Exception   string
+	Coordinator string
+	// Retried reports the outlier's behaviour: true means the exception
+	// is retried here although it mostly is not (a possible
+	// "non-recoverable error retried" bug); false means the inverse.
+	Retried bool
+	Ratio   ExceptionRatio
+}
+
+// RatioOptions tunes the outlier thresholds.
+type RatioOptions struct {
+	// MinLoops is the minimum N_E for an exception to be considered.
+	MinLoops int
+	// HighRatio: ratios >= HighRatio (but < 1) flag the not-retried
+	// minority. Ratios <= 1-HighRatio (but > 0) flag the retried
+	// minority. The paper uses 2/3.
+	HighRatio float64
+}
+
+// DefaultRatioOptions mirrors the paper's thresholds.
+func DefaultRatioOptions() RatioOptions {
+	return RatioOptions{MinLoops: 3, HighRatio: 2.0 / 3.0}
+}
+
+// RatioAnalysis computes per-exception retry ratios over the keyword-
+// filtered retry loops of all analyzed applications and reports outliers.
+func RatioAnalysis(analyses []*Analysis, opts RatioOptions) ([]ExceptionRatio, []IFReport) {
+	byExc := make(map[string]*ExceptionRatio)
+	for _, a := range analyses {
+		for _, loop := range a.Loops {
+			for exc, retried := range loop.ThrownHere {
+				r := byExc[exc]
+				if r == nil {
+					r = &ExceptionRatio{Exception: exc}
+					byExc[exc] = r
+				}
+				r.Total++
+				if retried {
+					r.Retried++
+					r.RetriedIn = append(r.RetriedIn, loop.Coordinator)
+				} else {
+					r.SkippedIn = append(r.SkippedIn, loop.Coordinator)
+				}
+			}
+		}
+	}
+	var ratios []ExceptionRatio
+	var reports []IFReport
+	excs := make([]string, 0, len(byExc))
+	for e := range byExc {
+		excs = append(excs, e)
+	}
+	sort.Strings(excs)
+	for _, e := range excs {
+		r := *byExc[e]
+		sort.Strings(r.RetriedIn)
+		sort.Strings(r.SkippedIn)
+		ratios = append(ratios, r)
+		if r.Total < opts.MinLoops || r.Retried == 0 || r.Retried == r.Total {
+			continue
+		}
+		switch ratio := r.Ratio(); {
+		case ratio >= opts.HighRatio:
+			for _, c := range r.SkippedIn {
+				reports = append(reports, IFReport{Exception: e, Coordinator: c, Retried: false, Ratio: r})
+			}
+		case ratio <= 1-opts.HighRatio:
+			for _, c := range r.RetriedIn {
+				reports = append(reports, IFReport{Exception: e, Coordinator: c, Retried: true, Ratio: r})
+			}
+		}
+	}
+	return ratios, reports
+}

@@ -1,0 +1,200 @@
+package sast
+
+import (
+	"testing"
+
+	"wasabi/internal/apps/corpus"
+)
+
+func analyzeHDFS(t *testing.T) *Analysis {
+	t.Helper()
+	app, err := corpus.ByCode("HD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeDir(app.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func loopByCoordinator(a *Analysis, name string) *RetryLoop {
+	for i := range a.Loops {
+		if a.Loops[i].Coordinator == name {
+			return &a.Loops[i]
+		}
+	}
+	return nil
+}
+
+func TestAnalyzeFindsMethodsAndThrows(t *testing.T) {
+	a := analyzeHDFS(t)
+	m := a.Methods["hdfs.WebFS.connect"]
+	if m == nil {
+		t.Fatal("hdfs.WebFS.connect not found")
+	}
+	if len(m.Throws) != 2 || m.Throws[0] != "ConnectException" || m.Throws[1] != "AccessControlException" {
+		t.Errorf("Throws = %v", m.Throws)
+	}
+	if !m.HasHook {
+		t.Error("connect should be hook-instrumented")
+	}
+}
+
+func TestMethodWithoutThrows(t *testing.T) {
+	a := analyzeHDFS(t)
+	m := a.Methods["hdfs.WebFS.Fetch"]
+	if m == nil {
+		t.Fatal("Fetch not found")
+	}
+	if len(m.Throws) != 0 {
+		t.Errorf("coordinator should not declare Throws, got %v", m.Throws)
+	}
+}
+
+func TestKeywordedLoopsDetected(t *testing.T) {
+	a := analyzeHDFS(t)
+	for _, want := range []string{
+		"hdfs.WebFS.Fetch",
+		"hdfs.WebFS.UploadChunked",
+		"hdfs.DFSInputStream.ReadBlock",
+		"hdfs.DFSInputStream.ReadWithFailover",
+		"hdfs.DataStreamer.SetupPipeline",
+		"hdfs.Mover.MoveBlock",
+		"hdfs.EditLogTailer.CatchUp",
+		"hdfs.Checkpointer.UploadImage",
+		"hdfs.NamenodeRPC.Call",
+	} {
+		if loopByCoordinator(a, want) == nil {
+			t.Errorf("retry loop %s not detected", want)
+		}
+	}
+}
+
+func TestNonKeywordedLoopsMissed(t *testing.T) {
+	a := analyzeHDFS(t)
+	for _, miss := range []string{
+		"hdfs.BlockFetcher.FetchChecksummed", // counter named "tries"
+		"hdfs.LeaseRenewer.Renew",
+		"hdfs.DataStreamer.WritePacketGroup",
+	} {
+		if loopByCoordinator(a, miss) != nil {
+			t.Errorf("keyword filter should miss %s", miss)
+		}
+	}
+}
+
+func TestNonLoopRetryNotDetected(t *testing.T) {
+	a := analyzeHDFS(t)
+	for _, miss := range []string{
+		"hdfs.Balancer.processTask",    // queue re-enqueue
+		"hdfs.ReconstructionProc.Step", // state machine
+		"hdfs.RegistrationProc.Step",   // state machine
+	} {
+		if loopByCoordinator(a, miss) != nil {
+			t.Errorf("structural analysis should not flag non-loop retry %s", miss)
+		}
+	}
+}
+
+func TestCandidateLoopsExceedFiltered(t *testing.T) {
+	a := analyzeHDFS(t)
+	if a.CandidateLoops <= len(a.Loops) {
+		t.Errorf("candidates = %d should exceed keyword-filtered = %d",
+			a.CandidateLoops, len(a.Loops))
+	}
+}
+
+func TestTripletsForFetch(t *testing.T) {
+	a := analyzeHDFS(t)
+	loop := loopByCoordinator(a, "hdfs.WebFS.Fetch")
+	if loop == nil {
+		t.Fatal("Fetch loop missing")
+	}
+	want := map[Triplet]bool{
+		{Coordinator: "hdfs.WebFS.Fetch", Retried: "hdfs.WebFS.connect", Exception: "ConnectException"}:           false,
+		{Coordinator: "hdfs.WebFS.Fetch", Retried: "hdfs.WebFS.getResponse", Exception: "SocketTimeoutException"}: false,
+		{Coordinator: "hdfs.WebFS.Fetch", Retried: "hdfs.WebFS.getResponse", Exception: "EOFException"}:           false,
+	}
+	for _, tr := range loop.Triplets {
+		if _, ok := want[tr]; ok {
+			want[tr] = true
+		}
+		if tr.Exception == "AccessControlException" {
+			t.Error("AccessControlException is caught-and-aborted; it must not be a trigger")
+		}
+		if tr.Exception == "FileNotFoundException" {
+			t.Error("FileNotFoundException is caught-and-aborted; it must not be a trigger")
+		}
+	}
+	for tr, seen := range want {
+		if !seen {
+			t.Errorf("missing triplet %+v (have %+v)", tr, loop.Triplets)
+		}
+	}
+}
+
+func TestExclusionRecordedInThrownHere(t *testing.T) {
+	a := analyzeHDFS(t)
+	loop := loopByCoordinator(a, "hdfs.WebFS.Fetch")
+	if loop == nil {
+		t.Fatal("Fetch loop missing")
+	}
+	if retried, ok := loop.ThrownHere["AccessControlException"]; !ok || retried {
+		t.Errorf("AccessControlException should be recorded as thrown-but-not-retried, got %v/%v", retried, ok)
+	}
+	if retried := loop.ThrownHere["ConnectException"]; !retried {
+		t.Error("ConnectException should be recorded as retried")
+	}
+}
+
+func TestCalleesOfQueueCoordinator(t *testing.T) {
+	a := analyzeHDFS(t)
+	ts := a.CalleesOf("hdfs.Balancer.processTask")
+	found := false
+	for _, tr := range ts {
+		if tr.Retried == "hdfs.Balancer.transferBlock" && tr.Exception == "ConnectException" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CalleesOf missed transferBlock triplet: %+v", ts)
+	}
+}
+
+func TestCalleesOfStateMachineStep(t *testing.T) {
+	a := analyzeHDFS(t)
+	ts := a.CalleesOf("hdfs.ReconstructionProc.Step")
+	names := map[string]bool{}
+	for _, tr := range ts {
+		names[tr.Retried] = true
+	}
+	if !names["hdfs.ReconstructionProc.readShards"] || !names["hdfs.ReconstructionProc.writeRecovered"] {
+		t.Errorf("CalleesOf(Step) = %+v", ts)
+	}
+}
+
+func TestCalleesOfUnknownMethod(t *testing.T) {
+	a := analyzeHDFS(t)
+	if got := a.CalleesOf("hdfs.NoSuch.method"); got != nil {
+		t.Errorf("expected nil, got %+v", got)
+	}
+}
+
+func TestRatioAnalysisCountsExclusions(t *testing.T) {
+	a := analyzeHDFS(t)
+	ratios, _ := RatioAnalysis([]*Analysis{a}, DefaultRatioOptions())
+	var acl *ExceptionRatio
+	for i := range ratios {
+		if ratios[i].Exception == "AccessControlException" {
+			acl = &ratios[i]
+		}
+	}
+	if acl == nil {
+		t.Fatal("AccessControlException not in ratio analysis")
+	}
+	if acl.Retried != 0 {
+		t.Errorf("AccessControlException should never be retried in HDFS, got %d/%d", acl.Retried, acl.Total)
+	}
+}

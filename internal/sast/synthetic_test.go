@@ -1,0 +1,244 @@
+package sast
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// analyzeSource writes src as a single-file package into a temp dir and
+// analyzes it.
+func analyzeSource(t *testing.T, src string) *Analysis {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+const header = `package pkg
+
+import (
+	"context"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/fault"
+)
+
+var _ = errmodel.New
+
+// connect opens a connection.
+//
+// Throws: ConnectException, AccessControlException.
+func connect(ctx context.Context) error {
+	if err := fault.Hook(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+`
+
+func TestSyntheticContinueCatch(t *testing.T) {
+	a := analyzeSource(t, header+`
+func run(ctx context.Context) error {
+	var last error
+	for retry := 0; retry < 3; retry++ {
+		if err := connect(ctx); err != nil {
+			last = err
+			continue
+		}
+		return nil
+	}
+	return last
+}
+`)
+	if len(a.Loops) != 1 || a.Loops[0].Coordinator != "pkg.run" {
+		t.Fatalf("loops = %+v", a.Loops)
+	}
+	if a.CandidateLoops != 1 {
+		t.Errorf("candidates = %d", a.CandidateLoops)
+	}
+}
+
+func TestSyntheticFallthroughCatch(t *testing.T) {
+	a := analyzeSource(t, header+`
+func run(ctx context.Context) error {
+	var last error
+	for retry := 0; retry < 3; retry++ {
+		err := connect(ctx)
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return last
+}
+`)
+	if len(a.Loops) != 1 {
+		t.Fatalf("inverted err==nil shape not detected: %+v", a.Loops)
+	}
+}
+
+func TestSyntheticCatchThatReturnsIsNotRetry(t *testing.T) {
+	a := analyzeSource(t, header+`
+func run(ctx context.Context) error {
+	for retry := 0; retry < 3; retry++ {
+		if err := connect(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+`)
+	if len(a.Loops) != 0 || a.CandidateLoops != 0 {
+		t.Fatalf("a catch that always returns cannot reach the header: %+v", a.Loops)
+	}
+}
+
+func TestSyntheticNoKeywordIsCandidateOnly(t *testing.T) {
+	a := analyzeSource(t, header+`
+func run(ctx context.Context) error {
+	var last error
+	for tries := 0; tries < 3; tries++ {
+		if err := connect(ctx); err != nil {
+			last = err
+			continue
+		}
+		return nil
+	}
+	return last
+}
+`)
+	if len(a.Loops) != 0 {
+		t.Errorf("keyword filter should prune a 'tries' loop: %+v", a.Loops)
+	}
+	if a.CandidateLoops != 1 {
+		t.Errorf("candidates = %d, want the structural hit", a.CandidateLoops)
+	}
+}
+
+func TestSyntheticExclusionPattern(t *testing.T) {
+	a := analyzeSource(t, header+`
+func run(ctx context.Context) error {
+	var last error
+	for retry := 0; retry < 3; retry++ {
+		if err := connect(ctx); err != nil {
+			if errmodel.IsClass(err, "AccessControlException") {
+				return err
+			}
+			last = err
+			continue
+		}
+		return nil
+	}
+	return last
+}
+`)
+	if len(a.Loops) != 1 {
+		t.Fatalf("loops = %+v", a.Loops)
+	}
+	loop := a.Loops[0]
+	if retried, ok := loop.ThrownHere["AccessControlException"]; !ok || retried {
+		t.Errorf("AccessControlException should be thrown-but-excluded: %v %v", retried, ok)
+	}
+	for _, tr := range loop.Triplets {
+		if tr.Exception == "AccessControlException" {
+			t.Error("excluded exception leaked into the triplets")
+		}
+	}
+	if len(loop.Triplets) != 1 || loop.Triplets[0].Exception != "ConnectException" {
+		t.Errorf("triplets = %+v", loop.Triplets)
+	}
+}
+
+func TestSyntheticRangeLoop(t *testing.T) {
+	a := analyzeSource(t, header+`
+func run(ctx context.Context, retryTargets []string) error {
+	var last error
+	for range retryTargets {
+		if err := connect(ctx); err != nil {
+			last = err
+			continue
+		}
+		return nil
+	}
+	return last
+}
+`)
+	if len(a.Loops) != 1 {
+		t.Fatalf("range-based retry loop not detected: %+v", a.Loops)
+	}
+}
+
+func TestSyntheticNestedLoopContinueScoping(t *testing.T) {
+	// The continue belongs to the INNER loop, which has no retry-named
+	// identifiers; the outer loop's body must not claim it.
+	a := analyzeSource(t, header+`
+func run(ctx context.Context, retryBudget int) error {
+	for i := 0; i < retryBudget; i++ {
+		for j := 0; j < 2; j++ {
+			if err := connect(ctx); err != nil {
+				continue
+			}
+		}
+		return nil
+	}
+	return nil
+}
+`)
+	// The inner loop IS a structural candidate, but carries no keyword
+	// itself... except it inherits none from the outer scope. The outer
+	// loop has no catch of its own.
+	for _, loop := range a.Loops {
+		if loop.Coordinator != "pkg.run" {
+			t.Errorf("unexpected loop %+v", loop)
+		}
+	}
+	// Inner loop nodes include the identifiers of their own subtree only;
+	// "retryBudget" appears in the outer loop's init, so the outer loop is
+	// keyword-positive but not catch-positive. Expect at most the inner
+	// candidate.
+	if a.CandidateLoops != 1 {
+		t.Errorf("candidates = %d, want inner loop only", a.CandidateLoops)
+	}
+}
+
+func TestSyntheticUnreadableDir(t *testing.T) {
+	if _, err := AnalyzeDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("expected error for missing directory")
+	}
+}
+
+func TestSyntheticParseError(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "bad.go"), []byte("not go {{{"), 0o644)
+	if _, err := AnalyzeDir(dir); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestSyntheticTestAndScaffoldFilesSkipped(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"pkg.go":      "package pkg\n",
+		"x_test.go":   "package pkg\n\nvar testOnly = 1\n",
+		"suite.go":    "package pkg\n\nvar suiteOnly = 1\n",
+		"manifest.go": "package pkg\n\nvar manifestOnly = 1\n",
+		"workload.go": "package pkg\n\nvar workloadOnly = 1\n",
+	}
+	for name, src := range files {
+		os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644)
+	}
+	a, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Files) != 1 {
+		t.Errorf("analyzed files = %v, want pkg.go only", a.Files)
+	}
+}

@@ -1,0 +1,178 @@
+// Package study contains the paper's empirical study substrate (§2): the
+// 70 retry-related issues from 8 popular Java applications, with the
+// attributes the paper aggregates — root-cause category (Table 2),
+// per-application counts (Table 1), severity labels, retry mechanism,
+// trigger encoding, and whether developers later added a regression test
+// (§2.5).
+//
+// Issues explicitly discussed in the paper carry their real tracker IDs
+// (KAFKA-6829, HBASE-20492, HADOOP-16683, ...); the remaining records are
+// representative reconstructions that preserve every aggregate the paper
+// reports, since the paper publishes only those aggregates.
+package study
+
+// Category is a root-cause category from Table 2.
+type Category string
+
+const (
+	// WrongPolicy: recoverable errors not retried, or non-recoverable
+	// errors retried (IF, §2.2.1).
+	WrongPolicy Category = "wrong-retry-policy"
+	// MissingMechanism: retry opportunity not implemented at all (§2.2.2).
+	MissingMechanism Category = "missing-mechanism"
+	// DelayProblem: no or wrong delay between attempts (§2.3.1).
+	DelayProblem Category = "delay-problem"
+	// CapProblem: missing or broken bound on attempts (§2.3.2).
+	CapProblem Category = "cap-problem"
+	// StateReset: improper state reset before re-execution (§2.4).
+	StateReset Category = "improper-state-reset"
+	// JobTracking: broken or raced job status tracking (§2.4).
+	JobTracking Category = "broken-job-tracking"
+	// Other HOW-retry defects.
+	Other Category = "other"
+)
+
+// RootCauseGroup returns the IF/WHEN/HOW grouping of Table 2.
+func (c Category) RootCauseGroup() string {
+	switch c {
+	case WrongPolicy, MissingMechanism:
+		return "IF"
+	case DelayProblem, CapProblem:
+		return "WHEN"
+	case StateReset, JobTracking, Other:
+		return "HOW"
+	}
+	return "?"
+}
+
+// Mechanism is the retry code structure involved (§2.5).
+type Mechanism string
+
+const (
+	Loop         Mechanism = "loop"
+	Queue        Mechanism = "queue"
+	StateMachine Mechanism = "statemachine"
+)
+
+// Severity is the developer-assigned priority label.
+type Severity string
+
+const (
+	Blocker   Severity = "blocker"
+	Critical  Severity = "critical"
+	Major     Severity = "major"
+	Minor     Severity = "minor"
+	Unlabeled Severity = "unlabeled"
+)
+
+// Trigger is how the task error reaches the retry decision.
+type Trigger string
+
+const (
+	Exception Trigger = "exception"
+	ErrorCode Trigger = "errorcode"
+)
+
+// Issue is one studied retry bug report.
+type Issue struct {
+	// ID is the tracker identifier, e.g. "HBASE-20492".
+	ID string
+	// App is the application name as in Table 1.
+	App string
+	// Title is a one-line summary.
+	Title     string
+	Category  Category
+	Mechanism Mechanism
+	Severity  Severity
+	Trigger   Trigger
+	// RegressionTest reports whether developers added a unit test with
+	// the fix (42 of 70 issues, §2.5).
+	RegressionTest bool
+	// InPaper marks issues the paper discusses explicitly by ID.
+	InPaper bool
+}
+
+// AppInfo is a Table 1 row.
+type AppInfo struct {
+	Name     string
+	Category string
+	StarsK   int // GitHub stars in thousands at study time
+}
+
+// Applications returns Table 1's application list.
+func Applications() []AppInfo {
+	return []AppInfo{
+		{Name: "Elasticsearch", Category: "Full-text search", StarsK: 66},
+		{Name: "Hadoop", Category: "Distr. storage/processing", StarsK: 14},
+		{Name: "HBase", Category: "Database", StarsK: 5},
+		{Name: "Hive", Category: "Data warehousing", StarsK: 5},
+		{Name: "Kafka", Category: "Stream processing", StarsK: 26},
+		{Name: "Spark", Category: "Data processing", StarsK: 37},
+	}
+}
+
+// CountByApp tallies issues per application (Table 1's "Bugs" column).
+func CountByApp(issues []Issue) map[string]int {
+	out := make(map[string]int)
+	for _, i := range issues {
+		out[i.App]++
+	}
+	return out
+}
+
+// CountByCategory tallies issues per root-cause category (Table 2).
+func CountByCategory(issues []Issue) map[Category]int {
+	out := make(map[Category]int)
+	for _, i := range issues {
+		out[i.Category]++
+	}
+	return out
+}
+
+// CountByGroup tallies issues per IF/WHEN/HOW group.
+func CountByGroup(issues []Issue) map[string]int {
+	out := make(map[string]int)
+	for _, i := range issues {
+		out[i.Category.RootCauseGroup()]++
+	}
+	return out
+}
+
+// CountByMechanism tallies issues per retry mechanism (§2.5).
+func CountByMechanism(issues []Issue) map[Mechanism]int {
+	out := make(map[Mechanism]int)
+	for _, i := range issues {
+		out[i.Mechanism]++
+	}
+	return out
+}
+
+// CountBySeverity tallies issues per priority label (§2.5).
+func CountBySeverity(issues []Issue) map[Severity]int {
+	out := make(map[Severity]int)
+	for _, i := range issues {
+		out[i.Severity]++
+	}
+	return out
+}
+
+// CountByTrigger tallies exception- vs error-code-reported failures
+// (70%/30% in §3.1).
+func CountByTrigger(issues []Issue) map[Trigger]int {
+	out := make(map[Trigger]int)
+	for _, i := range issues {
+		out[i.Trigger]++
+	}
+	return out
+}
+
+// RegressionTested counts issues whose fix came with a unit test.
+func RegressionTested(issues []Issue) int {
+	n := 0
+	for _, i := range issues {
+		if i.RegressionTest {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package study
+
+import "testing"
+
+func TestSeventyIssues(t *testing.T) {
+	if got := len(Issues()); got != 70 {
+		t.Fatalf("issues = %d, want 70", got)
+	}
+}
+
+func TestTable1PerAppCounts(t *testing.T) {
+	want := map[string]int{
+		"Elasticsearch": 11, "Hadoop": 15, "HBase": 15,
+		"Hive": 11, "Kafka": 9, "Spark": 9,
+	}
+	got := CountByApp(Issues())
+	for app, n := range want {
+		if got[app] != n {
+			t.Errorf("%s = %d, want %d", app, got[app], n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("unexpected apps: %v", got)
+	}
+}
+
+func TestTable2RootCauses(t *testing.T) {
+	want := map[Category]int{
+		WrongPolicy: 17, MissingMechanism: 8,
+		DelayProblem: 10, CapProblem: 13,
+		StateReset: 12, JobTracking: 8, Other: 2,
+	}
+	got := CountByCategory(Issues())
+	for c, n := range want {
+		if got[c] != n {
+			t.Errorf("%s = %d, want %d", c, got[c], n)
+		}
+	}
+}
+
+func TestRootCauseGroupsBalanced(t *testing.T) {
+	// Paper: IF 36%, WHEN 33%, HOW 31% of 70.
+	g := CountByGroup(Issues())
+	if g["IF"] != 25 || g["WHEN"] != 23 || g["HOW"] != 22 {
+		t.Errorf("groups = %v, want IF=25 WHEN=23 HOW=22", g)
+	}
+}
+
+func TestMechanismMix(t *testing.T) {
+	// Paper §2.5: ~55% loop, 25% queue re-enqueue, 20% state machine.
+	m := CountByMechanism(Issues())
+	if m[Loop] != 38 || m[Queue] != 18 || m[StateMachine] != 14 {
+		t.Errorf("mechanisms = %v", m)
+	}
+}
+
+func TestSeverityMix(t *testing.T) {
+	// Paper §2.5: blocker 5%, critical 10%, major 65%, minor 5%, 10% unlabeled.
+	s := CountBySeverity(Issues())
+	if s[Blocker] != 4 || s[Critical] != 7 || s[Major] != 45 || s[Minor] != 4 || s[Unlabeled] != 10 {
+		t.Errorf("severities = %v", s)
+	}
+}
+
+func TestTriggerMix(t *testing.T) {
+	// Paper §3.1: 70% exceptions, 30% error codes.
+	tr := CountByTrigger(Issues())
+	if tr[Exception] != 49 || tr[ErrorCode] != 21 {
+		t.Errorf("triggers = %v", tr)
+	}
+}
+
+func TestRegressionTests(t *testing.T) {
+	// Paper §2.5: regression tests added for 42 of 70 issues.
+	if got := RegressionTested(Issues()); got != 42 {
+		t.Errorf("regression-tested = %d, want 42", got)
+	}
+}
+
+func TestPaperIssuesPresent(t *testing.T) {
+	want := map[string]Category{
+		"KAFKA-6829":          WrongPolicy,
+		"KAFKA-12339":         WrongPolicy,
+		"HADOOP-16580":        WrongPolicy,
+		"HADOOP-16683":        WrongPolicy,
+		"HIVE-23894":          WrongPolicy,
+		"ELASTICSEARCH-53687": WrongPolicy,
+		"HBASE-25743":         WrongPolicy,
+		"HIVE-20349":          MissingMechanism,
+		"HBASE-20492":         DelayProblem,
+		"HDFS-15439":          CapProblem,
+		"YARN-8362":           CapProblem,
+		"HBASE-20616":         StateReset,
+		"SPARK-27630":         JobTracking,
+	}
+	byID := map[string]Issue{}
+	for _, i := range Issues() {
+		byID[i.ID] = i
+	}
+	for id, cat := range want {
+		iss, ok := byID[id]
+		if !ok {
+			t.Errorf("paper issue %s missing", id)
+			continue
+		}
+		if iss.Category != cat {
+			t.Errorf("%s category = %s, want %s", id, iss.Category, cat)
+		}
+		if !iss.InPaper {
+			t.Errorf("%s should be marked InPaper", id)
+		}
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, i := range Issues() {
+		if seen[i.ID] {
+			t.Errorf("duplicate issue id %s", i.ID)
+		}
+		seen[i.ID] = true
+	}
+}
+
+func TestApplicationsTable(t *testing.T) {
+	apps := Applications()
+	if len(apps) != 6 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	counts := CountByApp(Issues())
+	for _, a := range apps {
+		if counts[a.Name] == 0 {
+			t.Errorf("no issues for %s", a.Name)
+		}
+		if a.StarsK <= 0 {
+			t.Errorf("%s stars = %d", a.Name, a.StarsK)
+		}
+	}
+}
+
+func TestRootCauseGroupUnknown(t *testing.T) {
+	if Category("bogus").RootCauseGroup() != "?" {
+		t.Error("unknown category should map to ?")
+	}
+}

@@ -1,0 +1,207 @@
+package testkit
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wasabi/internal/errmodel"
+)
+
+func TestRunPassingTest(t *testing.T) {
+	res := Run(Test{
+		Name: "x.TestOK", App: "XX",
+		Body: func(context.Context, map[string]string) error { return nil },
+	}, nil, nil)
+	if res.Failed() {
+		t.Errorf("err = %v", res.Err)
+	}
+	if res.Run == nil {
+		t.Error("missing trace")
+	}
+}
+
+func TestRunFailingTest(t *testing.T) {
+	res := Run(Test{
+		Name: "x.TestFail", App: "XX",
+		Body: func(context.Context, map[string]string) error {
+			return errmodel.New("EOFException", "boom")
+		},
+	}, nil, nil)
+	if !res.Failed() || !errmodel.IsClass(res.Err, "EOFException") {
+		t.Errorf("err = %v", res.Err)
+	}
+}
+
+func nilDeref() {
+	var m *struct{ x int }
+	_ = m.x
+}
+
+func TestRunRecoversNilPanic(t *testing.T) {
+	res := Run(Test{
+		Name: "x.TestPanic", App: "XX",
+		Body: func(context.Context, map[string]string) error {
+			nilDeref()
+			return nil
+		},
+	}, nil, nil)
+	exc, ok := res.Err.(*errmodel.Exception)
+	if !ok || exc.Class != "NullPointerException" {
+		t.Fatalf("err = %#v", res.Err)
+	}
+	if !strings.HasPrefix(exc.Site, "testkit.nilDeref") {
+		t.Errorf("panic site = %q, want the panicking frame", exc.Site)
+	}
+}
+
+func TestRunRecoversIndexPanic(t *testing.T) {
+	res := Run(Test{
+		Name: "x.TestIndex", App: "XX",
+		Body: func(context.Context, map[string]string) error {
+			s := []int{}
+			i := 3
+			_ = s[i]
+			return nil
+		},
+	}, nil, nil)
+	exc, ok := res.Err.(*errmodel.Exception)
+	if !ok || exc.Class != "IndexOutOfBoundsException" {
+		t.Fatalf("err = %#v", res.Err)
+	}
+}
+
+func TestRunRecoversStringPanic(t *testing.T) {
+	res := Run(Test{
+		Name: "x.TestStr", App: "XX",
+		Body: func(context.Context, map[string]string) error {
+			panic("custom failure")
+		},
+	}, nil, nil)
+	exc, ok := res.Err.(*errmodel.Exception)
+	if !ok || exc.Class != "RuntimeException" {
+		t.Fatalf("err = %#v", res.Err)
+	}
+}
+
+func TestAssertf(t *testing.T) {
+	if Assertf(true, "unused") != nil {
+		t.Error("true assertion must pass")
+	}
+	err := Assertf(false, "got %d", 7)
+	if err == nil || !errmodel.IsClass(err, AssertionError) {
+		t.Errorf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "got 7") {
+		t.Errorf("message lost: %v", err)
+	}
+}
+
+func TestRetryRestrictingKey(t *testing.T) {
+	for key, want := range map[string]bool{
+		"dfs.client.retry.max.attempts": true,
+		"hbase.client.retries.number":   true,
+		"mapreduce.task.attempts":       true,
+		"ipc.backoff.enable":            true,
+		"a.reattempt.flag":              true,
+		"dfs.blocksize":                 false,
+		"buffer.size":                   false,
+	} {
+		if got := RetryRestrictingKey(key); got != want {
+			t.Errorf("RetryRestrictingKey(%q) = %v", key, got)
+		}
+	}
+}
+
+func TestPrepareOverrides(t *testing.T) {
+	tc := Test{
+		Name: "x.TestCfg", App: "XX",
+		Overrides: map[string]string{
+			"a.retry.max":  "1",
+			"a.batch.size": "64",
+		},
+	}
+	eff, stripped := PrepareOverrides(tc)
+	if len(stripped) != 1 || stripped[0] != "a.retry.max" {
+		t.Errorf("stripped = %v", stripped)
+	}
+	if _, ok := eff["a.retry.max"]; ok {
+		t.Error("restricting key survived")
+	}
+	if eff["a.batch.size"] != "64" {
+		t.Error("benign override lost")
+	}
+}
+
+// Property: PrepareOverrides never drops a non-restricting key and never
+// keeps a restricting one.
+func TestPrepareOverridesProperty(t *testing.T) {
+	f := func(keys []string) bool {
+		o := map[string]string{}
+		for _, k := range keys {
+			if k == "" {
+				continue
+			}
+			o[k] = "v"
+			o[k+".retry"] = "v"
+		}
+		eff, _ := PrepareOverrides(Test{Overrides: o})
+		for k := range eff {
+			if RetryRestrictingKey(k) {
+				return false
+			}
+		}
+		for k := range o {
+			if !RetryRestrictingKey(k) {
+				if _, ok := eff[k]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunUsesProvidedOverrides(t *testing.T) {
+	var seen map[string]string
+	tc := Test{
+		Name: "x.TestOv", App: "XX",
+		Overrides: map[string]string{"orig": "1"},
+		Body: func(_ context.Context, o map[string]string) error {
+			seen = o
+			return nil
+		},
+	}
+	Run(tc, nil, map[string]string{"eff": "2"})
+	if seen["eff"] != "2" {
+		t.Error("explicit overrides not passed")
+	}
+	Run(tc, nil, nil)
+	if seen["orig"] != "1" {
+		t.Error("nil overrides should fall back to the test's own")
+	}
+}
+
+func TestValidateSuite(t *testing.T) {
+	ok := Suite{App: "XX", Name: "X", Tests: []Test{
+		{Name: "a", App: "XX", Body: func(context.Context, map[string]string) error { return nil }},
+	}}
+	if err := Validate(ok); err != nil {
+		t.Errorf("valid suite rejected: %v", err)
+	}
+	for _, bad := range []Suite{
+		{Name: "X"}, // missing app
+		{App: "XX", Name: "X", Tests: []Test{{Name: "", App: "XX", Body: ok.Tests[0].Body}}},
+		{App: "XX", Name: "X", Tests: []Test{ok.Tests[0], ok.Tests[0]}},                       // dup
+		{App: "XX", Name: "X", Tests: []Test{{Name: "a", App: "XX"}}},                         // nil body
+		{App: "XX", Name: "X", Tests: []Test{{Name: "a", App: "YY", Body: ok.Tests[0].Body}}}, // app mismatch
+	} {
+		if err := Validate(bad); err == nil {
+			t.Errorf("invalid suite accepted: %+v", bad)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAppendAssignsSequence(t *testing.T) {
+	r := NewRun("t1")
+	r.Append(Event{Kind: KindNote, Msg: "a"})
+	r.Append(Event{Kind: KindNote, Msg: "b"})
+	ev := r.Events()
+	if len(ev) != 2 {
+		t.Fatalf("len = %d", len(ev))
+	}
+	if ev[0].Seq != 0 || ev[1].Seq != 1 {
+		t.Errorf("sequence numbers = %d, %d", ev[0].Seq, ev[1].Seq)
+	}
+}
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	r := NewRun("t")
+	r.AdvanceAndRecordSleep(3*time.Second, []string{"hdfs.WebFS.run"})
+	r.AdvanceAndRecordSleep(2*time.Second, nil)
+	if got := r.VNow(); got != 5*time.Second {
+		t.Errorf("VNow = %v, want 5s", got)
+	}
+	ev := r.Events()
+	if ev[0].VTime != 0 {
+		t.Errorf("first sleep should start at t=0, got %v", ev[0].VTime)
+	}
+	if ev[1].VTime != 3*time.Second {
+		t.Errorf("second sleep at %v, want 3s", ev[1].VTime)
+	}
+}
+
+func TestAdvanceDoesNotRecord(t *testing.T) {
+	r := NewRun("t")
+	r.Advance(time.Minute)
+	if r.Len() != 0 {
+		t.Error("Advance must not append events")
+	}
+	if r.VNow() != time.Minute {
+		t.Error("Advance must move virtual time")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	r := NewRun("t")
+	ctx := With(context.Background(), r)
+	if From(ctx) != r {
+		t.Error("From(With(ctx,r)) != r")
+	}
+	if From(context.Background()) != nil {
+		t.Error("From(empty ctx) should be nil")
+	}
+}
+
+func TestNoteNoRunIsNoop(t *testing.T) {
+	Note(context.Background(), "ignored %d", 1) // must not panic
+}
+
+func TestNoteRecords(t *testing.T) {
+	r := NewRun("t")
+	Note(With(context.Background(), r), "task %d done", 7)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Msg != "task 7 done" || ev[0].Kind != KindNote {
+		t.Errorf("events = %+v", ev)
+	}
+}
+
+func TestNormalizeFunc(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"wasabi/internal/apps/hdfs.(*BlockReader).connect", "hdfs.BlockReader.connect"},
+		{"wasabi/internal/apps/hbase.UnassignProcedure.Execute", "hbase.UnassignProcedure.Execute"},
+		{"main.main", "main.main"},
+		{"wasabi/internal/testkit.(*Runner).Run.func1", "testkit.Runner.Run.func1"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := NormalizeFunc(c.in); got != c.want {
+			t.Errorf("NormalizeFunc(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCallersReturnsThisTest(t *testing.T) {
+	stack := Callers(0, 4)
+	if len(stack) == 0 {
+		t.Fatal("empty stack")
+	}
+	if stack[0] != "trace.TestCallersReturnsThisTest" {
+		t.Errorf("stack[0] = %q", stack[0])
+	}
+}
+
+func helperCaller() []string { return Callers(0, 4) }
+
+func TestCallersSeesCallerChain(t *testing.T) {
+	stack := helperCaller()
+	if len(stack) < 2 {
+		t.Fatalf("stack = %v", stack)
+	}
+	if stack[0] != "trace.helperCaller" || stack[1] != "trace.TestCallersSeesCallerChain" {
+		t.Errorf("stack = %v", stack)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if KindInjection.String() != "inject" || KindSleep.String() != "sleep" {
+		t.Error("kind names wrong")
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+// Property: after n appends, sequence numbers are exactly 0..n-1 and events
+// are returned in order.
+func TestSequenceProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		r := NewRun("p")
+		for i := 0; i < int(n%50); i++ {
+			r.Append(Event{Kind: KindNote})
+		}
+		ev := r.Events()
+		for i := range ev {
+			if ev[i].Seq != i {
+				return false
+			}
+		}
+		return len(ev) == int(n%50)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: virtual time equals the sum of all sleeps and advances.
+func TestVirtualTimeSumProperty(t *testing.T) {
+	f := func(ds []uint16) bool {
+		r := NewRun("p")
+		var want time.Duration
+		for i, d := range ds {
+			dur := time.Duration(d) * time.Millisecond
+			if i%2 == 0 {
+				r.AdvanceAndRecordSleep(dur, nil)
+			} else {
+				r.Advance(dur)
+			}
+			want += dur
+		}
+		return r.VNow() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventsSnapshotIsolation(t *testing.T) {
+	r := NewRun("t")
+	r.Append(Event{Kind: KindNote, Msg: "a"})
+	snap := r.Events()
+	r.Append(Event{Kind: KindNote, Msg: "b"})
+	if len(snap) != 1 {
+		t.Error("snapshot must not grow with later appends")
+	}
+}

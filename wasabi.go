@@ -1,0 +1,166 @@
+// Package wasabi is a Go reproduction of WASABI, the retry-bug detection
+// toolkit from "If At First You Don't Succeed, Try, Try, Again...?
+// Insights and LLM-informed Tooling for Detecting Retry Bugs in Software
+// Systems" (SOSP 2024).
+//
+// WASABI detects three classes of retry bugs:
+//
+//   - IF bugs: wrong retry policies (non-recoverable errors retried,
+//     recoverable errors not retried), found by a corpus-wide retry-ratio
+//     analysis;
+//   - WHEN bugs: missing caps and missing delays, found both by fault
+//     injection into existing unit tests and by LLM-based static checking;
+//   - HOW bugs: broken retry execution (improper state reset, broken job
+//     tracking), found by the "different exception" test oracle.
+//
+// The package is a thin facade over the toolkit's engine. A typical use:
+//
+//	p := wasabi.NewPipeline(wasabi.DefaultConfig())
+//	for _, app := range wasabi.Corpus() {
+//	    report, err := p.Analyze(app)
+//	    ...
+//	}
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table and figure.
+package wasabi
+
+import (
+	"fmt"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/core"
+	"wasabi/internal/evaluation"
+	"wasabi/internal/llm"
+	"wasabi/internal/oracle"
+	"wasabi/internal/sast"
+)
+
+// Config tunes a pipeline. The zero value is replaced by DefaultConfig.
+type Config = core.Options
+
+// DefaultConfig mirrors the paper's configuration: K ∈ {1, 100}, a
+// 100-injection cap threshold, a 15-minute virtual timeout, and the
+// measured GPT-4 behaviour profile.
+func DefaultConfig() Config { return core.DefaultOptions() }
+
+// App is one analyzable target application.
+type App = corpus.App
+
+// Corpus returns the eight bundled target applications (miniatures of the
+// systems the paper evaluates on).
+func Corpus() []App { return corpus.Apps() }
+
+// AppByCode looks up a corpus application by its short code (HA, HD, MA,
+// YA, HB, HI, CA, EL).
+func AppByCode(code string) (App, error) { return corpus.ByCode(code) }
+
+// BugReport is one detector finding.
+type BugReport struct {
+	// Workflow is "dynamic", "static-llm", or "static-if".
+	Workflow string
+	// Kind is "missing-cap", "missing-delay", "how", or "wrong-policy".
+	Kind string
+	// Coordinator is the method implementing the suspect retry.
+	Coordinator string
+	// Details is a human-readable explanation.
+	Details string
+}
+
+// Report is the outcome of analyzing one application.
+type Report struct {
+	App string
+	// Identified retry structures (merged over both techniques).
+	Structures []core.Structure
+	// Bugs are the deduplicated findings of both workflows, except IF
+	// bugs, which are corpus-wide (see Pipeline.AnalyzeAll).
+	Bugs []BugReport
+	// Coverage and cost statistics.
+	TestsTotal, TestsCoveringRetry    int
+	StructuresTotal, StructuresTested int
+	PlannedRuns, NaiveRuns            int
+}
+
+// Pipeline runs WASABI's workflows.
+type Pipeline struct {
+	w   *core.Wasabi
+	ids []*core.Identification
+}
+
+// NewPipeline returns a pipeline with the given configuration.
+func NewPipeline(cfg Config) *Pipeline {
+	return &Pipeline{w: core.New(cfg)}
+}
+
+// Analyze runs identification, the dynamic workflow, and the LLM static
+// workflow on one application.
+func (p *Pipeline) Analyze(app App) (*Report, error) {
+	id, err := p.w.Identify(app)
+	if err != nil {
+		return nil, fmt.Errorf("wasabi: %w", err)
+	}
+	p.ids = append(p.ids, id)
+	dyn, err := p.w.RunDynamic(app, id)
+	if err != nil {
+		return nil, fmt.Errorf("wasabi: %w", err)
+	}
+	st := p.w.RunStatic(app, id)
+
+	rep := &Report{
+		App:                app.Code,
+		Structures:         id.Structures,
+		TestsTotal:         dyn.TestsTotal,
+		TestsCoveringRetry: dyn.TestsCoveringRetry,
+		StructuresTotal:    dyn.StructuresTotal,
+		StructuresTested:   dyn.StructuresTested,
+		PlannedRuns:        dyn.PlannedRuns,
+		NaiveRuns:          dyn.NaiveRuns,
+	}
+	for _, r := range dyn.Reports {
+		rep.Bugs = append(rep.Bugs, BugReport{
+			Workflow: "dynamic", Kind: string(r.Kind),
+			Coordinator: r.Coordinator, Details: r.Details,
+		})
+	}
+	for _, r := range st.WhenReports {
+		rep.Bugs = append(rep.Bugs, BugReport{
+			Workflow: "static-llm", Kind: r.Kind,
+			Coordinator: r.Coordinator, Details: "detected from source (" + r.File + ")",
+		})
+	}
+	return rep, nil
+}
+
+// IFBugs runs the corpus-wide retry-ratio analysis over every application
+// analyzed so far and returns the outlier reports.
+func (p *Pipeline) IFBugs() []BugReport {
+	_, reports := p.w.RunIFAnalysis(p.ids)
+	var out []BugReport
+	for _, r := range reports {
+		verb := "never retried here though usually retried"
+		if r.Retried {
+			verb = "retried here though usually not"
+		}
+		out = append(out, BugReport{
+			Workflow: "static-if", Kind: "wrong-policy",
+			Coordinator: r.Coordinator,
+			Details:     fmt.Sprintf("%s %s (%s)", r.Exception, verb, r.Ratio.String()),
+		})
+	}
+	return out
+}
+
+// LLMUsage reports the accumulated simulated-LLM cost (§4.3).
+func (p *Pipeline) LLMUsage() llm.Usage { return p.w.LLMUsage() }
+
+// Evaluate runs the complete paper evaluation (all tables and figures)
+// over the corpus. It is the programmatic equivalent of cmd/benchreport.
+func Evaluate() (*evaluation.Evaluation, error) { return evaluation.Run() }
+
+// Re-exported result types for API consumers.
+type (
+	// OracleReport is a dynamic-workflow finding before facade conversion.
+	OracleReport = oracle.Report
+	// ExceptionRatio is a corpus-wide retry-ratio row (§3.2.2).
+	ExceptionRatio = sast.ExceptionRatio
+)

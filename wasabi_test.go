@@ -1,0 +1,99 @@
+package wasabi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCorpusHasEightApps(t *testing.T) {
+	apps := Corpus()
+	if len(apps) != 8 {
+		t.Fatalf("corpus = %d apps", len(apps))
+	}
+	codes := map[string]bool{}
+	for _, a := range apps {
+		codes[a.Code] = true
+	}
+	for _, want := range []string{"HA", "HD", "MA", "YA", "HB", "HI", "CA", "EL"} {
+		if !codes[want] {
+			t.Errorf("missing app %s", want)
+		}
+	}
+}
+
+func TestAppByCode(t *testing.T) {
+	if _, err := AppByCode("HB"); err != nil {
+		t.Error(err)
+	}
+	if _, err := AppByCode("nope"); err == nil {
+		t.Error("expected error for unknown code")
+	}
+}
+
+func TestPipelineAnalyzeFindsSeededBugs(t *testing.T) {
+	p := NewPipeline(DefaultConfig())
+	app, err := AppByCode("CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Analyze(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.App != "CA" || rep.StructuresTotal == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	var sawDynamic, sawStatic bool
+	for _, b := range rep.Bugs {
+		switch b.Workflow {
+		case "dynamic":
+			sawDynamic = true
+		case "static-llm":
+			sawStatic = true
+		}
+		if b.Kind == "" || b.Coordinator == "" {
+			t.Errorf("incomplete bug report: %+v", b)
+		}
+	}
+	if !sawDynamic || !sawStatic {
+		t.Errorf("both workflows should report on Cassandra: dyn=%v static=%v", sawDynamic, sawStatic)
+	}
+	if u := p.LLMUsage(); u.Calls == 0 || u.CostUSD <= 0 {
+		t.Errorf("usage = %+v", u)
+	}
+}
+
+func TestPipelineIFBugsAcrossApps(t *testing.T) {
+	p := NewPipeline(DefaultConfig())
+	for _, code := range []string{"HI", "CA", "HB"} {
+		app, _ := AppByCode(code)
+		if _, err := p.Analyze(app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bugs := p.IFBugs()
+	if len(bugs) == 0 {
+		t.Fatal("no IF outliers across HI+CA+HB")
+	}
+	for _, b := range bugs {
+		if b.Workflow != "static-if" || b.Kind != "wrong-policy" {
+			t.Errorf("bad IF report: %+v", b)
+		}
+		if !strings.Contains(b.Details, "retried") {
+			t.Errorf("details should describe the outlier: %q", b.Details)
+		}
+	}
+}
+
+func TestEvaluateSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	ev, err := Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Apps) != 8 || ev.IFScore.Reports() == 0 {
+		t.Errorf("evaluation incomplete: %d apps, %d IF reports", len(ev.Apps), ev.IFScore.Reports())
+	}
+}
