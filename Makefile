@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race bench docs-check all
+
+all: build test docs-check
+
+## build: compile every package and command.
+build:
+	$(GO) build ./...
+
+## test: run the full test suite (tier-1 gate).
+test:
+	$(GO) test ./...
+
+## race: run the concurrency-sensitive packages under the race detector,
+## including the parallel-runner determinism test over the full corpus.
+race:
+	$(GO) test -race ./internal/core/... ./internal/testkit/... ./internal/fault/... ./internal/trace/...
+
+## bench: run the pipeline benchmarks (sequential vs parallel).
+bench:
+	$(GO) test -bench 'BenchmarkPipeline' -benchmem -run '^$$' .
+
+## docs-check: fail on dangling doc references — .md paths mentioned in
+## Go sources, relative links in README.md and docs/*.md, and internal
+## packages missing a paper-section (§) godoc reference.
+docs-check:
+	sh scripts/docs_check.sh

@@ -1,6 +1,7 @@
 package wasabi
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -163,6 +164,40 @@ func BenchmarkAblation_Oracles(b *testing.B) {
 		}
 	}
 }
+
+// benchPipeline runs the full pipeline (identify + dynamic + static + IF)
+// over the whole corpus with the given worker count.
+func benchPipeline(b *testing.B, workers int) {
+	apps := Corpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		p := NewPipeline(cfg)
+		reports, err := p.AnalyzeAll(apps...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) != len(apps) {
+			b.Fatalf("got %d reports for %d apps", len(reports), len(apps))
+		}
+	}
+}
+
+// BenchmarkPipelineSequential measures the full-corpus pipeline on the
+// strictly sequential path (Workers=1) — the pre-parallel baseline.
+func BenchmarkPipelineSequential(b *testing.B) { benchPipeline(b, 1) }
+
+// BenchmarkPipelineParallel measures the same workload on the bounded
+// worker pool with one worker per CPU. Results are byte-identical to the
+// sequential run (asserted by core's determinism tests); only wall time
+// may differ, scaling with available cores since per-app pipelines and
+// per-entry injection runs are independent.
+func BenchmarkPipelineParallel(b *testing.B) { benchPipeline(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkPipelineParallel4 pins the pool at 4 workers so the number
+// recorded in EXPERIMENTS.md has a fixed configuration across machines.
+func BenchmarkPipelineParallel4(b *testing.B) { benchPipeline(b, 4) }
 
 // The remaining benchmarks measure the cost of the pipeline *stages*
 // themselves on the largest corpus application (HBase), so stage-level

@@ -6,6 +6,8 @@
 //	benchreport                  # everything
 //	benchreport -only table3     # one artifact: table1..table6, figure3,
 //	                             # figure4, study, if, cost, ablation
+//	benchreport -workers 1       # force the sequential pipeline (tables
+//	                             # are byte-identical at any worker count)
 package main
 
 import (
@@ -13,11 +15,13 @@ import (
 	"fmt"
 	"os"
 
+	"wasabi/internal/core"
 	"wasabi/internal/evaluation"
 )
 
 func main() {
 	only := flag.String("only", "", "render a single artifact")
+	workers := flag.Int("workers", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
 	flag.Parse()
 
 	static := map[string]func() string{
@@ -30,7 +34,9 @@ func main() {
 		return
 	}
 
-	ev, err := evaluation.Run()
+	opts := core.DefaultOptions()
+	opts.Workers = *workers
+	ev, err := evaluation.RunWith(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

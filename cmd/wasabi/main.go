@@ -3,16 +3,18 @@
 //
 // Usage:
 //
-//	wasabi [-app HD] [-workflow all|dynamic|static|if] [-v]
+//	wasabi [-app HD] [-workflow all|dynamic|static|if] [-workers N] [-v]
 //
-// With no -app, every corpus application is processed.
+// With no -app, every corpus application is processed. -workers bounds the
+// pipeline's worker pool (0 = one per CPU); output is byte-identical at
+// every setting, so -workers 1 merely reproduces the original sequential
+// timing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"wasabi/internal/apps/corpus"
 	"wasabi/internal/core"
@@ -22,8 +24,16 @@ import (
 func main() {
 	appCode := flag.String("app", "", "application short code (HD, HB, ...); empty = all")
 	workflow := flag.String("workflow", "all", "workflow: all, dynamic, static, or if")
+	workers := flag.Int("workers", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
 	verbose := flag.Bool("v", false, "print per-structure identification details")
 	flag.Parse()
+
+	switch *workflow {
+	case "all", "dynamic", "static", "if":
+	default:
+		fmt.Fprintf(os.Stderr, "wasabi: unknown -workflow %q (want all, dynamic, static, or if)\n", *workflow)
+		os.Exit(2)
+	}
 
 	apps := corpus.Apps()
 	if *appCode != "" {
@@ -34,21 +44,29 @@ func main() {
 		}
 		apps = []corpus.App{app}
 	}
-
-	w := core.New(core.DefaultOptions())
-	var ids []*core.Identification
 	for _, app := range apps {
 		if err := core.VerifySources(app); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		id, err := w.Identify(app)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		ids = append(ids, id)
-		fmt.Printf("== %s (%s) ==\n", app.Name, app.Code)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Workers = *workers
+	w := core.New(opts)
+
+	// The runner executes identification and both workflows concurrently
+	// across apps and merges deterministically; printing below stays in
+	// corpus order and honours -workflow.
+	cr, err := w.RunCorpus(apps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	for _, ar := range cr.Apps {
+		id := ar.ID
+		fmt.Printf("== %s (%s) ==\n", ar.App.Name, ar.App.Code)
 		fmt.Printf("identified %d retry structures (%d keyworded loops, %d structural candidates before filter, %d files too large for the LLM)\n",
 			len(id.Structures), id.KeywordedLoops, id.CandidateLoops, len(id.TruncatedFiles))
 		if *verbose {
@@ -59,18 +77,14 @@ func main() {
 		}
 
 		if *workflow == "all" || *workflow == "dynamic" {
-			res, err := w.RunDynamic(app, id)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
+			res := ar.Dyn
 			fmt.Printf("dynamic: %d/%d tests cover retry, %d/%d structures tested, plan %d entries, runs %d (naive %d)\n",
 				res.TestsCoveringRetry, res.TestsTotal, res.StructuresTested, res.StructuresTotal,
 				res.PlanEntries, res.PlannedRuns, res.NaiveRuns)
 			printReports(res.Reports)
 		}
 		if *workflow == "all" || *workflow == "static" {
-			st := w.RunStatic(app, id)
+			st := ar.Static
 			fmt.Printf("static (LLM): %d WHEN reports\n", len(st.WhenReports))
 			for _, r := range st.WhenReports {
 				fmt.Printf("  [%s] %s (%s)\n", r.Kind, r.Coordinator, r.File)
@@ -80,14 +94,13 @@ func main() {
 	}
 
 	if *workflow == "all" || *workflow == "if" {
-		ratios, reports := w.RunIFAnalysis(ids)
 		fmt.Println("== IF-bug retry-ratio analysis (corpus-wide) ==")
-		for _, r := range ratios {
+		for _, r := range cr.IFRatios {
 			if r.Retried > 0 && r.Retried < r.Total {
 				fmt.Printf("  %-35s retried %d/%d\n", r.Exception, r.Retried, r.Total)
 			}
 		}
-		for _, rep := range reports {
+		for _, rep := range cr.IFReports {
 			verb := "not retried"
 			if rep.Retried {
 				verb = "retried"
@@ -96,18 +109,13 @@ func main() {
 		}
 	}
 
-	u := w.LLMUsage()
+	u := cr.Usage
 	fmt.Printf("\nLLM usage: %d calls, %.1fK tokens, $%.2f\n", u.Calls, float64(u.TokensIn)/1000, u.CostUSD)
 }
 
 func printReports(reports []oracle.Report) {
 	sorted := append([]oracle.Report(nil), reports...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Kind != sorted[j].Kind {
-			return sorted[i].Kind < sorted[j].Kind
-		}
-		return sorted[i].GroupKey < sorted[j].GroupKey
-	})
+	core.SortReports(sorted)
 	for _, r := range sorted {
 		fmt.Printf("  [%s] %s — %s (test %s)\n", r.Kind, r.Coordinator, r.Details, r.Test)
 	}

@@ -1,7 +1,8 @@
 // Package cassandra is the corpus miniature of Apache Cassandra (CA in
 // the evaluation): gossip, streaming, hinted handoff, batchlog replay and
 // repair. It contributes the retried side of the IllegalStateException
-// and IllegalArgumentException retry-ratio outliers.
+// and IllegalArgumentException retry-ratio outliers (§3.2.2; the CA rows
+// of Tables 3–5).
 //
 // Ground truth lives in manifest.go; detectors never read it.
 package cassandra

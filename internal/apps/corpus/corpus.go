@@ -1,7 +1,8 @@
-// Package corpus aggregates the eight target applications: their unit-test
-// suites (for the dynamic workflow), their source directories (for the
-// static workflows), and their ground-truth manifests (for evaluation
-// scoring only).
+// Package corpus aggregates the eight target applications of the paper's
+// evaluation (§4, Table 1): their unit-test suites (for the dynamic
+// workflow, §3.1), their source directories (for the static workflows,
+// §3.2), and their ground-truth manifests (for evaluation scoring only).
+// See docs/CORPUS.md for the data card of the 98-structure ground truth.
 package corpus
 
 import (

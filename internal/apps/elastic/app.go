@@ -1,9 +1,9 @@
 // Package elastic is the corpus miniature of Elasticsearch (EL in the
 // evaluation): transport client, bulk indexing, watcher reload, analytics
 // results persistence, master election and recovery. Like the real
-// system, much of its retry is error-code driven and uninjectable, giving
-// EL the lowest dynamic retry coverage in Table 5; it also carries the
-// ELASTIC-53687 cancel-retried policy bug.
+// system, much of its retry is error-code driven and uninjectable (§4.2),
+// giving EL the lowest dynamic retry coverage in Table 5; it also carries
+// the ELASTIC-53687 cancel-retried policy bug (§2.2).
 //
 // Ground truth lives in manifest.go; detectors never read it.
 package elastic

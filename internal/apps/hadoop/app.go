@@ -3,7 +3,7 @@
 // client and service-launch plumbing the rest of the Hadoop stack builds
 // on. It carries the unpatched HADOOP-16683 policy bug (a wrapped
 // AccessControlException that IS retried) and the ExitException
-// retry-ratio outlier.
+// retry-ratio outlier (§2.2, §3.2.2; the HA rows of Tables 3–5).
 //
 // Ground truth lives in manifest.go; detectors never read it.
 package hadoop

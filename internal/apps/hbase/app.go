@@ -3,8 +3,8 @@
 // state-machine operations, and region-server RPC. It is the largest
 // corpus application, as in the paper (98 identified structures, the most
 // of any app; Table 5), and carries the HBASE-20492 (missing delay in
-// UnassignProcedure) and HBASE-20616 (truncate-table state not cleaned up
-// before retry) bugs among others.
+// UnassignProcedure, §2.3) and HBASE-20616 (truncate-table state not
+// cleaned up before retry, §2.4) bugs among others.
 //
 // Ground truth lives in manifest.go; detectors never read it.
 package hbase

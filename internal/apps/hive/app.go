@@ -1,10 +1,11 @@
 // Package hive is the corpus miniature of Apache Hive (HI in the
 // evaluation): metastore access, HiveServer2 statement execution, the Tez
 // task queue, and warehouse maintenance. Much of Hive's retry is driven
-// by error codes rather than exceptions, which is why HI has the lowest
-// dynamic retry coverage in Table 5. The package carries the HIVE-23894
-// cancel-retried bug and both sides of the TTransportException and
-// IllegalArgumentException retry-ratio outliers.
+// by error codes rather than exceptions (§4.2), which is why HI has the
+// lowest dynamic retry coverage in Table 5. The package carries the
+// HIVE-23894 cancel-retried bug (§2.2) and both sides of the
+// TTransportException and IllegalArgumentException retry-ratio outliers
+// (§3.2.2).
 //
 // Ground truth lives in manifest.go; detectors never read it.
 package hive

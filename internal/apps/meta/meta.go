@@ -1,4 +1,5 @@
-// Package meta defines the ground-truth manifest of the corpus.
+// Package meta defines the ground-truth manifest of the corpus — the
+// reproduction's stand-in for the paper's manual inspection in §4.
 //
 // Every corpus application exports a manifest describing its retry code
 // structures: where they are, which mechanism they use, how their trigger

@@ -3,7 +3,8 @@
 // heartbeats, and resource localization. It hosts the YARN-8362 bug
 // (a retry counter incremented twice, silently halving the configured
 // attempt budget) — a cap problem WASABI's oracles cannot observe, kept
-// here as a deliberate false negative.
+// here as a deliberate false negative (§2.3, §4.5; the YA rows of
+// Tables 3–5).
 //
 // Ground truth lives in manifest.go; detectors never read it.
 package yarn

@@ -3,12 +3,20 @@
 // plan → inject trigger exceptions into existing unit tests → apply retry
 // oracles, §3.1) and the static checking workflow (LLM WHEN-bug detection
 // + retry-ratio IF-bug detection, §3.2).
+//
+// Both workflows execute on a bounded worker pool (Options.Workers, see
+// parallel.go): applications, per-file LLM reviews, and independent
+// fault-injection plan entries fan out concurrently, and results merge
+// through deterministic reducers so every artifact is byte-identical to
+// the sequential (Workers=1) execution. docs/ARCHITECTURE.md diagrams the
+// pipeline.
 package core
 
 import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -25,6 +33,13 @@ import (
 type Options struct {
 	// HowK and CapK are the two injection-count settings (§3.1.2).
 	HowK, CapK int
+	// Workers bounds the worker pool the pipeline fans out on: corpus
+	// applications, per-file LLM reviews, and independent fault-injection
+	// plan entries all run on at most Workers goroutines. Zero means
+	// runtime.GOMAXPROCS(0); 1 runs everything inline on the calling
+	// goroutine, reproducing the original sequential execution exactly.
+	// Results are byte-identical at every setting (see parallel.go).
+	Workers int
 	// Oracle tunes the test oracles.
 	Oracle oracle.Options
 	// LLM tunes the simulated model.
@@ -33,14 +48,16 @@ type Options struct {
 	Ratio sast.RatioOptions
 }
 
-// DefaultOptions mirrors the paper's configuration.
+// DefaultOptions mirrors the paper's configuration and uses one worker per
+// available CPU.
 func DefaultOptions() Options {
 	return Options{
-		HowK:   1,
-		CapK:   100,
-		Oracle: oracle.DefaultOptions(),
-		LLM:    llm.DefaultConfig(),
-		Ratio:  sast.DefaultRatioOptions(),
+		HowK:    1,
+		CapK:    100,
+		Workers: runtime.GOMAXPROCS(0),
+		Oracle:  oracle.DefaultOptions(),
+		LLM:     llm.DefaultConfig(),
+		Ratio:   sast.DefaultRatioOptions(),
 	}
 }
 
@@ -48,14 +65,29 @@ func DefaultOptions() Options {
 type Wasabi struct {
 	opts Options
 	llm  *llm.Client
+	// sem is the worker-pool semaphore shared by every parallel loop of
+	// this toolkit instance, so nested fan-out (apps × plan entries) stays
+	// bounded by Workers in total. See parallelFor in parallel.go.
+	sem chan struct{}
 }
 
 // New returns a toolkit with the given options.
 func New(opts Options) *Wasabi {
 	if opts.CapK == 0 {
+		workers := opts.Workers
 		opts = DefaultOptions()
+		opts.Workers = workers
 	}
-	return &Wasabi{opts: opts, llm: llm.NewClient(opts.LLM)}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Wasabi{
+		opts: opts,
+		llm:  llm.NewClient(opts.LLM),
+		// The calling goroutine always participates in parallel loops, so
+		// the pool itself holds Workers-1 extra slots.
+		sem: make(chan struct{}, opts.Workers-1),
+	}
 }
 
 // LLMUsage reports accumulated simulated-GPT-4 usage.
@@ -138,16 +170,24 @@ func (w *Wasabi) Identify(app corpus.App) (*Identification, error) {
 	}
 
 	// Technique 2: LLM fuzzy comprehension, with callee/throws resolution
-	// delegated back to traditional analysis.
+	// delegated back to traditional analysis. Reviews are pure per-file
+	// functions, so they fan out across the worker pool; the merge below
+	// stays sequential in sorted file order, which keeps the identification
+	// byte-identical at every Workers setting.
 	files := make([]string, 0, len(analysis.Files))
 	for f := range analysis.Files {
 		files = append(files, f)
 	}
 	sort.Strings(files)
-	for _, f := range files {
-		rev, err := w.llm.ReviewFile(filepath.Join(app.Dir, f))
-		if err != nil {
-			return nil, fmt.Errorf("identify %s: %w", app.Code, err)
+	reviews := make([]llm.FileReview, len(files))
+	errs := make([]error, len(files))
+	w.parallelFor(len(files), func(i int) {
+		reviews[i], errs[i] = w.llm.ReviewFile(filepath.Join(app.Dir, files[i]))
+	})
+	for i, f := range files {
+		rev := reviews[i]
+		if errs[i] != nil {
+			return nil, fmt.Errorf("identify %s: %w", app.Code, errs[i])
 		}
 		id.Reviews = append(id.Reviews, rev)
 		if rev.TruncatedContext {
@@ -230,12 +270,25 @@ func (w *Wasabi) RunDynamic(app corpus.App, id *Identification) (*DynamicResult,
 		testsByName[t.Name] = t
 	}
 
-	var all []oracle.Report
-	failed := 0
-	for _, entry := range plan {
+	// Every plan entry owns its injector and trace (testkit.Run builds a
+	// fresh trace.Run per execution), so entries are independent and fan
+	// out across the worker pool. Per-entry reports are kept in plan order
+	// and flattened sequentially below, which makes the assembled report
+	// stream — and therefore the first-report-wins dedup — byte-identical
+	// to the sequential execution at every Workers setting.
+	type entryOutcome struct {
+		reports []oracle.Report
+		failed  int
+		err     error
+	}
+	outcomes := make([]entryOutcome, len(plan))
+	w.parallelFor(len(plan), func(i int) {
+		entry := plan[i]
+		out := &outcomes[i]
 		test, ok := testsByName[entry.Test]
 		if !ok {
-			return nil, fmt.Errorf("plan references unknown test %s", entry.Test)
+			out.err = fmt.Errorf("plan references unknown test %s", entry.Test)
+			return
 		}
 		for _, exc := range planner.Exceptions(locs, entry.Loc) {
 			loc := fault.Location{Coordinator: entry.Loc.Coordinator, Retried: entry.Loc.Retried, Exception: exc}
@@ -243,11 +296,20 @@ func (w *Wasabi) RunDynamic(app corpus.App, id *Identification) (*DynamicResult,
 				rules := []fault.Rule{{Loc: loc, K: k}}
 				res := testkit.Run(test, fault.NewInjector(rules), cov.Prepared[test.Name])
 				if res.Failed() {
-					failed++
+					out.failed++
 				}
-				all = append(all, oracle.Evaluate(app.Code, res, rules, w.opts.Oracle)...)
+				out.reports = append(out.reports, oracle.Evaluate(app.Code, res, rules, w.opts.Oracle)...)
 			}
 		}
+	})
+	var all []oracle.Report
+	failed := 0
+	for _, out := range outcomes {
+		if out.err != nil {
+			return nil, out.err
+		}
+		all = append(all, out.reports...)
+		failed += out.failed
 	}
 
 	tested := make(map[string]bool)
@@ -275,7 +337,9 @@ type StaticResult struct {
 	App string
 	// WhenReports are the LLM's missing-cap/missing-delay findings.
 	WhenReports []llm.WhenReport
-	// Usage is the LLM traffic attributable to this app so far.
+	// Usage is the LLM traffic attributable to this app: the sum over its
+	// file reviews. It is independent of how apps are scheduled across
+	// workers (a cumulative snapshot would not be).
 	Usage llm.Usage
 }
 
@@ -283,8 +347,10 @@ type StaticResult struct {
 // the reviews gathered during identification.
 func (w *Wasabi) RunStatic(app corpus.App, id *Identification) *StaticResult {
 	var reports []llm.WhenReport
+	var usage llm.Usage
 	for _, rev := range id.Reviews {
 		reports = append(reports, llm.DetectWhenBugs(rev)...)
+		usage.Add(rev.Spent)
 	}
 	sort.Slice(reports, func(i, j int) bool {
 		if reports[i].Coordinator != reports[j].Coordinator {
@@ -292,7 +358,7 @@ func (w *Wasabi) RunStatic(app corpus.App, id *Identification) *StaticResult {
 		}
 		return reports[i].Kind < reports[j].Kind
 	})
-	return &StaticResult{App: app.Code, WhenReports: reports, Usage: w.llm.Usage()}
+	return &StaticResult{App: app.Code, WhenReports: reports, Usage: usage}
 }
 
 // RunIFAnalysis runs the corpus-wide retry-ratio IF-bug detection over the

@@ -1,0 +1,170 @@
+// parallel.go implements the bounded worker-pool runner behind
+// Options.Workers and the deterministic reducers that merge concurrent
+// results.
+//
+// Three levels of the pipeline fan out on the pool:
+//
+//   - RunCorpus runs whole applications (identify → dynamic → static)
+//     concurrently;
+//   - Identify reviews an application's source files concurrently
+//     (each review is a pure function of the file contents);
+//   - RunDynamic executes independent {test, retry-location} plan entries
+//     concurrently (every execution owns a fresh fault.Injector and
+//     trace.Run, so no mutable state crosses goroutines — the virtual
+//     clock lives on the per-run trace).
+//
+// All levels share one semaphore sized Workers-1 (the calling goroutine
+// always works too), so nested fan-out never exceeds Workers concurrent
+// executions in total. Determinism comes from indexed result slots plus
+// sequential, input-ordered merging: the assembled streams are
+// byte-identical to the Workers=1 path regardless of scheduling, which
+// determinism_test.go asserts over the full corpus.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/llm"
+	"wasabi/internal/oracle"
+	"wasabi/internal/sast"
+)
+
+// parallelFor runs fn(0) … fn(n-1), each exactly once, on at most
+// opts.Workers goroutines in total across nested calls. Saturated calls
+// run inline on the caller — which both bounds the pool and makes the
+// function deadlock-free under nesting. With Workers=1 the loop degrades
+// to a plain sequential for, byte-for-byte the pre-parallel behaviour.
+//
+// fn must confine its writes to per-index state (result slots); panics are
+// not recovered, matching the sequential path where a panic in fn would
+// also crash the run.
+func (w *Wasabi) parallelFor(n int, fn func(int)) {
+	if n <= 1 || cap(w.sem) == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		select {
+		case w.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer func() { <-w.sem; wg.Done() }()
+				fn(i)
+			}(i)
+		default:
+			// Pool saturated: the caller is the worker.
+			fn(i)
+		}
+	}
+	wg.Wait()
+}
+
+// AppRun bundles every artifact the pipeline produces for one application.
+type AppRun struct {
+	App    corpus.App
+	ID     *Identification
+	Dyn    *DynamicResult
+	Static *StaticResult
+}
+
+// CorpusRun is the merged outcome of running the full pipeline — both
+// workflows plus the corpus-wide IF analysis — over a set of applications.
+// Every field is deterministic: identical at any Options.Workers setting.
+type CorpusRun struct {
+	// Apps holds the per-application results in input order.
+	Apps []AppRun
+	// IFRatios and IFReports are the corpus-wide retry-ratio analysis
+	// (§3.2.2) over all identifications.
+	IFRatios  []sast.ExceptionRatio
+	IFReports []sast.IFReport
+	// Usage is the total simulated-LLM traffic of the run.
+	Usage llm.Usage
+}
+
+// RunCorpus fans the full pipeline out over the given applications on the
+// worker pool and merges the results deterministically: per-app results
+// are stored in input order, the IF analysis consumes identifications in
+// input order, and total usage is an order-independent sum. The first
+// error in input order aborts the run.
+func (w *Wasabi) RunCorpus(apps []corpus.App) (*CorpusRun, error) {
+	runs := make([]AppRun, len(apps))
+	errs := make([]error, len(apps))
+	w.parallelFor(len(apps), func(i int) {
+		app := apps[i]
+		id, err := w.Identify(app)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		dyn, err := w.RunDynamic(app, id)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		runs[i] = AppRun{App: app, ID: id, Dyn: dyn, Static: w.RunStatic(app, id)}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	cr := &CorpusRun{Apps: runs}
+	ids := make([]*Identification, len(runs))
+	for i := range runs {
+		ids[i] = runs[i].ID
+	}
+	cr.IFRatios, cr.IFReports = w.RunIFAnalysis(ids)
+	for _, ar := range runs {
+		cr.Usage.Add(ar.Static.Usage)
+	}
+	return cr, nil
+}
+
+// Identifications returns the per-app identifications in input order (the
+// shape RunIFAnalysis consumes).
+func (c *CorpusRun) Identifications() []*Identification {
+	out := make([]*Identification, len(c.Apps))
+	for i := range c.Apps {
+		out[i] = c.Apps[i].ID
+	}
+	return out
+}
+
+// SortReports orders oracle reports by (app, coordinator, kind, group key,
+// test) — a total order over distinct reports, so the result is the same
+// no matter what order the input arrived in.
+func SortReports(reports []oracle.Report) {
+	sort.Slice(reports, func(i, j int) bool {
+		a, b := reports[i], reports[j]
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.Coordinator != b.Coordinator {
+			return a.Coordinator < b.Coordinator
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.GroupKey != b.GroupKey {
+			return a.GroupKey < b.GroupKey
+		}
+		return a.Test < b.Test
+	})
+}
+
+// MergedReports flattens every application's deduplicated dynamic reports
+// into one slice in canonical (app, coordinator, kind) order — the
+// deterministic reducer consumers print or diff.
+func (c *CorpusRun) MergedReports() []oracle.Report {
+	var out []oracle.Report
+	for _, ar := range c.Apps {
+		out = append(out, ar.Dyn.Reports...)
+	}
+	SortReports(out)
+	return out
+}

@@ -1,5 +1,7 @@
 // Package errmodel implements a Java-style exception model for the WASABI
-// corpus and analyses.
+// corpus and analyses — the substrate beneath the trigger-exception
+// triplets of §3.1.2, the "different exception" oracle of §3.1.3, and the
+// retry-ratio IF-bug analysis of §3.2.2.
 //
 // The WASABI paper studies Java systems, where errors are typed exceptions
 // arranged in a class hierarchy, are declared on method signatures, and are

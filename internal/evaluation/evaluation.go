@@ -142,34 +142,33 @@ func ScoreIF(reports []sast.IFReport, manifests []meta.Structure) Score {
 	return out
 }
 
-// Run executes both workflows over the entire corpus and scores them.
-func Run() (*Evaluation, error) {
-	w := core.New(core.DefaultOptions())
-	ev := &Evaluation{}
-	var ids []*core.Identification
-	for _, app := range corpus.Apps() {
-		id, err := w.Identify(app)
-		if err != nil {
-			return nil, err
-		}
-		dyn, err := w.RunDynamic(app, id)
-		if err != nil {
-			return nil, err
-		}
-		st := w.RunStatic(app, id)
-		ev.Apps = append(ev.Apps, AppResult{
-			App:         app,
-			ID:          id,
-			Dyn:         dyn,
-			Static:      st,
-			DynScores:   ScoreDynamic(app, dyn.Reports),
-			StaticScore: ScoreStatic(app, st.WhenReports),
-		})
-		ids = append(ids, id)
+// Run executes both workflows over the entire corpus and scores them,
+// using the default configuration (one worker per CPU). Scores and tables
+// are identical at any worker count; see core's determinism tests.
+func Run() (*Evaluation, error) { return RunWith(core.DefaultOptions()) }
+
+// RunWith is Run with explicit options (Workers=1 forces the sequential
+// execution path).
+func RunWith(opts core.Options) (*Evaluation, error) {
+	w := core.New(opts)
+	cr, err := w.RunCorpus(corpus.Apps())
+	if err != nil {
+		return nil, err
 	}
-	ev.IFRatios, ev.IFReports = w.RunIFAnalysis(ids)
+	ev := &Evaluation{}
+	for _, ar := range cr.Apps {
+		ev.Apps = append(ev.Apps, AppResult{
+			App:         ar.App,
+			ID:          ar.ID,
+			Dyn:         ar.Dyn,
+			Static:      ar.Static,
+			DynScores:   ScoreDynamic(ar.App, ar.Dyn.Reports),
+			StaticScore: ScoreStatic(ar.App, ar.Static.WhenReports),
+		})
+	}
+	ev.IFRatios, ev.IFReports = cr.IFRatios, cr.IFReports
 	ev.IFScore = ScoreIF(ev.IFReports, corpus.Manifests())
-	ev.Usage = w.LLMUsage()
+	ev.Usage = cr.Usage
 	return ev, nil
 }
 

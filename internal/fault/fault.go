@@ -13,6 +13,12 @@
 //   - in inject mode, throws the planned exception if the triplet has
 //     thrown fewer than K times, and logs the injection; after K throws the
 //     fault "heals" and application code proceeds, mirroring Listing 5.
+//
+// Every test execution owns a fresh Injector attached to its context, and
+// an Injector's internal maps are mutex-protected, so concurrent test runs
+// (the parallel plan executor in internal/core) and concurrent goroutines
+// within one instrumented test are both safe — no injection state is
+// shared between runs.
 package fault
 
 import (

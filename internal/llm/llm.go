@@ -94,6 +94,13 @@ type Usage struct {
 	CostUSD  float64
 }
 
+// Add accumulates another tally (cost is linear in tokens, so it sums).
+func (u *Usage) Add(o Usage) {
+	u.Calls += o.Calls
+	u.TokensIn += o.TokensIn
+	u.CostUSD += o.CostUSD
+}
+
 // Usage returns accumulated usage.
 func (c *Client) Usage() Usage {
 	c.mu.Lock()
@@ -143,6 +150,11 @@ type FileReview struct {
 	TruncatedContext bool
 	// Findings are the retained (non-poll) retry coordinators.
 	Findings []Finding
+	// Spent is the API usage attributable to reviewing this file. Unlike
+	// Client.Usage, which accumulates across every review the client has
+	// performed, Spent is a pure function of the file contents — it stays
+	// identical no matter how reviews are scheduled across goroutines.
+	Spent Usage
 }
 
 // ReviewFile runs the prompt chain over the file at path.
@@ -154,13 +166,18 @@ func (c *Client) ReviewFile(path string) (FileReview, error) {
 	return c.Review(path, src), nil
 }
 
-// Review runs the prompt chain over in-memory file contents.
+// Review runs the prompt chain over in-memory file contents. The review —
+// including its Spent accounting — is a pure function of (config, path,
+// contents), so concurrent reviews of different files are independent; the
+// client's cumulative Usage is the only shared state, and it is only ever
+// added to.
 func (c *Client) Review(path string, src []byte) FileReview {
 	base := path[strings.LastIndex(path, "/")+1:]
 	rev := FileReview{File: base, Size: len(src)}
+	defer func() { c.charge(rev.Spent) }()
 
 	// Q1 costs one call over the whole file.
-	c.charge(len(src))
+	c.spend(&rev, len(src))
 
 	if len(src) > c.cfg.LargeFileThreshold {
 		// The model loses the thread in large inputs and answers Q1 "No"
@@ -199,7 +216,7 @@ func (c *Client) Review(path string, src []byte) FileReview {
 			continue
 		}
 		// Follow-up prompts Q2–Q4 cost three more calls over the file.
-		c.charge(3 * len(src))
+		c.spend(&rev, 3*len(src))
 
 		find := Finding{
 			Coordinator:       name,
@@ -255,11 +272,19 @@ func DetectWhenBugs(rev FileReview) []WhenReport {
 	return out
 }
 
-// charge accounts one API call carrying n bytes of context.
-func (c *Client) charge(n int) {
+// spend accounts one API call carrying n bytes of context against the
+// review's attributable usage.
+func (c *Client) spend(rev *FileReview, n int) {
+	rev.Spent.Calls++
+	rev.Spent.TokensIn += int64(n) / 4 // ~4 bytes per token
+	rev.Spent.CostUSD = float64(rev.Spent.TokensIn) / 1e6 * c.cfg.PricePerMTokens
+}
+
+// charge folds a review's attributable usage into the cumulative counters.
+func (c *Client) charge(u Usage) {
 	c.mu.Lock()
-	c.calls++
-	c.tokensIn += int64(n) / 4 // ~4 bytes per token
+	c.calls += u.Calls
+	c.tokensIn += u.TokensIn
 	c.mu.Unlock()
 }
 

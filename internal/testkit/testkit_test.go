@@ -186,6 +186,111 @@ func TestRunUsesProvidedOverrides(t *testing.T) {
 	}
 }
 
+func TestPrepareOverridesEmpty(t *testing.T) {
+	// No overrides at all: nothing to strip, and the effective map must be
+	// usable (non-nil) so concurrent runs never fall back to sharing the
+	// test's own map.
+	eff, stripped := PrepareOverrides(Test{Name: "x.TestNone", App: "XX"})
+	if eff == nil || len(eff) != 0 {
+		t.Errorf("effective = %#v, want empty non-nil map", eff)
+	}
+	if len(stripped) != 0 {
+		t.Errorf("stripped = %v, want none", stripped)
+	}
+}
+
+func TestPrepareOverridesStripsEverything(t *testing.T) {
+	tc := Test{
+		Name: "x.TestAllRestricting", App: "XX",
+		Overrides: map[string]string{
+			"client.retry.max":   "1",
+			"server.retries":     "0",
+			"task.attempts":      "2",
+			"rpc.backoff.enable": "false",
+		},
+	}
+	eff, stripped := PrepareOverrides(tc)
+	if len(eff) != 0 {
+		t.Errorf("effective = %v, want empty", eff)
+	}
+	if len(stripped) != len(tc.Overrides) {
+		t.Errorf("stripped %d of %d restricting keys: %v", len(stripped), len(tc.Overrides), stripped)
+	}
+}
+
+func TestPrepareOverridesDoesNotMutateTest(t *testing.T) {
+	tc := Test{
+		Name: "x.TestNoMutate", App: "XX",
+		Overrides: map[string]string{"a.retry.max": "1", "a.batch.size": "64"},
+	}
+	eff, _ := PrepareOverrides(tc)
+	eff["injected"] = "later"
+	if len(tc.Overrides) != 2 || tc.Overrides["injected"] != "" {
+		t.Errorf("test's own overrides mutated: %v", tc.Overrides)
+	}
+	if tc.Overrides["a.retry.max"] != "1" {
+		t.Error("restricting key removed from the test itself, not just the effective copy")
+	}
+}
+
+// Concurrent preparation and execution of the same Test value must be
+// independent: PrepareOverrides copies, and every Run owns its trace.
+func TestPrepareAndRunConcurrently(t *testing.T) {
+	tc := Test{
+		Name: "x.TestConcurrent", App: "XX",
+		Overrides: map[string]string{"a.retry.max": "1", "a.batch.size": "64"},
+		Body: func(ctx context.Context, o map[string]string) error {
+			if o["a.batch.size"] != "64" {
+				return errmodel.New(AssertionError, "override lost")
+			}
+			return nil
+		},
+	}
+	done := make(chan Result)
+	for i := 0; i < 16; i++ {
+		go func() {
+			eff, _ := PrepareOverrides(tc)
+			done <- Run(tc, nil, eff)
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		res := <-done
+		if res.Failed() {
+			t.Errorf("concurrent run failed: %v", res.Err)
+		}
+		if res.Run == nil {
+			t.Error("run lost its trace")
+		}
+	}
+}
+
+func TestValidateEmptySuite(t *testing.T) {
+	// A suite with identifiers but no tests is structurally valid — app
+	// packages register tests incrementally.
+	if err := Validate(Suite{App: "XX", Name: "Empty"}); err != nil {
+		t.Errorf("empty suite rejected: %v", err)
+	}
+	// Missing identifiers are not.
+	if err := Validate(Suite{}); err == nil {
+		t.Error("suite without identifiers accepted")
+	}
+}
+
+func TestValidateDuplicateNamesError(t *testing.T) {
+	body := func(context.Context, map[string]string) error { return nil }
+	s := Suite{App: "XX", Name: "X", Tests: []Test{
+		{Name: "x.TestDup", App: "XX", Body: body},
+		{Name: "x.TestDup", App: "XX", Body: body},
+	}}
+	err := Validate(s)
+	if err == nil {
+		t.Fatal("duplicate test names accepted")
+	}
+	if !strings.Contains(err.Error(), "x.TestDup") {
+		t.Errorf("error should name the duplicate: %v", err)
+	}
+}
+
 func TestValidateSuite(t *testing.T) {
 	ok := Suite{App: "XX", Name: "X", Tests: []Test{
 		{Name: "a", App: "XX", Body: func(context.Context, map[string]string) error { return nil }},

@@ -6,6 +6,12 @@
 // outcome. The retry test oracles (internal/oracle) operate purely on this
 // record, mirroring the paper's design where oracles post-process test logs
 // (§3.1.3).
+//
+// A Run is goroutine-safe (its event log and virtual clock share one
+// mutex) and strictly per-execution: testkit.Run creates a fresh Run for
+// every test invocation, which is what lets the parallel plan executor in
+// internal/core run independent injection experiments concurrently without
+// their traces or clocks interfering.
 package trace
 
 import (

@@ -9,6 +9,12 @@
 // instead of blocking, so that experiments with 100 injected faults and
 // exponential backoff complete in milliseconds of wall time while the
 // oracle still observes realistic delay/timeout behaviour.
+//
+// There is deliberately no package-level clock: virtual time lives on the
+// per-run trace.Run reached through the context, so every test execution
+// owns an independent clock instance. Concurrent runs (the parallel plan
+// executor in internal/core) therefore never observe each other's time,
+// and a run's timestamps are reproducible regardless of scheduling.
 package vclock
 
 import (

@@ -1,0 +1,55 @@
+#!/bin/sh
+# docs_check.sh — verify that the documentation tree is self-consistent.
+#
+# Checks, in order:
+#   1. Every *.md path mentioned in a Go source file exists (godoc
+#      comments point readers at docs; a rename must not strand them).
+#   2. Every relative markdown link in README.md and docs/*.md resolves
+#      to an existing file (anchors and absolute URLs are skipped).
+#   3. Every internal/* package states its paper section (a "§"
+#      reference) somewhere in its package documentation.
+#
+# Exits non-zero listing every violation; run via `make docs-check`.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+	echo "docs-check: $*" >&2
+	fail=1
+}
+
+# 1. .md paths referenced from Go sources must exist (relative to repo root).
+for src in $(grep -rlE '[A-Za-z0-9_./-]+\.md' --include='*.go' .); do
+	for ref in $(grep -hoE '[A-Za-z0-9_./-]+\.md' "$src" | sort -u); do
+		[ -f "$ref" ] || err "$src references $ref, which does not exist"
+	done
+done
+
+# 2. Relative links in README.md and docs/*.md must resolve.
+for doc in README.md docs/*.md; do
+	[ -f "$doc" ] || continue
+	dir=$(dirname "$doc")
+	# Extract markdown link targets: ](target)
+	for target in $(grep -hoE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//' | sort -u); do
+		case $target in
+		http://* | https://* | mailto:*) continue ;; # external
+		'#'*) continue ;;                            # in-page anchor
+		esac
+		path=${target%%#*} # strip trailing anchor
+		[ -n "$path" ] || continue
+		[ -e "$dir/$path" ] || err "$doc links to $target, which does not resolve"
+	done
+done
+
+# 3. Every internal package documents its paper section (§).
+for pkgdir in $(find internal -type f -name '*.go' ! -name '*_test.go' -exec dirname {} \; | sort -u); do
+	grep -l '§' "$pkgdir"/*.go >/dev/null 2>&1 ||
+		err "package $pkgdir has no paper-section (§) reference in its godoc"
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "docs-check: FAILED" >&2
+	exit 1
+fi
+echo "docs-check: OK"

@@ -40,8 +40,10 @@ import (
 type Config = core.Options
 
 // DefaultConfig mirrors the paper's configuration: K ∈ {1, 100}, a
-// 100-injection cap threshold, a 15-minute virtual timeout, and the
-// measured GPT-4 behaviour profile.
+// 100-injection cap threshold, a 15-minute virtual timeout, the measured
+// GPT-4 behaviour profile, and one pipeline worker per CPU (set
+// Config.Workers = 1 for strictly sequential execution; results are
+// byte-identical either way).
 func DefaultConfig() Config { return core.DefaultOptions() }
 
 // App is one analyzable target application.
@@ -105,9 +107,34 @@ func (p *Pipeline) Analyze(app App) (*Report, error) {
 		return nil, fmt.Errorf("wasabi: %w", err)
 	}
 	st := p.w.RunStatic(app, id)
+	return buildReport(app.Code, id, dyn, st), nil
+}
 
+// AnalyzeAll analyzes every given application — all of Corpus() when none
+// are named — fanning the work out over Config.Workers workers. Reports
+// come back in input order and are byte-identical to calling Analyze on
+// each app in sequence, whatever the worker count.
+func (p *Pipeline) AnalyzeAll(apps ...App) ([]*Report, error) {
+	if len(apps) == 0 {
+		apps = Corpus()
+	}
+	cr, err := p.w.RunCorpus(apps)
+	if err != nil {
+		return nil, fmt.Errorf("wasabi: %w", err)
+	}
+	reports := make([]*Report, 0, len(cr.Apps))
+	for _, ar := range cr.Apps {
+		p.ids = append(p.ids, ar.ID)
+		reports = append(reports, buildReport(ar.App.Code, ar.ID, ar.Dyn, ar.Static))
+	}
+	return reports, nil
+}
+
+// buildReport converts one application's raw workflow results into the
+// facade report shape.
+func buildReport(app string, id *core.Identification, dyn *core.DynamicResult, st *core.StaticResult) *Report {
 	rep := &Report{
-		App:                app.Code,
+		App:                app,
 		Structures:         id.Structures,
 		TestsTotal:         dyn.TestsTotal,
 		TestsCoveringRetry: dyn.TestsCoveringRetry,
@@ -128,7 +155,7 @@ func (p *Pipeline) Analyze(app App) (*Report, error) {
 			Coordinator: r.Coordinator, Details: "detected from source (" + r.File + ")",
 		})
 	}
-	return rep, nil
+	return rep
 }
 
 // IFBugs runs the corpus-wide retry-ratio analysis over every application
