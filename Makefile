@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: build test race bench docs-check all
+.PHONY: build test vet race bench docs-check ci all
 
-all: build test docs-check
+all: ci
 
 ## build: compile every package and command.
 build:
@@ -12,10 +12,14 @@ build:
 test:
 	$(GO) test ./...
 
+## vet: run go vet over every package.
+vet:
+	$(GO) vet ./...
+
 ## race: run the concurrency-sensitive packages under the race detector,
 ## including the parallel-runner determinism test over the full corpus.
 race:
-	$(GO) test -race ./internal/core/... ./internal/testkit/... ./internal/fault/... ./internal/trace/...
+	$(GO) test -race ./internal/core/... ./internal/testkit/... ./internal/fault/... ./internal/trace/... ./internal/obs/...
 
 ## bench: run the pipeline benchmarks (sequential vs parallel).
 bench:
@@ -26,3 +30,6 @@ bench:
 ## packages missing a paper-section (§) godoc reference.
 docs-check:
 	sh scripts/docs_check.sh
+
+## ci: the local gate — everything the driver checks, in one target.
+ci: build test vet docs-check

@@ -8,6 +8,7 @@ import (
 	"wasabi/internal/core"
 	"wasabi/internal/evaluation"
 	"wasabi/internal/llm"
+	"wasabi/internal/obs"
 	"wasabi/internal/sast"
 	"wasabi/internal/study"
 )
@@ -166,13 +167,17 @@ func BenchmarkAblation_Oracles(b *testing.B) {
 }
 
 // benchPipeline runs the full pipeline (identify + dynamic + static + IF)
-// over the whole corpus with the given worker count.
-func benchPipeline(b *testing.B, workers int) {
+// over the whole corpus with the given worker count, instrumented with a
+// fresh observer per iteration when instrumented is set.
+func benchPipeline(b *testing.B, workers int, instrumented bool) {
 	apps := Corpus()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig()
 		cfg.Workers = workers
+		if instrumented {
+			cfg.Obs = obs.New()
+		}
 		p := NewPipeline(cfg)
 		reports, err := p.AnalyzeAll(apps...)
 		if err != nil {
@@ -186,18 +191,28 @@ func benchPipeline(b *testing.B, workers int) {
 
 // BenchmarkPipelineSequential measures the full-corpus pipeline on the
 // strictly sequential path (Workers=1) — the pre-parallel baseline.
-func BenchmarkPipelineSequential(b *testing.B) { benchPipeline(b, 1) }
+func BenchmarkPipelineSequential(b *testing.B) { benchPipeline(b, 1, false) }
 
 // BenchmarkPipelineParallel measures the same workload on the bounded
 // worker pool with one worker per CPU. Results are byte-identical to the
 // sequential run (asserted by core's determinism tests); only wall time
 // may differ, scaling with available cores since per-app pipelines and
 // per-entry injection runs are independent.
-func BenchmarkPipelineParallel(b *testing.B) { benchPipeline(b, runtime.GOMAXPROCS(0)) }
+func BenchmarkPipelineParallel(b *testing.B) { benchPipeline(b, runtime.GOMAXPROCS(0), false) }
 
 // BenchmarkPipelineParallel4 pins the pool at 4 workers so the number
 // recorded in EXPERIMENTS.md has a fixed configuration across machines.
-func BenchmarkPipelineParallel4(b *testing.B) { benchPipeline(b, 4) }
+func BenchmarkPipelineParallel4(b *testing.B) { benchPipeline(b, 4, false) }
+
+// BenchmarkPipelineInstrumented is BenchmarkPipelineSequential with full
+// observability attached (metrics registry + span tracer). The delta
+// against the uninstrumented sequential run is the instrumentation
+// overhead recorded in EXPERIMENTS.md; the acceptance bar is <5%.
+func BenchmarkPipelineInstrumented(b *testing.B) { benchPipeline(b, 1, true) }
+
+// BenchmarkPipelineInstrumented4 is the instrumented counterpart of
+// BenchmarkPipelineParallel4.
+func BenchmarkPipelineInstrumented4(b *testing.B) { benchPipeline(b, 4, true) }
 
 // The remaining benchmarks measure the cost of the pipeline *stages*
 // themselves on the largest corpus application (HBase), so stage-level

@@ -8,6 +8,13 @@
 //	                             # figure4, study, if, cost, ablation
 //	benchreport -workers 1       # force the sequential pipeline (tables
 //	                             # are byte-identical at any worker count)
+//
+// Every run that executes the pipeline also instruments it
+// (docs/OBSERVABILITY.md) and rolls the metrics snapshot up into
+// BENCH_pipeline.json — stage → {wall_ms, count, tokens} — so the bench
+// trajectory is machine-readable; -pipeline-out renames the artifact,
+// -pipeline-out "" disables it. The stage stats come from the run's own
+// metrics registry rather than being recomputed from results.
 package main
 
 import (
@@ -17,11 +24,13 @@ import (
 
 	"wasabi/internal/core"
 	"wasabi/internal/evaluation"
+	"wasabi/internal/obs"
 )
 
 func main() {
 	only := flag.String("only", "", "render a single artifact")
 	workers := flag.Int("workers", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
+	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "write the per-stage pipeline report (JSON) here; empty disables")
 	flag.Parse()
 
 	static := map[string]func() string{
@@ -36,10 +45,25 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
+	if *pipelineOut != "" {
+		opts.Obs = obs.New()
+	}
 	ev, err := evaluation.RunWith(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *pipelineOut != "" {
+		rep := obs.BuildPipelineReport(opts.Obs.Reg().Snapshot())
+		data, err := rep.MarshalIndent()
+		if err == nil {
+			err = os.WriteFile(*pipelineOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *pipelineOut)
 	}
 	dynamic := map[string]func() string{
 		"table3":   ev.Table3,

@@ -4,11 +4,19 @@
 // Usage:
 //
 //	wasabi [-app HD] [-workflow all|dynamic|static|if] [-workers N] [-v]
+//	       [-metrics-out m.json] [-trace-out t.json]
 //
 // With no -app, every corpus application is processed. -workers bounds the
 // pipeline's worker pool (0 = one per CPU); output is byte-identical at
 // every setting, so -workers 1 merely reproduces the original sequential
 // timing.
+//
+// -metrics-out and -trace-out instrument the run (docs/OBSERVABILITY.md):
+// the former writes the metrics snapshot as JSON (its counters section is
+// byte-identical at every -workers setting; timings vary), the latter
+// writes the stage spans in Chrome trace-event JSON for Perfetto /
+// about://tracing. Either flag also prints an end-of-run summary table —
+// on stderr, so the deterministic report stream on stdout stays clean.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	"wasabi/internal/apps/corpus"
 	"wasabi/internal/core"
+	"wasabi/internal/obs"
 	"wasabi/internal/oracle"
 )
 
@@ -26,6 +35,8 @@ func main() {
 	workflow := flag.String("workflow", "all", "workflow: all, dynamic, static, or if")
 	workers := flag.Int("workers", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
 	verbose := flag.Bool("v", false, "print per-structure identification details")
+	metricsOut := flag.String("metrics-out", "", "write the run's metrics snapshot (JSON) to this file")
+	traceOut := flag.String("trace-out", "", "write the run's spans (Chrome trace-event JSON) to this file")
 	flag.Parse()
 
 	switch *workflow {
@@ -53,6 +64,10 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
+	observed := *metricsOut != "" || *traceOut != ""
+	if observed {
+		opts.Obs = obs.New()
+	}
 	w := core.New(opts)
 
 	// The runner executes identification and both workflows concurrently
@@ -111,6 +126,43 @@ func main() {
 
 	u := cr.Usage
 	fmt.Printf("\nLLM usage: %d calls, %.1fK tokens, $%.2f\n", u.Calls, float64(u.TokensIn)/1000, u.CostUSD)
+
+	if observed {
+		if err := writeArtifacts(opts.Obs, *metricsOut, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeArtifacts writes the requested observability artifacts and prints
+// the summary table on stderr.
+func writeArtifacts(o *obs.Observer, metricsOut, traceOut string) error {
+	snap := o.Reg().Snapshot()
+	if metricsOut != "" {
+		data, err := snap.MarshalIndent()
+		if err != nil {
+			return fmt.Errorf("marshal metrics: %w", err)
+		}
+		if err := os.WriteFile(metricsOut, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := o.Trc().WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	fmt.Fprint(os.Stderr, obs.SummaryTable(snap))
+	return nil
 }
 
 func printReports(reports []oracle.Report) {

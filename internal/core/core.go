@@ -19,10 +19,12 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"wasabi/internal/apps/corpus"
 	"wasabi/internal/fault"
 	"wasabi/internal/llm"
+	"wasabi/internal/obs"
 	"wasabi/internal/oracle"
 	"wasabi/internal/planner"
 	"wasabi/internal/sast"
@@ -46,6 +48,12 @@ type Options struct {
 	LLM llm.Config
 	// Ratio tunes the IF-bug outlier analysis.
 	Ratio sast.RatioOptions
+	// Obs, when non-nil, observes the run: pipeline stages become spans,
+	// and every layer reports metrics into Obs.Metrics (catalog in
+	// docs/OBSERVABILITY.md). Counter values are byte-identical at every
+	// Workers setting; timings and spans are honest measurements. Nil
+	// disables observability at the cost of a nil check per event.
+	Obs *obs.Observer
 }
 
 // DefaultOptions mirrors the paper's configuration and uses one worker per
@@ -65,28 +73,57 @@ func DefaultOptions() Options {
 type Wasabi struct {
 	opts Options
 	llm  *llm.Client
+	obs  *obs.Observer
 	// sem is the worker-pool semaphore shared by every parallel loop of
 	// this toolkit instance, so nested fan-out (apps × plan entries) stays
 	// bounded by Workers in total. See parallelFor in parallel.go.
 	sem chan struct{}
+	// active counts in-flight parallelFor tasks (pool-utilization
+	// histogram; see parallel.go).
+	active atomic.Int64
 }
 
 // New returns a toolkit with the given options.
 func New(opts Options) *Wasabi {
 	if opts.CapK == 0 {
-		workers := opts.Workers
+		workers, o := opts.Workers, opts.Obs
 		opts = DefaultOptions()
-		opts.Workers = workers
+		opts.Workers, opts.Obs = workers, o
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &Wasabi{
+	// The oracle and the LLM client report into the same registry.
+	opts.Oracle.Metrics = opts.Obs.Reg()
+	w := &Wasabi{
 		opts: opts,
-		llm:  llm.NewClient(opts.LLM),
+		llm:  llm.NewClient(opts.LLM).Instrument(opts.Obs.Reg()),
+		obs:  opts.Obs,
 		// The calling goroutine always participates in parallel loops, so
 		// the pool itself holds Workers-1 extra slots.
 		sem: make(chan struct{}, opts.Workers-1),
+	}
+	w.obs.Reg().Gauge("core_pool_workers").Set(float64(opts.Workers))
+	return w
+}
+
+// stage opens a stage span (named "stage:app", parented under the app
+// span when one exists) and returns the function that closes it,
+// recording the stage wall-time histogram and run counter. All of it is
+// a no-op when the run is unobserved.
+func (w *Wasabi) stage(stage, app string) func() {
+	name := stage
+	parent := "corpus"
+	if app != "" {
+		name = stage + ":" + app
+		parent = "app:" + app
+	}
+	sp := w.obs.Trc().Start(name, "stage", "app", app, "parent", parent)
+	reg := w.obs.Reg()
+	return func() {
+		reg.Histogram(obs.StageMetric, obs.LatencyBuckets, "stage", stage).Observe(sp.SinceMS())
+		reg.Counter("core_stage_runs_total", "stage", stage).Inc()
+		sp.End()
 	}
 }
 
@@ -142,6 +179,7 @@ func (id *Identification) Locations() []fault.Location {
 
 // Identify runs both retry-identification techniques (§3.1.1) on the app.
 func (w *Wasabi) Identify(app corpus.App) (*Identification, error) {
+	defer w.stage("identify", app.Code)()
 	analysis, err := sast.AnalyzeDir(app.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("identify %s: %w", app.Code, err)
@@ -181,9 +219,20 @@ func (w *Wasabi) Identify(app corpus.App) (*Identification, error) {
 	sort.Strings(files)
 	reviews := make([]llm.FileReview, len(files))
 	errs := make([]error, len(files))
-	w.parallelFor(len(files), func(i int) {
+	w.parallelFor("reviews", len(files), func(i int) {
+		sp := w.obs.Trc().Start("review:"+files[i], "review",
+			"app", app.Code, "parent", "identify:"+app.Code)
 		reviews[i], errs[i] = w.llm.ReviewFile(filepath.Join(app.Dir, files[i]))
+		sp.End()
 	})
+	if reg := w.obs.Reg(); reg != nil {
+		var tokens int64
+		for _, rev := range reviews {
+			tokens += rev.Spent.TokensIn
+		}
+		reg.Counter("core_app_llm_tokens_total", "app", app.Code).Add(tokens)
+		reg.Counter(obs.StageTokensMetric, "stage", "identify").Add(tokens)
+	}
 	for i, f := range files {
 		rev := reviews[i]
 		if errs[i] != nil {
@@ -261,9 +310,11 @@ type DynamicResult struct {
 // RunDynamic executes the dynamic workflow for one app, given its
 // identification.
 func (w *Wasabi) RunDynamic(app corpus.App, id *Identification) (*DynamicResult, error) {
+	defer w.stage("dynamic", app.Code)()
 	locs := id.Locations()
 	cov := planner.Collect(app.Suite, locs)
 	plan := planner.BuildPlan(cov)
+	w.obs.Reg().Counter("core_plan_entries_total", "app", app.Code).Add(int64(len(plan)))
 
 	testsByName := make(map[string]testkit.Test, len(app.Suite.Tests))
 	for _, t := range app.Suite.Tests {
@@ -282,7 +333,8 @@ func (w *Wasabi) RunDynamic(app corpus.App, id *Identification) (*DynamicResult,
 		err     error
 	}
 	outcomes := make([]entryOutcome, len(plan))
-	w.parallelFor(len(plan), func(i int) {
+	reg := w.obs.Reg()
+	w.parallelFor("entries", len(plan), func(i int) {
 		entry := plan[i]
 		out := &outcomes[i]
 		test, ok := testsByName[entry.Test]
@@ -290,13 +342,18 @@ func (w *Wasabi) RunDynamic(app corpus.App, id *Identification) (*DynamicResult,
 			out.err = fmt.Errorf("plan references unknown test %s", entry.Test)
 			return
 		}
+		sp := w.obs.Trc().Start(entry.Test, "entry",
+			"app", app.Code, "coordinator", entry.Loc.Coordinator, "parent", "dynamic:"+app.Code)
+		defer sp.End()
 		for _, exc := range planner.Exceptions(locs, entry.Loc) {
 			loc := fault.Location{Coordinator: entry.Loc.Coordinator, Retried: entry.Loc.Retried, Exception: exc}
 			for _, k := range []int{w.opts.HowK, w.opts.CapK} {
 				rules := []fault.Rule{{Loc: loc, K: k}}
-				res := testkit.Run(test, fault.NewInjector(rules), cov.Prepared[test.Name])
+				res := testkit.Run(test, fault.NewInjector(rules).Instrument(reg), cov.Prepared[test.Name])
+				reg.Counter("core_injection_runs_total", "app", app.Code).Inc()
 				if res.Failed() {
 					out.failed++
+					reg.Counter("core_injection_runs_failed_total", "app", app.Code).Inc()
 				}
 				out.reports = append(out.reports, oracle.Evaluate(app.Code, res, rules, w.opts.Oracle)...)
 			}
@@ -317,9 +374,12 @@ func (w *Wasabi) RunDynamic(app corpus.App, id *Identification) (*DynamicResult,
 		tested[p.Coordinator] = true
 	}
 
+	deduped := oracle.Dedup(all)
+	reg.Counter("core_distinct_bugs_total", "app", app.Code).Add(int64(len(deduped)))
+
 	return &DynamicResult{
 		App:                 app.Code,
-		Reports:             oracle.Dedup(all),
+		Reports:             deduped,
 		TestsTotal:          len(app.Suite.Tests),
 		TestsCoveringRetry:  cov.CoveringTests(),
 		StructuresTotal:     len(id.Structures),
@@ -346,11 +406,15 @@ type StaticResult struct {
 // RunStatic executes the LLM-based WHEN-bug detection for one app using
 // the reviews gathered during identification.
 func (w *Wasabi) RunStatic(app corpus.App, id *Identification) *StaticResult {
+	defer w.stage("static", app.Code)()
 	var reports []llm.WhenReport
 	var usage llm.Usage
 	for _, rev := range id.Reviews {
 		reports = append(reports, llm.DetectWhenBugs(rev)...)
 		usage.Add(rev.Spent)
+	}
+	for _, r := range reports {
+		w.obs.Reg().Counter("llm_when_reports_total", "kind", r.Kind).Inc()
 	}
 	sort.Slice(reports, func(i, j int) bool {
 		if reports[i].Coordinator != reports[j].Coordinator {
@@ -364,11 +428,14 @@ func (w *Wasabi) RunStatic(app corpus.App, id *Identification) *StaticResult {
 // RunIFAnalysis runs the corpus-wide retry-ratio IF-bug detection over the
 // given identifications (§3.2.2).
 func (w *Wasabi) RunIFAnalysis(ids []*Identification) ([]sast.ExceptionRatio, []sast.IFReport) {
+	defer w.stage("if", "")()
 	var analyses []*sast.Analysis
 	for _, id := range ids {
 		analyses = append(analyses, id.Analysis)
 	}
-	return sast.RatioAnalysis(analyses, w.opts.Ratio)
+	ratios, reports := sast.RatioAnalysis(analyses, w.opts.Ratio)
+	w.obs.Reg().Counter("core_if_reports_total").Add(int64(len(reports)))
+	return ratios, reports
 }
 
 // VerifySources sanity-checks that an app directory exists and contains Go

@@ -24,12 +24,19 @@ package core
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"wasabi/internal/apps/corpus"
 	"wasabi/internal/llm"
+	"wasabi/internal/obs"
 	"wasabi/internal/oracle"
 	"wasabi/internal/sast"
 )
+
+// inFlightBuckets sizes the pool-utilization histogram
+// (core_pool_tasks_in_flight): the in-flight task count sampled as each
+// task starts, bounded by Options.Workers.
+var inFlightBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
 
 // parallelFor runs fn(0) … fn(n-1), each exactly once, on at most
 // opts.Workers goroutines in total across nested calls. Saturated calls
@@ -37,10 +44,27 @@ import (
 // function deadlock-free under nesting. With Workers=1 the loop degrades
 // to a plain sequential for, byte-for-byte the pre-parallel behaviour.
 //
+// level names the fan-out level ("apps", "reviews", "entries") for the
+// pool metrics. On observed runs each task reports its queue wait (time
+// between submission and execution start — goroutine spawn latency,
+// since saturated submissions run inline at zero wait) and samples the
+// in-flight task count; task counts per level are deterministic, the
+// wait and occupancy distributions are honest measurements.
+//
 // fn must confine its writes to per-index state (result slots); panics are
 // not recovered, matching the sequential path where a panic in fn would
 // also crash the run.
-func (w *Wasabi) parallelFor(n int, fn func(int)) {
+func (w *Wasabi) parallelFor(level string, n int, fn func(int)) {
+	reg := w.obs.Reg()
+	reg.Counter("core_pool_tasks_total", "level", level).Add(int64(n))
+	if reg != nil {
+		inner := fn
+		fn = func(i int) {
+			reg.Histogram("core_pool_tasks_in_flight", inFlightBuckets).Observe(float64(w.active.Add(1)))
+			defer w.active.Add(-1)
+			inner(i)
+		}
+	}
 	if n <= 1 || cap(w.sem) == 0 {
 		for i := 0; i < n; i++ {
 			fn(i)
@@ -49,15 +73,24 @@ func (w *Wasabi) parallelFor(n int, fn func(int)) {
 	}
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
+		var submitted time.Time
+		if reg != nil {
+			submitted = time.Now()
+		}
 		select {
 		case w.sem <- struct{}{}:
 			wg.Add(1)
 			go func(i int) {
 				defer func() { <-w.sem; wg.Done() }()
+				if reg != nil {
+					wait := float64(time.Since(submitted)) / float64(time.Millisecond)
+					reg.Histogram("core_pool_wait_ms", obs.LatencyBuckets).Observe(wait)
+				}
 				fn(i)
 			}(i)
 		default:
-			// Pool saturated: the caller is the worker.
+			// Pool saturated: the caller is the worker, at zero wait.
+			reg.Histogram("core_pool_wait_ms", obs.LatencyBuckets).Observe(0)
 			fn(i)
 		}
 	}
@@ -92,10 +125,15 @@ type CorpusRun struct {
 // input order, and total usage is an order-independent sum. The first
 // error in input order aborts the run.
 func (w *Wasabi) RunCorpus(apps []corpus.App) (*CorpusRun, error) {
+	csp := w.obs.Trc().Start("corpus", "pipeline")
+	defer csp.End()
+	w.obs.Reg().Gauge("core_corpus_apps").Set(float64(len(apps)))
 	runs := make([]AppRun, len(apps))
 	errs := make([]error, len(apps))
-	w.parallelFor(len(apps), func(i int) {
+	w.parallelFor("apps", len(apps), func(i int) {
 		app := apps[i]
+		asp := w.obs.Trc().Start("app:"+app.Code, "app", "parent", "corpus")
+		defer asp.End()
 		id, err := w.Identify(app)
 		if err != nil {
 			errs[i] = err

@@ -15,7 +15,7 @@ func TestParallelForRunsEveryIndexOnce(t *testing.T) {
 		for _, n := range []int{0, 1, 2, 7, 100} {
 			w := New(optionsWithWorkers(workers))
 			counts := make([]int32, n)
-			w.parallelFor(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			w.parallelFor("test", n, func(i int) { atomic.AddInt32(&counts[i], 1) })
 			for i, c := range counts {
 				if c != 1 {
 					t.Errorf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
@@ -38,10 +38,10 @@ func TestParallelForNestedStaysBounded(t *testing.T) {
 		}
 		mu.Unlock()
 	}
-	w.parallelFor(8, func(int) {
+	w.parallelFor("test", 8, func(int) {
 		enter()
 		defer atomic.AddInt32(&cur, -1)
-		w.parallelFor(8, func(int) {
+		w.parallelFor("test", 8, func(int) {
 			enter()
 			defer atomic.AddInt32(&cur, -1)
 		})

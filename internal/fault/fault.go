@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"wasabi/internal/errmodel"
+	"wasabi/internal/obs"
 	"wasabi/internal/trace"
 )
 
@@ -60,6 +61,11 @@ type Rule struct {
 // attached to the context of every instrumented test execution.
 type Injector struct {
 	mode Mode
+	// reg, when set, receives the fault_injections_total /
+	// fault_injections_suppressed_total counters per exception class.
+	// Injections are a deterministic function of the plan, so these
+	// counters are identical at every worker count.
+	reg *obs.Registry
 
 	mu    sync.Mutex
 	rules map[string][]*armedRule // retried method -> armed rules
@@ -100,6 +106,13 @@ func NewInjector(rules []Rule) *Injector {
 		r := r
 		in.rules[r.Loc.Retried] = append(in.rules[r.Loc.Retried], &armedRule{rule: r})
 	}
+	return in
+}
+
+// Instrument attaches a metrics registry to the injector (nil is fine)
+// and returns the injector for chaining.
+func (in *Injector) Instrument(reg *obs.Registry) *Injector {
+	in.reg = reg
 	return in
 }
 
@@ -214,6 +227,7 @@ func Hook(ctx context.Context) error {
 			in.count[loc]++
 			n := in.count[loc]
 			in.mu.Unlock()
+			in.reg.Counter("fault_injections_total", "exception", loc.Exception).Inc()
 			if r := trace.From(ctx); r != nil {
 				r.Append(trace.Event{
 					Kind:      trace.KindInjection,
@@ -229,6 +243,7 @@ func Hook(ctx context.Context) error {
 		}
 		in.mu.Unlock()
 		if exhausted != nil {
+			in.reg.Counter("fault_injections_suppressed_total", "exception", exhausted.Exception).Inc()
 			if r := trace.From(ctx); r != nil {
 				r.Append(trace.Event{
 					Kind:      trace.KindInjectionSuppressed,

@@ -33,6 +33,9 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
+
+	"wasabi/internal/obs"
 )
 
 // Config tunes the simulated model.
@@ -52,6 +55,11 @@ type Config struct {
 	Q4MissDenom           int // poll/spin exclusion fails
 	CapMisreadDenom       int // explicit cap not comprehended (Q3 FP)
 	DelayMisreadDenom     int // in-file sleep not comprehended (Q2 FP)
+	// APIRetryDenom models transient endpoint failures: a deterministic
+	// 1-in-N fraction of file reviews needs one internal API retry. The
+	// retry resends the same prompt, so the cost model (§4.3) charges it
+	// once; it is only visible in the llm_api_retries_total counter.
+	APIRetryDenom int
 }
 
 // DefaultConfig mirrors the paper's measured behaviour.
@@ -64,12 +72,16 @@ func DefaultConfig() Config {
 		Q4MissDenom:           5,
 		CapMisreadDenom:       11,
 		DelayMisreadDenom:     13,
+		APIRetryDenom:         7,
 	}
 }
 
 // Client is a simulated GPT-4 endpoint with usage accounting.
 type Client struct {
 	cfg Config
+	// reg, when set, receives the per-review observability counters and
+	// latency/token histograms (see docs/OBSERVABILITY.md).
+	reg *obs.Registry
 
 	mu       sync.Mutex
 	calls    int
@@ -86,6 +98,17 @@ func NewClient(cfg Config) *Client {
 	}
 	return &Client{cfg: cfg}
 }
+
+// Instrument attaches a metrics registry (nil is fine) and returns the
+// client for chaining.
+func (c *Client) Instrument(reg *obs.Registry) *Client {
+	c.reg = reg
+	return c
+}
+
+// fileTokenBuckets sizes the per-file token-spend histogram: reviews
+// cost between a few hundred and a few ten-thousand tokens.
+var fileTokenBuckets = []float64{256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
 
 // Usage summarizes the API traffic so far.
 type Usage struct {
@@ -174,7 +197,21 @@ func (c *Client) ReviewFile(path string) (FileReview, error) {
 func (c *Client) Review(path string, src []byte) FileReview {
 	base := path[strings.LastIndex(path, "/")+1:]
 	rev := FileReview{File: base, Size: len(src)}
-	defer func() { c.charge(rev.Spent) }()
+	start := time.Now()
+	defer func() {
+		c.charge(rev.Spent)
+		c.reg.Counter("llm_files_reviewed_total").Inc()
+		c.reg.Counter("llm_api_calls_total").Add(int64(rev.Spent.Calls))
+		c.reg.Counter("llm_tokens_in_total").Add(rev.Spent.TokensIn)
+		if rev.TruncatedContext {
+			c.reg.Counter("llm_truncated_files_total").Inc()
+		}
+		if c.bucket(path, "", "apiretry", c.cfg.APIRetryDenom) {
+			c.reg.Counter("llm_api_retries_total").Inc()
+		}
+		c.reg.Histogram("llm_file_tokens", fileTokenBuckets).Observe(float64(rev.Spent.TokensIn))
+		c.reg.Histogram("llm_review_ms", obs.LatencyBuckets).Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}()
 
 	// Q1 costs one call over the whole file.
 	c.spend(&rev, len(src))
@@ -191,6 +228,7 @@ func (c *Client) Review(path string, src []byte) FileReview {
 	if err != nil {
 		// Unparseable input: the real model would still answer; ours
 		// conservatively says no.
+		c.reg.Counter("llm_parse_failures_total").Inc()
 		return rev
 	}
 	pkg := f.Name.Name

@@ -1,0 +1,361 @@
+// registry.go implements the metrics half of the observability layer
+// (§3.1.3 record-then-inspect, applied to the pipeline): named counters,
+// gauges and fixed-bucket histograms behind one goroutine-safe registry
+// whose snapshots serialize in deterministic order.
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a run's metrics. Instruments are identified by a name
+// plus an optional set of label key/value pairs; asking twice for the
+// same identity returns the same instrument. A nil *Registry hands out
+// nil instruments, whose methods are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// labelSet is a canonicalized label list: pairs sorted by key.
+type labelSet []Label
+
+// Label is one metric label.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// makeLabels canonicalizes alternating key/value strings. An odd
+// trailing key gets an empty value rather than being dropped, so the
+// mistake is visible in the snapshot.
+func makeLabels(kv []string) labelSet {
+	if len(kv) == 0 {
+		return nil
+	}
+	ls := make(labelSet, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		l := Label{Key: kv[i]}
+		if i+1 < len(kv) {
+			l.Value = kv[i+1]
+		}
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// id renders the canonical instrument identity "name{k=v,…}".
+func (ls labelSet) id(name string) string {
+	if len(ls) == 0 {
+		return name
+	}
+	out := name + "{"
+	for i, l := range ls {
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + "=" + l.Value
+	}
+	return out + "}"
+}
+
+// Counter is a monotonically increasing integer. Counters count logical
+// pipeline events, so their values are deterministic across worker
+// counts (see the package documentation).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count, 0 on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float — configuration facts and last-seen levels.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value, 0 on nil.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative-style
+// upper bounds fixed at first registration; observations above the last
+// bound land in an implicit +Inf bucket (the final element of Counts).
+type Histogram struct {
+	bounds []float64
+
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	cells []int64 // len(bounds)+1; last cell is +Inf
+}
+
+// Observe records one value. No-op on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.cells[i]++
+}
+
+// Counter returns the counter registered under name and labels, creating
+// it on first use. Nil registry returns nil.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	ls := makeLabels(labels)
+	id := ls.id(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[id]
+	if c == nil {
+		c = &Counter{}
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name and labels, creating it
+// on first use. Nil registry returns nil.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	ls := makeLabels(labels)
+	id := ls.id(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[id]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[id] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name and labels,
+// creating it with the given bucket upper bounds on first use (bounds
+// are sorted; later calls reuse the first registration's bounds). Nil
+// registry returns nil.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	ls := makeLabels(labels)
+	id := ls.id(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[id]
+	if h == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, cells: make([]int64, len(b)+1)}
+		r.hists[id] = h
+	}
+	return h
+}
+
+// LatencyBuckets is the default bucket set for millisecond latency
+// histograms: exponential from sub-millisecond to minutes.
+var LatencyBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+
+// CounterPoint is one counter in a snapshot.
+type CounterPoint struct {
+	Name   string   `json:"name"`
+	Labels labelSet `json:"labels,omitempty"`
+	Value  int64    `json:"value"`
+}
+
+// GaugePoint is one gauge in a snapshot.
+type GaugePoint struct {
+	Name   string   `json:"name"`
+	Labels labelSet `json:"labels,omitempty"`
+	Value  float64  `json:"value"`
+}
+
+// HistogramPoint is one histogram in a snapshot. Bounds are the bucket
+// upper bounds; Counts has one extra trailing cell for +Inf.
+type HistogramPoint struct {
+	Name   string    `json:"name"`
+	Labels labelSet  `json:"labels,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is a point-in-time copy of every registered instrument, each
+// section sorted by canonical identity. Marshaling a snapshot with
+// identical instrument values therefore produces identical bytes — the
+// property the counters section is guaranteed to have across worker
+// counts.
+type Snapshot struct {
+	Counters   []CounterPoint   `json:"counters"`
+	Gauges     []GaugePoint     `json:"gauges"`
+	Histograms []HistogramPoint `json:"histograms"`
+}
+
+// splitID recovers (name, labels) from a canonical identity string.
+// Identities are only ever built by labelSet.id, so the format is fixed.
+func splitID(id string) (string, labelSet) {
+	for i := 0; i < len(id); i++ {
+		if id[i] != '{' {
+			continue
+		}
+		name, rest := id[:i], id[i+1:len(id)-1]
+		var ls labelSet
+		for len(rest) > 0 {
+			pair := rest
+			if j := indexByte(rest, ','); j >= 0 {
+				pair, rest = rest[:j], rest[j+1:]
+			} else {
+				rest = ""
+			}
+			if k := indexByte(pair, '='); k >= 0 {
+				ls = append(ls, Label{Key: pair[:k], Value: pair[k+1:]})
+			}
+		}
+		return name, ls
+	}
+	return id, nil
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// Snapshot copies the registry's current state. Nil registry yields an
+// empty (but non-nil-sectioned) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   []CounterPoint{},
+		Gauges:     []GaugePoint{},
+		Histograms: []HistogramPoint{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, c := range r.counters {
+		name, ls := splitID(id)
+		snap.Counters = append(snap.Counters, CounterPoint{Name: name, Labels: ls, Value: c.Value()})
+	}
+	for id, g := range r.gauges {
+		name, ls := splitID(id)
+		snap.Gauges = append(snap.Gauges, GaugePoint{Name: name, Labels: ls, Value: g.Value()})
+	}
+	for id, h := range r.hists {
+		name, ls := splitID(id)
+		h.mu.Lock()
+		p := HistogramPoint{
+			Name: name, Labels: ls,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]int64(nil), h.cells...),
+			Count:  h.count,
+			Sum:    h.sum,
+		}
+		h.mu.Unlock()
+		snap.Histograms = append(snap.Histograms, p)
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool {
+		return snap.Counters[i].Labels.id(snap.Counters[i].Name) < snap.Counters[j].Labels.id(snap.Counters[j].Name)
+	})
+	sort.Slice(snap.Gauges, func(i, j int) bool {
+		return snap.Gauges[i].Labels.id(snap.Gauges[i].Name) < snap.Gauges[j].Labels.id(snap.Gauges[j].Name)
+	})
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		return snap.Histograms[i].Labels.id(snap.Histograms[i].Name) < snap.Histograms[j].Labels.id(snap.Histograms[j].Name)
+	})
+	return snap
+}
+
+// MarshalIndent renders the snapshot as indented JSON.
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// CountersJSON renders only the deterministic counters section — the
+// sub-document that is byte-identical across worker counts.
+func (s Snapshot) CountersJSON() ([]byte, error) {
+	return json.Marshal(s.Counters)
+}
+
+// Counter returns the snapshotted value of the named counter (labels in
+// any order), or 0 when absent.
+func (s Snapshot) Counter(name string, labels ...string) int64 {
+	want := makeLabels(labels).id(name)
+	for _, c := range s.Counters {
+		if c.Labels.id(c.Name) == want {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// HistogramPoint returns the snapshotted histogram with the given
+// identity, or false when absent.
+func (s Snapshot) HistogramPoint(name string, labels ...string) (HistogramPoint, bool) {
+	want := makeLabels(labels).id(name)
+	for _, h := range s.Histograms {
+		if h.Labels.id(h.Name) == want {
+			return h, true
+		}
+	}
+	return HistogramPoint{}, false
+}

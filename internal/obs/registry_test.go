@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total", "kind", "a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("events_total", "kind", "a"); same != c {
+		t.Fatal("same identity must return the same counter")
+	}
+	if other := r.Counter("events_total", "kind", "b"); other == c {
+		t.Fatal("different labels must return a different counter")
+	}
+
+	g := r.Gauge("level")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+
+	h := r.Histogram("lat_ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hp, ok := snap.HistogramPoint("lat_ms")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hp.Count != 4 || hp.Sum != 555.5 {
+		t.Fatalf("histogram count/sum = %d/%v, want 4/555.5", hp.Count, hp.Sum)
+	}
+	want := []int64{1, 1, 1, 1} // one per bucket incl. +Inf
+	for i, n := range want {
+		if hp.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, hp.Counts[i], n, hp.Counts)
+		}
+	}
+}
+
+func TestLabelOrderIsCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", "x", "1", "y", "2")
+	b := r.Counter("m", "y", "2", "x", "1")
+	if a != b {
+		t.Fatal("label order must not create distinct instruments")
+	}
+	snap := r.Snapshot()
+	if got := snap.Counter("m", "y", "2", "x", "1"); got != 0 {
+		// counter was never incremented; presence check below
+		t.Fatalf("lookup = %d, want 0", got)
+	}
+	if len(snap.Counters) != 1 {
+		t.Fatalf("snapshot has %d counters, want 1", len(snap.Counters))
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", LatencyBuckets).Observe(1)
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if _, err := snap.MarshalIndent(); err != nil {
+		t.Fatal(err)
+	}
+
+	var o *Observer
+	o.Reg().Counter("x").Inc()
+	sp := o.Trc().Start("s", "c")
+	sp.Child("t", "c").End()
+	sp.End()
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotDeterministicOrdering registers the same instruments in
+// different orders from many goroutines and asserts the serialized
+// snapshots are byte-identical — the ordering contract counters'
+// cross-worker determinism rests on.
+func TestSnapshotDeterministicOrdering(t *testing.T) {
+	build := func(reverse bool) []byte {
+		r := NewRegistry()
+		names := []string{"a_total", "b_total", "c_total", "d_total"}
+		apps := []string{"HD", "HB", "CA", "EL"}
+		if reverse {
+			for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+		var wg sync.WaitGroup
+		for _, n := range names {
+			for _, app := range apps {
+				wg.Add(1)
+				go func(n, app string) {
+					defer wg.Done()
+					for i := 0; i < 100; i++ {
+						r.Counter(n, "app", app).Inc()
+					}
+					r.Histogram("h_ms", LatencyBuckets, "app", app).Observe(1)
+				}(n, app)
+			}
+		}
+		wg.Wait()
+		out, err := r.Snapshot().MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if !bytes.Equal(build(false), build(true)) {
+		t.Fatal("snapshots differ across registration order")
+	}
+}
+
+func TestBuildPipelineReport(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(StageMetric, LatencyBuckets, "stage", "identify").Observe(10)
+	r.Histogram(StageMetric, LatencyBuckets, "stage", "identify").Observe(30)
+	r.Histogram(StageMetric, LatencyBuckets, "stage", "dynamic").Observe(5)
+	r.Counter(StageTokensMetric, "stage", "identify").Add(1234)
+	rep := BuildPipelineReport(r.Snapshot())
+	if rep.Schema != PipelineReportSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	id := rep.Stages["identify"]
+	if id.WallMS != 40 || id.Count != 2 || id.Tokens != 1234 {
+		t.Fatalf("identify stats = %+v", id)
+	}
+	if dyn := rep.Stages["dynamic"]; dyn.Count != 1 || dyn.Tokens != 0 {
+		t.Fatalf("dynamic stats = %+v", dyn)
+	}
+	if out := SummaryTable(r.Snapshot()); len(out) == 0 {
+		t.Fatal("empty summary table")
+	}
+}

@@ -1,0 +1,200 @@
+// span.go implements the tracing half of the observability layer:
+// parent/child spans over pipeline stages (§3.1's identify → plan →
+// inject → oracle sequence), serialized as Chrome trace-event JSON so a
+// run renders directly in Perfetto / about://tracing.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer collects the spans of one pipeline run. Spans are assigned
+// display lanes — the Chrome trace "tid" — on start: a root span takes
+// the lowest free lane and frees it on End, so the lane axis reads as
+// worker-slot occupancy (lane count ≈ peak concurrency). A nil *Tracer
+// is valid and records nothing.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []chromeEvent
+	lanes  []bool // lane i occupied?
+}
+
+// Span is one in-flight operation. End completes it; children inherit
+// the parent's lane and record the parent's name, so the hierarchy
+// survives into the trace file. A nil *Span is valid.
+type Span struct {
+	tr       *Tracer
+	name     string
+	cat      string
+	lane     int
+	ownsLane bool
+	start    time.Time
+	args     map[string]string
+}
+
+// chromeEvent is one Chrome trace-event record ("X" = complete event,
+// "M" = metadata). Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`
+	Dur  int64             `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object form of the trace-event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// NewTracer returns an empty tracer anchored at the current time.
+func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
+
+// Start opens a root span with the given name, category and alternating
+// key/value args, allocating the lowest free display lane. Nil tracer
+// returns a nil span.
+func (t *Tracer) Start(name, cat string, args ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	lane := -1
+	for i, busy := range t.lanes {
+		if !busy {
+			lane = i
+			break
+		}
+	}
+	if lane < 0 {
+		lane = len(t.lanes)
+		t.lanes = append(t.lanes, false)
+	}
+	t.lanes[lane] = true
+	t.mu.Unlock()
+	return &Span{
+		tr: t, name: name, cat: cat,
+		lane: lane, ownsLane: true,
+		start: time.Now(),
+		args:  argMap(args),
+	}
+}
+
+// Child opens a sub-span on the parent's lane, recording the parent name
+// in the args. Nil span returns nil.
+func (s *Span) Child(name, cat string, args ...string) *Span {
+	if s == nil {
+		return nil
+	}
+	m := argMap(args)
+	if m == nil {
+		m = make(map[string]string, 1)
+	}
+	m["parent"] = s.name
+	return &Span{
+		tr: s.tr, name: name, cat: cat,
+		lane:  s.lane,
+		start: time.Now(),
+		args:  m,
+	}
+}
+
+// End completes the span, appending it to the tracer and freeing its
+// lane if it owns one. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, chromeEvent{
+		Name: s.name,
+		Cat:  s.cat,
+		Ph:   "X",
+		TS:   s.start.Sub(t.start).Microseconds(),
+		Dur:  maxI64(now.Sub(s.start).Microseconds(), 1),
+		PID:  1,
+		TID:  s.lane + 1, // tid 0 is reserved for metadata
+		Args: s.args,
+	})
+	if s.ownsLane {
+		t.lanes[s.lane] = false
+	}
+}
+
+// SinceMS returns the span's age in milliseconds — the value stage
+// latency histograms observe at End time. 0 on nil.
+func (s *Span) SinceMS() float64 {
+	if s == nil {
+		return 0
+	}
+	return float64(time.Since(s.start)) / float64(time.Millisecond)
+}
+
+// WriteJSON serializes the recorded spans in Chrome trace-event JSON
+// (object form, microsecond timestamps), preceded by process/thread
+// metadata so Perfetto labels the lanes. Safe on a nil tracer, which
+// writes an empty-but-valid trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", PID: 1, Args: map[string]string{"name": "wasabi pipeline"}},
+	}}
+	if t != nil {
+		t.mu.Lock()
+		events := append([]chromeEvent(nil), t.events...)
+		lanes := len(t.lanes)
+		t.mu.Unlock()
+		// Stable output for a given set of spans: order by start, then
+		// lane, then name (End order depends on scheduling).
+		sort.Slice(events, func(i, j int) bool {
+			a, b := events[i], events[j]
+			if a.TS != b.TS {
+				return a.TS < b.TS
+			}
+			if a.TID != b.TID {
+				return a.TID < b.TID
+			}
+			return a.Name < b.Name
+		})
+		for i := 0; i < lanes; i++ {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
+				Args: map[string]string{"name": "lane-" + strconv.Itoa(i)},
+			})
+		}
+		trace.TraceEvents = append(trace.TraceEvents, events...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(trace)
+}
+
+// argMap folds alternating key/value strings into a map (nil when empty).
+func argMap(kv []string) map[string]string {
+	if len(kv) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

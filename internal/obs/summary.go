@@ -1,0 +1,119 @@
+// summary.go derives human- and machine-readable run summaries from a
+// metrics snapshot: the end-of-run table cmd/wasabi prints and the
+// BENCH_pipeline.json stage report cmd/benchreport writes (the pipeline
+// analogue of the paper's §4.3 cost accounting).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StageStats is one pipeline stage's roll-up in the BENCH_pipeline.json
+// schema: stage → {wall_ms, count, tokens}.
+type StageStats struct {
+	// WallMS is the summed wall-clock time of the stage across all its
+	// executions (milliseconds; varies run to run).
+	WallMS float64 `json:"wall_ms"`
+	// Count is how many times the stage executed (deterministic).
+	Count int64 `json:"count"`
+	// Tokens is the LLM token spend attributed to the stage
+	// (deterministic; zero for non-LLM stages).
+	Tokens int64 `json:"tokens"`
+}
+
+// PipelineReport is the machine-readable bench artifact.
+type PipelineReport struct {
+	Schema string                `json:"schema"`
+	Stages map[string]StageStats `json:"stages"`
+}
+
+// PipelineReportSchema identifies the BENCH_pipeline.json format.
+const PipelineReportSchema = "wasabi-bench-pipeline/v1"
+
+// StageMetric is the histogram every stage observes its wall time into
+// (label: stage), and StageTokensMetric the counter LLM token spend is
+// attributed to stages with.
+const (
+	StageMetric       = "core_stage_ms"
+	StageTokensMetric = "core_stage_tokens_total"
+)
+
+// BuildPipelineReport rolls a snapshot up into the per-stage report:
+// wall time and execution count from the core_stage_ms histograms, token
+// spend from the core_stage_tokens_total counters.
+func BuildPipelineReport(s Snapshot) PipelineReport {
+	rep := PipelineReport{Schema: PipelineReportSchema, Stages: map[string]StageStats{}}
+	for _, h := range s.Histograms {
+		if h.Name != StageMetric {
+			continue
+		}
+		stage := labelValue(h.Labels, "stage")
+		if stage == "" {
+			continue
+		}
+		st := rep.Stages[stage]
+		st.WallMS += h.Sum
+		st.Count += h.Count
+		rep.Stages[stage] = st
+	}
+	for _, c := range s.Counters {
+		if c.Name != StageTokensMetric {
+			continue
+		}
+		stage := labelValue(c.Labels, "stage")
+		if stage == "" {
+			continue
+		}
+		st := rep.Stages[stage]
+		st.Tokens += c.Value
+		rep.Stages[stage] = st
+	}
+	return rep
+}
+
+// MarshalIndent renders the report as indented JSON (map keys serialize
+// sorted, so equal reports produce equal bytes).
+func (r PipelineReport) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// SummaryTable renders the end-of-run observability table: per-stage
+// wall time and counts, then every counter in canonical order. Wall
+// times vary run to run; the counter block is deterministic.
+func SummaryTable(s Snapshot) string {
+	var b strings.Builder
+	rep := BuildPipelineReport(s)
+	stages := make([]string, 0, len(rep.Stages))
+	for st := range rep.Stages {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	b.WriteString("== run observability ==\n")
+	if len(stages) > 0 {
+		fmt.Fprintf(&b, "%-12s %10s %8s %12s\n", "stage", "wall_ms", "count", "tokens")
+		for _, st := range stages {
+			v := rep.Stages[st]
+			fmt.Fprintf(&b, "%-12s %10.1f %8d %12d\n", st, v.WallMS, v.Count, v.Tokens)
+		}
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&b, "  %-58s %10d\n", c.Labels.id(c.Name), c.Value)
+		}
+	}
+	return b.String()
+}
+
+// labelValue returns the value of key in ls, or "".
+func labelValue(ls labelSet, key string) string {
+	for _, l := range ls {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}

@@ -11,6 +11,7 @@ import (
 
 	"wasabi/internal/errmodel"
 	"wasabi/internal/fault"
+	"wasabi/internal/obs"
 	"wasabi/internal/testkit"
 	"wasabi/internal/trace"
 )
@@ -59,6 +60,11 @@ type Options struct {
 	// VirtualTimeout is the run-duration limit (15 minutes in the paper),
 	// measured in virtual time here.
 	VirtualTimeout time.Duration
+	// Metrics, when set, receives the per-oracle verdict distribution
+	// (oracle_reports_total{oracle=…}) and an evaluation counter. Reports
+	// are a deterministic function of the trace, so the counters are
+	// identical at every worker count.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions mirrors the paper.
@@ -70,12 +76,18 @@ func DefaultOptions() Options {
 // injections that were armed for the run.
 func Evaluate(app string, res testkit.Result, rules []fault.Rule, opts Options) []Report {
 	if opts.CapThreshold == 0 {
+		metrics := opts.Metrics
 		opts = DefaultOptions()
+		opts.Metrics = metrics
 	}
 	var out []Report
 	out = append(out, missingCap(app, res, rules, opts)...)
 	out = append(out, missingDelay(app, res)...)
 	out = append(out, differentException(app, res, rules)...)
+	opts.Metrics.Counter("oracle_evaluations_total").Inc()
+	for _, r := range out {
+		opts.Metrics.Counter("oracle_reports_total", "oracle", string(r.Kind)).Inc()
+	}
 	return out
 }
 

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -166,5 +167,71 @@ func TestEventsSnapshotIsolation(t *testing.T) {
 	r.Append(Event{Kind: KindNote, Msg: "b"})
 	if len(snap) != 1 {
 		t.Error("snapshot must not grow with later appends")
+	}
+}
+
+// TestConcurrentAppenders has many goroutines interleave injection,
+// sleep and note events on one Run — the shape of an instrumented test
+// whose application code is itself concurrent. Sequence numbers must
+// come out exactly 0..n-1 (each assigned once, in log order), every
+// event must survive, and virtual time must equal the sum of all sleeps,
+// whatever the interleaving. make race runs this under the race
+// detector.
+func TestConcurrentAppenders(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 201 // divisible by 3: equal parts inject/sleep/note
+	)
+	r := NewRun("concurrent")
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				switch i % 3 {
+				case 0:
+					r.Append(Event{
+						Kind: KindInjection, Callee: "app.T.connect",
+						Caller: "app.T.retryLoop", Exception: "IOException",
+					})
+				case 1:
+					r.AdvanceAndRecordSleep(time.Millisecond, []string{"app.T.retryLoop"})
+				case 2:
+					r.Append(Event{Kind: KindNote, Msg: "tick"})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ev := r.Events()
+	if len(ev) != goroutines*perG {
+		t.Fatalf("recorded %d events, want %d", len(ev), goroutines*perG)
+	}
+	kinds := map[EventKind]int{}
+	for i, e := range ev {
+		if e.Seq != i {
+			t.Fatalf("event %d has seq %d: log order and sequence numbers diverged", i, e.Seq)
+		}
+		kinds[e.Kind]++
+	}
+	for kind, want := range map[EventKind]int{
+		KindInjection: goroutines * perG / 3,
+		KindSleep:     goroutines * perG / 3,
+		KindNote:      goroutines * perG / 3,
+	} {
+		if kinds[kind] != want {
+			t.Errorf("%v events = %d, want %d", kind, kinds[kind], want)
+		}
+	}
+	if want := time.Duration(goroutines*perG/3) * time.Millisecond; r.VNow() != want {
+		t.Errorf("VNow = %v, want %v (sum of all sleeps)", r.VNow(), want)
+	}
+	// Virtual timestamps never move backwards along the log.
+	for i := 1; i < len(ev); i++ {
+		if ev[i].VTime < ev[i-1].VTime {
+			t.Fatalf("virtual time ran backwards at seq %d: %v -> %v", i, ev[i-1].VTime, ev[i].VTime)
+		}
 	}
 }
