@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench docs-check ci all
+.PHONY: build test vet race bench chaos docs-check ci all
 
 all: ci
 
@@ -25,6 +25,13 @@ race:
 bench:
 	$(GO) test -bench 'BenchmarkPipeline' -benchmem -run '^$$' .
 
+## chaos: sweep LLM fault profiles under the race detector — the
+## determinism-under-chaos and graceful-degradation gate
+## (docs/RESILIENCE.md).
+chaos:
+	$(GO) test -race -run 'Chaos|ZeroFaultProfile|HardOutage|BudgetExhaustion' ./internal/core/
+	$(GO) test -race ./internal/resilience/ ./internal/llm/
+
 ## docs-check: fail on dangling doc references — .md paths mentioned in
 ## Go sources, relative links in README.md and docs/*.md, and internal
 ## packages missing a paper-section (§) godoc reference.
@@ -32,4 +39,4 @@ docs-check:
 	sh scripts/docs_check.sh
 
 ## ci: the local gate — everything the driver checks, in one target.
-ci: build test vet docs-check
+ci: build test vet chaos docs-check

@@ -1,0 +1,65 @@
+// Command chaosreport measures the pipeline under an unreliable LLM
+// backend: it runs the full evaluation (§4 scoring against corpus ground
+// truth) at increasing transient-fault rates plus a hard outage, and
+// prints the markdown table recorded in EXPERIMENTS.md — true/false
+// positives per workflow, degraded-file counts, and the §4.3 cost — so
+// the "budgeted retry keeps results and cost stable" claim is a number,
+// not an assertion.
+//
+// Usage:
+//
+//	go run ./cmd/chaosreport
+//
+// Output is deterministic (seeded model, seeded faults, virtual time).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wasabi/internal/core"
+	"wasabi/internal/evaluation"
+	"wasabi/internal/llm"
+)
+
+// row is one measured fault level.
+type row struct {
+	name    string
+	profile *llm.FaultProfile
+}
+
+func main() {
+	rows := []row{
+		{"0% (perfect)", nil},
+		{"0% (stack on)", &llm.FaultProfile{}},
+		{"5% (light)", &llm.FaultProfile{TimeoutDenom: 60, RateLimitDenom: 60, ServerErrorDenom: 60}},
+		{"20% (heavy)", &llm.FaultProfile{TimeoutDenom: 15, RateLimitDenom: 15, ServerErrorDenom: 15}},
+		{"hard outage", &llm.FaultProfile{HardOutage: true}},
+	}
+
+	fmt.Println("| Fault level | Dynamic (true_FP) | Static WHEN (true_FP) | IF (true_FP) | Degraded files | LLM calls | Tokens | Cost |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for _, r := range rows {
+		opts := core.DefaultOptions()
+		opts.LLM.Fault = r.profile
+		ev, err := evaluation.RunWith(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaosreport: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		var dyn, static evaluation.Score
+		degraded := 0
+		for _, ar := range ev.Apps {
+			dyn.Add(ar.DynScores.Total())
+			static.Add(ar.StaticScore.Total())
+			degraded += len(ar.ID.Degraded)
+		}
+		fmt.Printf("| %s | %d_%d | %d_%d | %d_%d | %d | %d | %.1fK | $%.2f |\n",
+			r.name,
+			dyn.True, dyn.FP,
+			static.True, static.FP,
+			ev.IFScore.True, ev.IFScore.FP,
+			degraded,
+			ev.Usage.Calls, float64(ev.Usage.TokensIn)/1000, ev.Usage.CostUSD)
+	}
+}

@@ -4,12 +4,21 @@
 // Usage:
 //
 //	wasabi [-app HD] [-workflow all|dynamic|static|if] [-workers N] [-v]
+//	       [-llm-fault-profile none|light|heavy|outage|k=v,...]
+//	       [-llm-outage-after N]
 //	       [-metrics-out m.json] [-trace-out t.json]
 //
 // With no -app, every corpus application is processed. -workers bounds the
 // pipeline's worker pool (0 = one per CPU); output is byte-identical at
 // every setting, so -workers 1 merely reproduces the original sequential
 // timing.
+//
+// -llm-fault-profile runs the pipeline against an unreliable simulated
+// LLM backend (docs/RESILIENCE.md): transient faults are retried through
+// the resilience stack, permanent ones degrade the affected files to
+// static-only analysis, and stdout stays byte-identical for a fixed
+// (seed, profile) at every -workers setting. -llm-outage-after N takes
+// the backend hard-down from the Nth review onward.
 //
 // -metrics-out and -trace-out instrument the run (docs/OBSERVABILITY.md):
 // the former writes the metrics snapshot as JSON (its counters section is
@@ -26,6 +35,7 @@ import (
 
 	"wasabi/internal/apps/corpus"
 	"wasabi/internal/core"
+	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 	"wasabi/internal/oracle"
 )
@@ -35,6 +45,9 @@ func main() {
 	workflow := flag.String("workflow", "all", "workflow: all, dynamic, static, or if")
 	workers := flag.Int("workers", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
 	verbose := flag.Bool("v", false, "print per-structure identification details")
+	faultProfile := flag.String("llm-fault-profile", "",
+		fmt.Sprintf("simulate an unreliable LLM backend: %v or key=value list (see docs/RESILIENCE.md); empty = perfect backend", llm.ProfileNames()))
+	outageAfter := flag.Int("llm-outage-after", 0, "take the LLM backend hard-down from the Nth review onward (0 = never)")
 	metricsOut := flag.String("metrics-out", "", "write the run's metrics snapshot (JSON) to this file")
 	traceOut := flag.String("trace-out", "", "write the run's spans (Chrome trace-event JSON) to this file")
 	flag.Parse()
@@ -64,6 +77,17 @@ func main() {
 
 	opts := core.DefaultOptions()
 	opts.Workers = *workers
+	if *faultProfile != "" || *outageAfter > 0 {
+		profile, err := llm.ParseFaultProfile(*faultProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *outageAfter > 0 {
+			profile.OutageAfterFiles = *outageAfter
+		}
+		opts.LLM.Fault = &profile
+	}
 	observed := *metricsOut != "" || *traceOut != ""
 	if observed {
 		opts.Obs = obs.New()
@@ -84,6 +108,12 @@ func main() {
 		fmt.Printf("== %s (%s) ==\n", ar.App.Name, ar.App.Code)
 		fmt.Printf("identified %d retry structures (%d keyworded loops, %d structural candidates before filter, %d files too large for the LLM)\n",
 			len(id.Structures), id.KeywordedLoops, id.CandidateLoops, len(id.TruncatedFiles))
+		if len(id.Degraded) > 0 {
+			fmt.Printf("degraded: %d file reviews lost to backend faults (static-only fallback)\n", len(id.Degraded))
+			for _, d := range id.Degraded {
+				fmt.Printf("  DEGRADED %-40s %s\n", d.File, d.Reason)
+			}
+		}
 		if *verbose {
 			for _, s := range id.Structures {
 				fmt.Printf("  %-55s %-12s codeql=%-5v llm=%-5v triggers=%d\n",
@@ -122,6 +152,10 @@ func main() {
 			}
 			fmt.Printf("  OUTLIER %s %s in %s (%s overall)\n", rep.Exception, verb, rep.Coordinator, rep.Ratio.String())
 		}
+	}
+
+	if cr.Degraded {
+		fmt.Printf("\nRUN DEGRADED: LLM backend outage — LLM-dependent findings under-report; static structural results are complete\n")
 	}
 
 	u := cr.Usage

@@ -161,11 +161,24 @@ type Identification struct {
 	KeywordedLoops int
 	// TruncatedFiles are files too large for the LLM (§4.2 misses).
 	TruncatedFiles []string
+	// Degraded records the files the LLM backend never successfully
+	// reviewed (unreliable-backend runs only): the pipeline fell back to
+	// static-only analysis for them, and oracles or evaluation harnesses
+	// can discount LLM-dependent findings instead of silently
+	// under-reporting. Ordered by file name.
+	Degraded []DegradedFile
 	// Analysis is the underlying static analysis (reused by IF checks).
 	Analysis *sast.Analysis
 	// Reviews are the raw per-file LLM reviews (reused by static WHEN
 	// detection).
 	Reviews []llm.FileReview
+}
+
+// DegradedFile is one file whose LLM review was degraded away by backend
+// faults, with the reason (an llm.Degraded* constant).
+type DegradedFile struct {
+	File   string
+	Reason string
 }
 
 // Locations returns every injectable triplet across all structures.
@@ -178,8 +191,24 @@ func (id *Identification) Locations() []fault.Location {
 }
 
 // Identify runs both retry-identification techniques (§3.1.1) on the app.
+// Standalone calls settle LLM admissions in arrival order; corpus runs go
+// through identifyLane so admissions follow canonical corpus order.
 func (w *Wasabi) Identify(app corpus.App) (*Identification, error) {
+	return w.identifyLane(app, -1)
+}
+
+// identifyLane is Identify pinned to a budget lane (the app's position in
+// the corpus input, or -1 outside a sequenced run). Whatever happens, a
+// sequenced lane is always opened — with zero claims on early errors — so
+// later lanes never wait on it forever.
+func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error) {
 	defer w.stage("identify", app.Code)()
+	opened := false
+	defer func() {
+		if lane >= 0 && !opened {
+			w.llm.OpenLane(lane, 0)
+		}
+	}()
 	analysis, err := sast.AnalyzeDir(app.Dir)
 	if err != nil {
 		return nil, fmt.Errorf("identify %s: %w", app.Code, err)
@@ -217,12 +246,16 @@ func (w *Wasabi) Identify(app corpus.App) (*Identification, error) {
 		files = append(files, f)
 	}
 	sort.Strings(files)
+	if lane >= 0 {
+		opened = true
+		w.llm.OpenLane(lane, len(files))
+	}
 	reviews := make([]llm.FileReview, len(files))
 	errs := make([]error, len(files))
 	w.parallelFor("reviews", len(files), func(i int) {
 		sp := w.obs.Trc().Start("review:"+files[i], "review",
 			"app", app.Code, "parent", "identify:"+app.Code)
-		reviews[i], errs[i] = w.llm.ReviewFile(filepath.Join(app.Dir, files[i]))
+		reviews[i], errs[i] = w.llm.ReviewFileAt(filepath.Join(app.Dir, files[i]), lane, i)
 		sp.End()
 	})
 	if reg := w.obs.Reg(); reg != nil {
@@ -239,6 +272,16 @@ func (w *Wasabi) Identify(app corpus.App) (*Identification, error) {
 			return nil, fmt.Errorf("identify %s: %w", app.Code, errs[i])
 		}
 		id.Reviews = append(id.Reviews, rev)
+		if rev.Degraded {
+			// The backend never answered for this file: record the gap and
+			// carry on with static-only signal (graceful degradation, not
+			// failure). The merge loop is sequential in sorted file order,
+			// so these counters stay deterministic at every Workers setting.
+			id.Degraded = append(id.Degraded, DegradedFile{File: f, Reason: rev.DegradedReason})
+			w.obs.Reg().Counter("pipeline_degraded_files_total").Inc()
+			w.obs.Reg().Counter("pipeline_degraded_reason_total", "reason", rev.DegradedReason).Inc()
+			continue
+		}
 		if rev.TruncatedContext {
 			id.TruncatedFiles = append(id.TruncatedFiles, f)
 			continue

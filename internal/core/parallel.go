@@ -117,6 +117,13 @@ type CorpusRun struct {
 	IFReports []sast.IFReport
 	// Usage is the total simulated-LLM traffic of the run.
 	Usage llm.Usage
+	// Degraded marks a run that hit a backend outage: at least one file
+	// carries an "outage" degradation record, so LLM-dependent results
+	// under-report by construction and consumers must not compare them
+	// against healthy-run baselines. Brown-outs the resilience stack
+	// absorbed (retried transients, per-file degradations of other kinds)
+	// do not set it; the per-file records in Identification.Degraded do.
+	Degraded bool
 }
 
 // RunCorpus fans the full pipeline out over the given applications on the
@@ -128,13 +135,16 @@ func (w *Wasabi) RunCorpus(apps []corpus.App) (*CorpusRun, error) {
 	csp := w.obs.Trc().Start("corpus", "pipeline")
 	defer csp.End()
 	w.obs.Reg().Gauge("core_corpus_apps").Set(float64(len(apps)))
+	// Unreliable-backend runs settle LLM admissions in canonical
+	// (app, file) order: one budget lane per app, opened by identifyLane.
+	w.llm.StartRun(len(apps))
 	runs := make([]AppRun, len(apps))
 	errs := make([]error, len(apps))
 	w.parallelFor("apps", len(apps), func(i int) {
 		app := apps[i]
 		asp := w.obs.Trc().Start("app:"+app.Code, "app", "parent", "corpus")
 		defer asp.End()
-		id, err := w.Identify(app)
+		id, err := w.identifyLane(app, i)
 		if err != nil {
 			errs[i] = err
 			return
@@ -159,8 +169,23 @@ func (w *Wasabi) RunCorpus(apps []corpus.App) (*CorpusRun, error) {
 	cr.IFRatios, cr.IFReports = w.RunIFAnalysis(ids)
 	for _, ar := range runs {
 		cr.Usage.Add(ar.Static.Usage)
+		for _, d := range ar.ID.Degraded {
+			if d.Reason == llm.DegradedOutage {
+				cr.Degraded = true
+			}
+		}
 	}
 	return cr, nil
+}
+
+// DegradedFiles flattens every application's degradation records in input
+// (app, file) order.
+func (c *CorpusRun) DegradedFiles() []DegradedFile {
+	var out []DegradedFile
+	for _, ar := range c.Apps {
+		out = append(out, ar.ID.Degraded...)
+	}
+	return out
 }
 
 // Identifications returns the per-app identifications in input order (the

@@ -26,6 +26,7 @@
 package llm
 
 import (
+	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
@@ -55,11 +56,18 @@ type Config struct {
 	Q4MissDenom           int // poll/spin exclusion fails
 	CapMisreadDenom       int // explicit cap not comprehended (Q3 FP)
 	DelayMisreadDenom     int // in-file sleep not comprehended (Q2 FP)
-	// APIRetryDenom models transient endpoint failures: a deterministic
-	// 1-in-N fraction of file reviews needs one internal API retry. The
-	// retry resends the same prompt, so the cost model (§4.3) charges it
-	// once; it is only visible in the llm_api_retries_total counter.
-	APIRetryDenom int
+
+	// Fault, when non-nil, models an unreliable backend: reviews go
+	// through a FaultyTransport behind the resilience stack configured by
+	// Resilience (see transport.go and resilient.go). Nil keeps the
+	// perfect, fault-free backend. A non-nil zero-valued profile enables
+	// the machinery without injecting anything — output must then be
+	// byte-identical to the nil case.
+	Fault *FaultProfile
+	// Resilience tunes the retry policy, shared retry budget and circuit
+	// breaker used when Fault is set; zero fields take the
+	// DefaultResilienceConfig values.
+	Resilience ResilienceConfig
 }
 
 // DefaultConfig mirrors the paper's measured behaviour.
@@ -72,7 +80,6 @@ func DefaultConfig() Config {
 		Q4MissDenom:           5,
 		CapMisreadDenom:       11,
 		DelayMisreadDenom:     13,
-		APIRetryDenom:         7,
 	}
 }
 
@@ -82,6 +89,9 @@ type Client struct {
 	// reg, when set, receives the per-review observability counters and
 	// latency/token histograms (see docs/OBSERVABILITY.md).
 	reg *obs.Registry
+	// chaos is the resilience stack (resilient.go); nil without a fault
+	// profile, in which case reviews hit the model directly.
+	chaos *chaosState
 
 	mu       sync.Mutex
 	calls    int
@@ -96,13 +106,20 @@ func NewClient(cfg Config) *Client {
 	if cfg.PricePerMTokens == 0 {
 		cfg.PricePerMTokens = DefaultConfig().PricePerMTokens
 	}
-	return &Client{cfg: cfg}
+	c := &Client{cfg: cfg}
+	if cfg.Fault != nil {
+		c.chaos = c.newChaosState(*cfg.Fault)
+	}
+	return c
 }
 
 // Instrument attaches a metrics registry (nil is fine) and returns the
 // client for chaining.
 func (c *Client) Instrument(reg *obs.Registry) *Client {
 	c.reg = reg
+	if c.chaos != nil {
+		c.chaos.instrument(c)
+	}
 	return c
 }
 
@@ -177,16 +194,45 @@ type FileReview struct {
 	// Client.Usage, which accumulates across every review the client has
 	// performed, Spent is a pure function of the file contents — it stays
 	// identical no matter how reviews are scheduled across goroutines.
+	// Degraded reviews resend nothing, so their Spent stays zero.
 	Spent Usage
+	// Degraded marks a review the resilient client could not complete
+	// against an unreliable backend: no model answers exist for this
+	// file, and the pipeline falls back to static-only analysis for it.
+	Degraded bool
+	// DegradedReason is one of the Degraded* constants (resilient.go)
+	// when Degraded is set.
+	DegradedReason string
 }
 
-// ReviewFile runs the prompt chain over the file at path.
+// ReviewFile runs the prompt chain over the file at path. With a fault
+// profile configured the review is admitted in arrival order; corpus
+// runs that need canonical ordering use ReviewFileAt.
 func (c *Client) ReviewFile(path string) (FileReview, error) {
+	return c.ReviewFileAt(path, -1, 0)
+}
+
+// ReviewFileAt is ReviewFile with an explicit canonical slot: lane is the
+// app's position in the corpus and idx the file's position in the app's
+// sorted file list. After StartRun, the resilience stack settles
+// admissions in (lane, idx) order, which is what keeps grant decisions —
+// and therefore output — identical at every worker count. Without a
+// fault profile the slot is ignored.
+func (c *Client) ReviewFileAt(path string, lane, idx int) (FileReview, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		return FileReview{}, err
+		c.reg.Counter("llm_read_failures_total").Inc()
+		if c.chaos != nil {
+			// The slot was announced via OpenLane; settle it (consuming
+			// nothing) so later claims don't wait on it forever.
+			c.chaos.budget.Claim(lane, idx, func(_, _ int) int { return 0 })
+		}
+		return FileReview{}, fmt.Errorf("llm: read %s for review: %w", path, err)
 	}
-	return c.Review(path, src), nil
+	if c.chaos == nil {
+		return c.Review(path, src), nil
+	}
+	return c.reviewChaos(path, src, lane, idx), nil
 }
 
 // Review runs the prompt chain over in-memory file contents. The review —
@@ -195,7 +241,7 @@ func (c *Client) ReviewFile(path string) (FileReview, error) {
 // client's cumulative Usage is the only shared state, and it is only ever
 // added to.
 func (c *Client) Review(path string, src []byte) FileReview {
-	base := path[strings.LastIndex(path, "/")+1:]
+	base := basename(path)
 	rev := FileReview{File: base, Size: len(src)}
 	start := time.Now()
 	defer func() {
@@ -205,9 +251,6 @@ func (c *Client) Review(path string, src []byte) FileReview {
 		c.reg.Counter("llm_tokens_in_total").Add(rev.Spent.TokensIn)
 		if rev.TruncatedContext {
 			c.reg.Counter("llm_truncated_files_total").Inc()
-		}
-		if c.bucket(path, "", "apiretry", c.cfg.APIRetryDenom) {
-			c.reg.Counter("llm_api_retries_total").Inc()
 		}
 		c.reg.Histogram("llm_file_tokens", fileTokenBuckets).Observe(float64(rev.Spent.TokensIn))
 		c.reg.Histogram("llm_review_ms", obs.LatencyBuckets).Observe(float64(time.Since(start)) / float64(time.Millisecond))
@@ -344,6 +387,11 @@ func (c *Client) bucket(path, fn, salt string, denom int) bool {
 	}
 	h.Write(seed[:])
 	return h.Sum64()%uint64(denom) == 0
+}
+
+// basename returns the final path element.
+func basename(path string) string {
+	return path[strings.LastIndex(path, "/")+1:]
 }
 
 // funcKey renders "Type.method" for methods and "func" for functions.

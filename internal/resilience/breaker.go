@@ -1,0 +1,117 @@
+// breaker.go implements the circuit-breaker half of the resilience layer
+// (§1's Polly/Hystrix discussion): closed → open → half-open transitions
+// driven entirely by virtual time, so the cooldown behaves identically in
+// every run and at every worker count.
+package resilience
+
+import "time"
+
+// BreakerState is one of the three circuit-breaker states.
+type BreakerState int
+
+const (
+	// Closed passes every call through and counts consecutive failures.
+	Closed BreakerState = iota
+	// Open rejects calls until the cooldown elapses.
+	Open
+	// HalfOpen lets probe calls through; the first recorded outcome
+	// decides whether the circuit closes again or re-opens.
+	HalfOpen
+)
+
+// String returns the conventional lowercase state name.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a three-state circuit breaker. All timing is virtual: callers
+// pass the current virtual time (a time.Duration offset, e.g.
+// vclock.Now) into Allow and the Record methods, which is what keeps
+// chaos experiments deterministic and instantaneous.
+//
+// Breaker is deliberately NOT goroutine-safe. Shared users must serialize
+// access; the LLM client settles breaker decisions inside its Budget's
+// canonical-order claim callback, which both provides the lock and pins
+// the order of state transitions to the corpus order rather than the
+// scheduler's.
+type Breaker struct {
+	threshold int           // consecutive failures that open the circuit
+	cooldown  time.Duration // virtual time the circuit stays open
+
+	state       BreakerState
+	consecutive int
+	openedAt    time.Duration
+	onChange    func(to BreakerState)
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and stays open for the given virtual cooldown.
+// threshold < 1 is clamped to 1.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// OnTransition registers a hook invoked with the new state on every
+// transition (metrics wiring). Pass nil to clear.
+func (b *Breaker) OnTransition(fn func(to BreakerState)) { b.onChange = fn }
+
+// State returns the current state as last transitioned (Allow performs
+// the open → half-open move, so poll through Allow when time passes).
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Allow reports whether a call may proceed at virtual time now. In the
+// open state it returns false until the cooldown has elapsed, at which
+// point the breaker moves to half-open and admits a probe.
+func (b *Breaker) Allow(now time.Duration) bool {
+	if b.state == Open {
+		if now-b.openedAt < b.cooldown {
+			return false
+		}
+		b.transition(HalfOpen)
+	}
+	return true
+}
+
+// RecordSuccess records a successful call: the failure streak resets and
+// a half-open probe closes the circuit.
+func (b *Breaker) RecordSuccess() {
+	b.consecutive = 0
+	if b.state != Closed {
+		b.transition(Closed)
+	}
+}
+
+// RecordFailure records a failed call at virtual time now: a half-open
+// probe failure re-opens the circuit immediately, and the threshold-th
+// consecutive failure opens a closed circuit.
+func (b *Breaker) RecordFailure(now time.Duration) {
+	b.consecutive++
+	switch b.state {
+	case HalfOpen:
+		b.openedAt = now
+		b.transition(Open)
+	case Closed:
+		if b.consecutive >= b.threshold {
+			b.openedAt = now
+			b.transition(Open)
+		}
+	}
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	b.state = to
+	if b.onChange != nil {
+		b.onChange(to)
+	}
+}

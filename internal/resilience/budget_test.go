@@ -1,0 +1,222 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBudgetArrivalGrantsAndClamps exercises the bucket in arrival mode:
+// grants draw down the pool, over-asks are clamped, and negative returns
+// consume nothing.
+func TestBudgetArrivalGrantsAndClamps(t *testing.T) {
+	b := NewBudget(3, 0)
+	take := func(want int) int {
+		var got int
+		b.Claim(0, 0, func(avail, _ int) int {
+			got = avail
+			return want
+		})
+		return got
+	}
+	if avail := take(2); avail != 3 {
+		t.Fatalf("first claim saw %d tokens, want 3", avail)
+	}
+	if avail := take(-5); avail != 1 {
+		t.Fatalf("second claim saw %d tokens, want 1 (negative consumption must not refund)", avail)
+	}
+	if avail := take(99); avail != 1 {
+		t.Fatalf("third claim saw %d tokens, want 1", avail)
+	}
+	if got := b.Remaining(); got != 0 {
+		t.Fatalf("Remaining() = %d after clamped over-ask, want 0", got)
+	}
+}
+
+// TestBudgetRefill checks the one-token-per-N-settles refill, including
+// the capacity cap.
+func TestBudgetRefill(t *testing.T) {
+	b := NewBudget(2, 2)
+	noop := func(int, int) int { return 0 }
+	spend := func(int, int) int { return 2 }
+
+	b.Claim(0, 0, spend) // tokens 0, settled 1
+	b.Claim(0, 0, noop)  // settled 2 → refill to 1
+	if got := b.Remaining(); got != 1 {
+		t.Fatalf("after refill Remaining() = %d, want 1", got)
+	}
+	b.Claim(0, 0, noop)
+	b.Claim(0, 0, noop) // settled 4 → refill to 2 (cap)
+	b.Claim(0, 0, noop)
+	b.Claim(0, 0, noop) // settled 6 → already at capacity, no overfill
+	if got := b.Remaining(); got != 2 {
+		t.Fatalf("Remaining() = %d, want capacity 2 (refill must not overfill)", got)
+	}
+}
+
+// TestBudgetSequencedCanonicalOrder launches claims from concurrent
+// goroutines in scrambled start order and asserts they settle in
+// canonical (lane, idx) order with grants that depend only on that order.
+// Run under -race this is also the budget's concurrency test.
+func TestBudgetSequencedCanonicalOrder(t *testing.T) {
+	const lanes, perLane = 3, 4
+	b := NewBudget(5, 0)
+	b.Sequence(lanes)
+	for l := 0; l < lanes; l++ {
+		b.OpenLane(l, perLane)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	var seqs []int
+	var wg sync.WaitGroup
+	// Start claims in reverse canonical order to maximize scrambling.
+	for l := lanes - 1; l >= 0; l-- {
+		for i := perLane - 1; i >= 0; i-- {
+			wg.Add(1)
+			go func(l, i int) {
+				defer wg.Done()
+				b.Claim(l, i, func(avail, seq int) int {
+					mu.Lock()
+					order = append(order, fmt.Sprintf("%d/%d", l, i))
+					seqs = append(seqs, seq)
+					mu.Unlock()
+					return 1
+				})
+			}(l, i)
+		}
+	}
+	wg.Wait()
+
+	var want []string
+	for l := 0; l < lanes; l++ {
+		for i := 0; i < perLane; i++ {
+			want = append(want, fmt.Sprintf("%d/%d", l, i))
+		}
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("settle %d = %s, want %s (full order %v)", i, order[i], want[i], order)
+		}
+		if seqs[i] != i {
+			t.Fatalf("settle %d saw sequence %d", i, seqs[i])
+		}
+	}
+	if got := b.Remaining(); got != 0 {
+		t.Fatalf("Remaining() = %d, want 0 (5 tokens granted, then dry)", got)
+	}
+}
+
+// TestBudgetSharedAcrossLanes verifies the bucket is genuinely shared:
+// with sequencing, the tokens an early lane consumes are gone when a
+// later lane settles, no matter which goroutine ran first.
+func TestBudgetSharedAcrossLanes(t *testing.T) {
+	b := NewBudget(4, 0)
+	b.Sequence(2)
+	b.OpenLane(0, 1)
+	b.OpenLane(1, 1)
+
+	availAt := make([]int, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Lane 1 starts first but must observe lane 0's consumption.
+	go func() {
+		defer wg.Done()
+		b.Claim(1, 0, func(avail, _ int) int { availAt[1] = avail; return 0 })
+	}()
+	go func() {
+		defer wg.Done()
+		b.Claim(0, 0, func(avail, _ int) int { availAt[0] = avail; return 3 })
+	}()
+	wg.Wait()
+	if availAt[0] != 4 || availAt[1] != 1 {
+		t.Fatalf("lanes saw %v tokens, want [4 1]", availAt)
+	}
+}
+
+// TestBudgetEmptyLanesAdvance checks that zero-claim lanes (error paths)
+// do not wedge the cursor.
+func TestBudgetEmptyLanesAdvance(t *testing.T) {
+	b := NewBudget(1, 0)
+	b.Sequence(3)
+	b.OpenLane(0, 0)
+	b.OpenLane(2, 1)
+	done := make(chan struct{})
+	go func() {
+		b.Claim(2, 0, func(int, int) int { return 0 })
+		close(done)
+	}()
+	b.OpenLane(1, 0) // the straggler: announced last, settles nothing
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("claim after empty lanes never settled")
+	}
+}
+
+// TestBreakerTransitions drives the closed → open → half-open state
+// machine through the transition table on a virtual timeline.
+func TestBreakerTransitions(t *testing.T) {
+	br := NewBreaker(3, 10*time.Second)
+	var seen []string
+	br.OnTransition(func(to BreakerState) { seen = append(seen, to.String()) })
+
+	now := time.Duration(0)
+	if !br.Allow(now) {
+		t.Fatal("closed breaker must allow")
+	}
+	br.RecordFailure(now)
+	br.RecordFailure(now)
+	if br.State() != Closed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", br.State())
+	}
+	br.RecordFailure(now)
+	if br.State() != Open {
+		t.Fatalf("state after 3rd failure = %v, want open", br.State())
+	}
+	if br.Allow(now + 9*time.Second) {
+		t.Fatal("open breaker allowed a call before the cooldown elapsed")
+	}
+	if !br.Allow(now + 10*time.Second) {
+		t.Fatal("breaker did not admit a probe after the cooldown")
+	}
+	if br.State() != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", br.State())
+	}
+	// Probe fails → straight back to open, new cooldown from failure time.
+	br.RecordFailure(11 * time.Second)
+	if br.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", br.State())
+	}
+	if br.Allow(20 * time.Second) {
+		t.Fatal("re-opened breaker must run a full cooldown from the probe failure")
+	}
+	if !br.Allow(21 * time.Second) {
+		t.Fatal("breaker did not admit the second probe")
+	}
+	br.RecordSuccess()
+	if br.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", br.State())
+	}
+	// A lone failure after recovery must not trip the fresh streak.
+	br.RecordFailure(22 * time.Second)
+	if br.State() != Closed {
+		t.Fatal("single failure after recovery re-opened the breaker")
+	}
+
+	want := []string{"open", "half-open", "open", "half-open", "closed"}
+	if fmt.Sprint(seen) != fmt.Sprint(want) {
+		t.Fatalf("transition hook saw %v, want %v", seen, want)
+	}
+}
+
+// TestBreakerThresholdClamp: threshold < 1 behaves as 1 (first failure
+// opens).
+func TestBreakerThresholdClamp(t *testing.T) {
+	br := NewBreaker(0, time.Second)
+	br.RecordFailure(0)
+	if br.State() != Open {
+		t.Fatalf("state = %v, want open after first failure with clamped threshold", br.State())
+	}
+}

@@ -1,6 +1,7 @@
-// Package resilience is a small retry/fault-tolerance library in the mold
-// of the "resilience frameworks" the paper discusses (§1, e.g. Polly and
-// Hystrix): configurable retry-on-error with bounded attempts and backoff.
+// Package resilience is a retry/fault-tolerance library in the mold of
+// the "resilience frameworks" the paper discusses (§1, e.g. Polly and
+// Hystrix): configurable retry-on-error with bounded attempts and backoff,
+// a shared retry budget (budget.go), and a circuit breaker (breaker.go).
 //
 // The paper's observation is that such frameworks help with *configurable*
 // policy aspects but (a) cannot decide which errors are transient, (b)
@@ -10,6 +11,13 @@
 // components use, in contrast to the ad-hoc retry the rest of the corpus
 // implements inline (which is precisely what makes WASABI's identification
 // problem hard).
+//
+// Since PR 3 the pipeline also dogfoods the library on its hottest
+// dependency: the simulated LLM backend (internal/llm) retries transient
+// transport faults through a Policy with decorrelated-jitter backoff,
+// draws retries from a Budget shared across concurrent reviews, and trips
+// a Breaker when the backend browns out — all timing stays virtual
+// (internal/vclock), so chaos experiments are deterministic and fast.
 package resilience
 
 import (
@@ -31,6 +39,7 @@ type Policy struct {
 	maxDelay    time.Duration
 	maxElapsed  time.Duration
 	retryOn     Classifier
+	jitter      bool
 }
 
 // Option mutates a policy under construction.
@@ -63,6 +72,16 @@ func WithFixedDelay(d time.Duration) Option {
 // WithExponentialBackoff sets exponential backoff from base up to max.
 func WithExponentialBackoff(base, max time.Duration) Option {
 	return func(p *Policy) { p.baseDelay, p.maxDelay = base, max }
+}
+
+// WithDecorrelatedJitter sets decorrelated-jitter backoff: each delay is
+// drawn from [base, 3·previous) and capped at max, which decorrelates
+// concurrent retriers after a shared outage (the thundering-herd fix the
+// resilience-framework literature recommends). Delays come from a
+// deterministic generator; seed the sequence per call site with DoSeeded
+// so runs stay reproducible.
+func WithDecorrelatedJitter(base, max time.Duration) Option {
+	return func(p *Policy) { p.baseDelay, p.maxDelay, p.jitter = base, max, true }
 }
 
 // WithMaxElapsed bounds the total virtual time spent retrying. Zero means
@@ -99,15 +118,35 @@ func (e *exhaustedError) Is(t error) bool { return t == e.sentinel }
 // attempt cap is reached, or the elapsed-time cap is exceeded. Delays
 // between attempts go through the virtual clock, so instrumented runs
 // observe them as proper retry delays.
+//
+// The context is checked on entry (an already-cancelled context performs
+// zero attempts), and the elapsed-time cap is checked *before* each
+// backoff sleep: a delay that would overshoot the deadline is never slept,
+// so the final backoff is not burned after the deadline became
+// unreachable.
 func (p *Policy) Do(ctx context.Context, fn func(context.Context) error) error {
+	return p.DoSeeded(ctx, 0, fn)
+}
+
+// DoSeeded is Do with an explicit seed for the decorrelated-jitter delay
+// sequence. Callers that need reproducible delays across runs derive the
+// seed from a stable identity (the LLM client hashes the file path);
+// policies without jitter ignore the seed.
+func (p *Policy) DoSeeded(ctx context.Context, seed uint64, fn func(context.Context) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	start := vclock.Now(ctx)
+	rng := prng(seed)
+	prev := p.baseDelay
 	var last error
 	for attempt := 0; attempt < p.maxAttempts; attempt++ {
 		if attempt > 0 {
-			vclock.Sleep(ctx, vclock.Backoff(p.baseDelay, attempt-1, p.maxDelay))
-			if p.maxElapsed > 0 && vclock.Now(ctx)-start > p.maxElapsed {
+			d := p.delay(attempt, &prev, &rng)
+			if p.maxElapsed > 0 && vclock.Now(ctx)-start+d > p.maxElapsed {
 				return &exhaustedError{sentinel: ErrDeadlineExhausted, last: last}
 			}
+			vclock.Sleep(ctx, d)
 		}
 		last = fn(ctx)
 		if last == nil {
@@ -121,4 +160,36 @@ func (p *Policy) Do(ctx context.Context, fn func(context.Context) error) error {
 		}
 	}
 	return &exhaustedError{sentinel: ErrAttemptsExhausted, last: last}
+}
+
+// delay computes the backoff before the given attempt (attempt >= 1),
+// updating the jitter state.
+func (p *Policy) delay(attempt int, prev *time.Duration, rng *prng) time.Duration {
+	if !p.jitter {
+		return vclock.Backoff(p.baseDelay, attempt-1, p.maxDelay)
+	}
+	// Decorrelated jitter: uniform in [base, 3·prev), capped at max.
+	d := p.baseDelay
+	if span := 3**prev - p.baseDelay; span > 0 {
+		d += time.Duration(rng.next() % uint64(span))
+	}
+	if d > p.maxDelay {
+		d = p.maxDelay
+	}
+	*prev = d
+	return d
+}
+
+// prng is a splitmix64 generator: tiny, deterministic, and good enough to
+// decorrelate backoff delays.
+type prng uint64
+
+func (s *prng) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
