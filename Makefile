@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench chaos docs-check ci all
+.PHONY: build test vet race bench chaos serve-smoke docs-check ci all
 
 all: ci
 
@@ -19,7 +19,7 @@ vet:
 ## race: run the concurrency-sensitive packages under the race detector,
 ## including the parallel-runner determinism test over the full corpus.
 race:
-	$(GO) test -race ./internal/core/... ./internal/testkit/... ./internal/fault/... ./internal/trace/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/testkit/... ./internal/fault/... ./internal/trace/... ./internal/obs/... ./internal/cache/... ./internal/server/...
 
 ## bench: run the pipeline benchmarks (sequential vs parallel).
 bench:
@@ -32,6 +32,12 @@ chaos:
 	$(GO) test -race -run 'Chaos|ZeroFaultProfile|HardOutage|BudgetExhaustion' ./internal/core/
 	$(GO) test -race ./internal/resilience/ ./internal/llm/
 
+## serve-smoke: end-to-end service exercise — a real wasabid server on a
+## loopback port driven through analyze → poll → report → metrics, with
+## the second job served entirely from the cache (docs/SERVICE.md).
+serve-smoke:
+	$(GO) test -race -run 'TestServeSmoke' -count=1 ./internal/server/
+
 ## docs-check: fail on dangling doc references — .md paths mentioned in
 ## Go sources, relative links in README.md and docs/*.md, and internal
 ## packages missing a paper-section (§) godoc reference.
@@ -39,4 +45,4 @@ docs-check:
 	sh scripts/docs_check.sh
 
 ## ci: the local gate — everything the driver checks, in one target.
-ci: build test vet chaos docs-check
+ci: build test vet chaos serve-smoke docs-check

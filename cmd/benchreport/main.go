@@ -14,16 +14,23 @@
 // BENCH_pipeline.json — stage → {wall_ms, count, tokens} — so the bench
 // trajectory is machine-readable; -pipeline-out renames the artifact,
 // -pipeline-out "" disables it. The stage stats come from the run's own
-// metrics registry rather than being recomputed from results.
+// metrics registry rather than being recomputed from results. The
+// artifact also carries the cold-vs-warm analysis-cache comparison
+// (docs/SERVICE.md): a second full-corpus run against a populated cache,
+// with its wall time, fresh token spend and hit/miss counts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/cache"
 	"wasabi/internal/core"
 	"wasabi/internal/evaluation"
+	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 )
 
@@ -55,6 +62,12 @@ func main() {
 	}
 	if *pipelineOut != "" {
 		rep := obs.BuildPipelineReport(opts.Obs.Reg().Snapshot())
+		cb, err := measureCacheBench(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Cache = cb
 		data, err := rep.MarshalIndent()
 		if err == nil {
 			err = os.WriteFile(*pipelineOut, append(data, '\n'), 0o644)
@@ -93,4 +106,50 @@ func main() {
 	for _, name := range []string{"table3", "table4", "table5", "table6", "figure3", "figure4", "if", "cost", "ablation", "oracles"} {
 		fmt.Println(dynamic[name]())
 	}
+}
+
+// measureCacheBench runs the full corpus twice against one shared cache:
+// cold (populating) and warm (replaying). Wall times are honest
+// measurements; the token and hit/miss rows are deterministic — a warm
+// corpus must cost zero fresh tokens (the contract the service in
+// docs/SERVICE.md is built on).
+func measureCacheBench(workers int) (*obs.CacheBench, error) {
+	ca, err := cache.New(cache.Options{})
+	if err != nil {
+		return nil, err
+	}
+	run := func() (time.Duration, llm.Usage, error) {
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		opts.Cache = ca
+		w := core.New(opts)
+		start := time.Now()
+		_, err := w.RunCorpus(corpus.Apps())
+		return time.Since(start), w.LLMUsage(), err
+	}
+	coldWall, coldFresh, err := run()
+	if err != nil {
+		return nil, err
+	}
+	before := ca.Stats()
+	warmWall, warmFresh, err := run()
+	if err != nil {
+		return nil, err
+	}
+	after := ca.Stats()
+	var hits, misses int64
+	for k, v := range after.Hits {
+		hits += v - before.Hits[k]
+	}
+	for k, v := range after.Misses {
+		misses += v - before.Misses[k]
+	}
+	return &obs.CacheBench{
+		ColdWallMS:      float64(coldWall) / float64(time.Millisecond),
+		WarmWallMS:      float64(warmWall) / float64(time.Millisecond),
+		ColdFreshTokens: coldFresh.TokensIn,
+		WarmFreshTokens: warmFresh.TokensIn,
+		WarmHits:        hits,
+		WarmMisses:      misses,
+	}, nil
 }

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	wasabi [-app HD] [-workflow all|dynamic|static|if] [-workers N] [-v]
+//	       [-json]
+//	       [-cache-dir DIR] [-cache-bytes N]
 //	       [-llm-fault-profile none|light|heavy|outage|k=v,...]
 //	       [-llm-outage-after N]
 //	       [-metrics-out m.json] [-trace-out t.json]
@@ -12,6 +14,17 @@
 // pipeline's worker pool (0 = one per CPU); output is byte-identical at
 // every setting, so -workers 1 merely reproduces the original sequential
 // timing.
+//
+// -json replaces the text report with the canonical schema-versioned JSON
+// document (internal/report — the same encoder the wasabid service
+// returns), ignoring -workflow and -v.
+//
+// -cache-dir enables the content-addressed analysis cache with disk
+// persistence (docs/SERVICE.md): a second invocation over unchanged
+// sources re-reads memoized reviews instead of re-spending LLM tokens,
+// and prints identical output. -cache-bytes bounds the in-memory tier.
+// Cache statistics go to stderr, so stdout stays byte-identical between
+// cold and warm runs.
 //
 // -llm-fault-profile runs the pipeline against an unreliable simulated
 // LLM backend (docs/RESILIENCE.md): transient faults are retried through
@@ -24,7 +37,8 @@
 // the former writes the metrics snapshot as JSON (its counters section is
 // byte-identical at every -workers setting; timings vary), the latter
 // writes the stage spans in Chrome trace-event JSON for Perfetto /
-// about://tracing. Either flag also prints an end-of-run summary table —
+// about://tracing. Either flag also prints the end-of-run metrics in
+// Prometheus text exposition format (the wasabid /metrics rendering) —
 // on stderr, so the deterministic report stream on stdout stays clean.
 package main
 
@@ -34,10 +48,12 @@ import (
 	"os"
 
 	"wasabi/internal/apps/corpus"
+	"wasabi/internal/cache"
 	"wasabi/internal/core"
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 	"wasabi/internal/oracle"
+	"wasabi/internal/report"
 )
 
 func main() {
@@ -45,6 +61,9 @@ func main() {
 	workflow := flag.String("workflow", "all", "workflow: all, dynamic, static, or if")
 	workers := flag.Int("workers", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
 	verbose := flag.Bool("v", false, "print per-structure identification details")
+	jsonOut := flag.Bool("json", false, "print the canonical JSON report document instead of text")
+	cacheDir := flag.String("cache-dir", "", "enable the analysis cache, persisted in this directory (see docs/SERVICE.md)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache byte budget (0 = default; needs -cache-dir)")
 	faultProfile := flag.String("llm-fault-profile", "",
 		fmt.Sprintf("simulate an unreliable LLM backend: %v or key=value list (see docs/RESILIENCE.md); empty = perfect backend", llm.ProfileNames()))
 	outageAfter := flag.Int("llm-outage-after", 0, "take the LLM backend hard-down from the Nth review onward (0 = never)")
@@ -92,6 +111,16 @@ func main() {
 	if observed {
 		opts.Obs = obs.New()
 	}
+	var ca *cache.Cache
+	if *cacheDir != "" {
+		var err error
+		ca, err = cache.New(cache.Options{Dir: *cacheDir, MaxBytes: *cacheBytes, Metrics: opts.Obs.Reg()})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Cache = ca
+	}
 	w := core.New(opts)
 
 	// The runner executes identification and both workflows concurrently
@@ -101,6 +130,33 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if ca != nil {
+		// Stats go to stderr: stdout must stay byte-identical between a
+		// cold and a warm run of the same corpus.
+		st := ca.Stats()
+		fu := w.LLMUsage()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions, %d entries, %d bytes; fresh LLM spend %d calls / %d tokens\n",
+			st.Hits[cache.StageReview]+st.Hits[cache.StageAnalysis],
+			st.Misses[cache.StageReview]+st.Misses[cache.StageAnalysis],
+			st.Evictions, st.Entries, st.Bytes, fu.Calls, fu.TokensIn)
+	}
+
+	if *jsonOut {
+		doc, err := report.Marshal(report.Build(cr))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(doc)
+		if observed {
+			if err := writeArtifacts(opts.Obs, *metricsOut, *traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	for _, ar := range cr.Apps {
@@ -170,7 +226,8 @@ func main() {
 }
 
 // writeArtifacts writes the requested observability artifacts and prints
-// the summary table on stderr.
+// the metrics in Prometheus text exposition format on stderr — the same
+// rendering the wasabid daemon serves at /metrics.
 func writeArtifacts(o *obs.Observer, metricsOut, traceOut string) error {
 	snap := o.Reg().Snapshot()
 	if metricsOut != "" {
@@ -195,8 +252,7 @@ func writeArtifacts(o *obs.Observer, metricsOut, traceOut string) error {
 			return fmt.Errorf("write trace: %w", err)
 		}
 	}
-	fmt.Fprint(os.Stderr, obs.SummaryTable(snap))
-	return nil
+	return obs.WriteText(os.Stderr, snap)
 }
 
 func printReports(reports []oracle.Report) {

@@ -1,0 +1,103 @@
+// Command wasabid runs the WASABI pipeline as a long-lived analysis
+// daemon (internal/server) fronted by the content-addressed cache
+// (internal/cache), so repeated analysis of an unchanged corpus costs
+// zero fresh LLM tokens. docs/SERVICE.md documents the HTTP API.
+//
+// Usage:
+//
+//	wasabid [-addr :8788] [-queue 8] [-workers N]
+//	        [-cache-dir DIR] [-cache-bytes N]
+//	        [-llm-fault-profile none|light|heavy|outage|k=v,...]
+//	        [-llm-outage-after N]
+//
+// The daemon prints its bound address on startup ("-addr :0" picks a
+// free port) and drains gracefully on SIGTERM/SIGINT: accepted jobs run
+// to completion, new submissions are refused with 503, then the
+// listener closes. A second signal aborts the drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wasabi/internal/cache"
+	"wasabi/internal/llm"
+	"wasabi/internal/obs"
+	"wasabi/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8788", "listen address (\":0\" picks a free port)")
+	queue := flag.Int("queue", 8, "job queue depth; submissions beyond it get 429")
+	workers := flag.Int("workers", 0, "pipeline worker pool size per job; 0 = one per CPU")
+	cacheDir := flag.String("cache-dir", "", "persist the analysis cache in this directory (empty = memory only)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache byte budget (0 = default)")
+	faultProfile := flag.String("llm-fault-profile", "",
+		fmt.Sprintf("simulate an unreliable LLM backend for every job: %v or key=value list (see docs/RESILIENCE.md)", llm.ProfileNames()))
+	outageAfter := flag.Int("llm-outage-after", 0, "take the LLM backend hard-down from the Nth review of each job (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for accepted jobs to finish")
+	flag.Parse()
+
+	observer := obs.New()
+	cfg := server.Config{
+		Addr:            *addr,
+		QueueDepth:      *queue,
+		PipelineWorkers: *workers,
+		Obs:             observer,
+	}
+	ca, err := cache.New(cache.Options{Dir: *cacheDir, MaxBytes: *cacheBytes, Metrics: observer.Reg()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg.Cache = ca
+	if *faultProfile != "" || *outageAfter > 0 {
+		profile, err := llm.ParseFaultProfile(*faultProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *outageAfter > 0 {
+			profile.OutageAfterFiles = *outageAfter
+		}
+		cfg.Fault = &profile
+	}
+
+	srv := server.New(cfg)
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wasabid: listening on %s (queue %d, cache %s)\n",
+		srv.Addr(), *queue, cacheLabel(*cacheDir))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	<-ctx.Done()
+	stop() // a second signal now kills the process instead of the drain
+	fmt.Fprintln(os.Stderr, "wasabid: draining (accepted jobs run to completion)")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := ca.Stats()
+	fmt.Fprintf(os.Stderr, "wasabid: drained; cache %d hits, %d misses, %d evictions, %d entries, %d bytes\n",
+		st.Hits[cache.StageReview]+st.Hits[cache.StageAnalysis],
+		st.Misses[cache.StageReview]+st.Misses[cache.StageAnalysis],
+		st.Evictions, st.Entries, st.Bytes)
+}
+
+// cacheLabel describes the cache configuration for the startup line.
+func cacheLabel(dir string) string {
+	if dir == "" {
+		return "memory-only"
+	}
+	return "persisted in " + dir
+}

@@ -1,0 +1,259 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wasabi/internal/llm"
+	"wasabi/internal/obs"
+	"wasabi/internal/sast"
+)
+
+// review builds a distinguishable FileReview fixture.
+func review(file string, tokens int64) llm.FileReview {
+	return llm.FileReview{
+		File:          file,
+		Size:          int(tokens),
+		PerformsRetry: true,
+		Findings: []llm.Finding{{
+			Coordinator: "pkg.Type." + file,
+			File:        file,
+			Mechanism:   "loop",
+			HasCap:      true,
+		}},
+		Spent: llm.Usage{Calls: 3, TokensIn: tokens, CostUSD: float64(tokens) / 1000},
+	}
+}
+
+func TestReviewRoundTrip(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ReviewKey("cfg", "/a/b.go", "abc123")
+
+	if _, ok := c.GetReview(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := review("b.go", 1234)
+	c.PutReview(key, want)
+	got, ok := c.GetReview(key)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if got.File != want.File || got.Spent != want.Spent || len(got.Findings) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	// Every hit decodes a fresh value: mutating one caller's copy must
+	// not leak into the next.
+	got.Findings[0].Coordinator = "mutated"
+	again, _ := c.GetReview(key)
+	if again.Findings[0].Coordinator != "pkg.Type.b.go" {
+		t.Fatalf("hits alias a shared value: %q", again.Findings[0].Coordinator)
+	}
+
+	st := c.Stats()
+	if st.Hits[StageReview] != 2 || st.Misses[StageReview] != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", st.Hits[StageReview], st.Misses[StageReview])
+	}
+	if st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("entries/bytes = %d/%d", st.Entries, st.Bytes)
+	}
+}
+
+// TestEvictionAtTinyBudget forces LRU eviction with a budget that holds
+// roughly one encoded review, and checks the LRU order: the least
+// recently used entry goes first.
+func TestEvictionAtTinyBudget(t *testing.T) {
+	reg := obs.NewRegistry()
+	ka, kb := ReviewKey("cfg", "a.go", "1"), ReviewKey("cfg", "b.go", "2")
+	one, err := encodeReview(ka, review("a.go", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Options{MaxBytes: int64(len(one)) + 16, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PutReview(ka, review("a.go", 1))
+	c.PutReview(kb, review("b.go", 2)) // budget exceeded → a.go evicted
+	if _, ok := c.GetReview(ka); ok {
+		t.Fatal("LRU entry survived past the byte budget")
+	}
+	if _, ok := c.GetReview(kb); !ok {
+		t.Fatal("MRU entry evicted")
+	}
+
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d exceed budget %d", st.Bytes, st.MaxBytes)
+	}
+	if got := reg.Snapshot().Counter("cache_evictions_total"); got != 1 {
+		t.Fatalf("cache_evictions_total = %d, want 1", got)
+	}
+}
+
+// TestPersistenceRoundTrip stores through a disk tier, then reads the
+// entry back through a fresh cache instance — the process-restart path.
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := ReviewKey("cfg", "/a/p.go", "deadbeef")
+
+	c1, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.PutReview(key, review("p.go", 777))
+
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.GetReview(key)
+	if !ok {
+		t.Fatal("disk read-through missed")
+	}
+	if got.Spent.TokensIn != 777 {
+		t.Fatalf("review corrupted across restart: %+v", got)
+	}
+	st := c2.Stats()
+	if st.DiskLoads != 1 || st.Hits[StageReview] != 1 {
+		t.Fatalf("disk_loads/hits = %d/%d, want 1/1", st.DiskLoads, st.Hits[StageReview])
+	}
+	// Loaded entries populate the memory tier: a second get must not
+	// touch disk again.
+	if _, ok := c2.GetReview(key); !ok {
+		t.Fatal("memory tier not populated after disk load")
+	}
+	if st := c2.Stats(); st.DiskLoads != 1 {
+		t.Fatalf("disk_loads = %d after memory hit, want 1", st.DiskLoads)
+	}
+
+	// A corrupt disk entry is a miss, not an error.
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.GetReview(key); ok {
+		t.Fatal("corrupt disk entry served as a hit")
+	}
+}
+
+func TestAnalysisSharedByPointer(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &sast.Analysis{}
+	key := AnalysisKey("/some/dir", "digest")
+	if _, ok := c.GetAnalysis(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.PutAnalysis(key, a, 100)
+	got, ok := c.GetAnalysis(key)
+	if !ok || got != a {
+		t.Fatalf("analysis pointer not shared: %p vs %p", got, a)
+	}
+	st := c.Stats()
+	if st.Hits[StageAnalysis] != 1 || st.Misses[StageAnalysis] != 1 {
+		t.Fatalf("analysis hits/misses = %d/%d, want 1/1", st.Hits[StageAnalysis], st.Misses[StageAnalysis])
+	}
+}
+
+func TestNilCacheIsInert(t *testing.T) {
+	var c *Cache
+	if _, ok := c.GetReview("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.PutReview("k", review("x.go", 1))
+	if _, ok := c.GetAnalysis("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.PutAnalysis("k", &sast.Analysis{}, 1)
+	st := c.Stats()
+	if st.Entries != 0 || st.Hits == nil || st.Misses == nil {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+// TestHashDirManifest checks the manifest covers exactly the static
+// source set and that its digest moves iff content does.
+func TestHashDirManifest(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package p\n")
+	write("b.go", "package p\nfunc B() {}\n")
+	write("b_test.go", "package p\n") // excluded: test file
+	write("notes.txt", "hello")       // excluded: not Go
+
+	m1, err := HashDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1.Files) != 2 {
+		t.Fatalf("manifest files = %v, want exactly a.go and b.go", m1.Files)
+	}
+	if m1.TotalBytes != m1.Files["a.go"].Size+m1.Files["b.go"].Size {
+		t.Fatalf("total bytes = %d", m1.TotalBytes)
+	}
+
+	m2, err := HashDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Digest != m2.Digest {
+		t.Fatal("digest not deterministic")
+	}
+
+	// Editing an excluded file must not move the digest; editing a
+	// source file must.
+	write("b_test.go", "package p\n// changed\n")
+	m3, _ := HashDir(dir)
+	if m3.Digest != m1.Digest {
+		t.Fatal("digest moved on a non-source edit")
+	}
+	write("b.go", "package p\nfunc B() { _ = 1 }\n")
+	m4, _ := HashDir(dir)
+	if m4.Digest == m1.Digest {
+		t.Fatal("digest did not move on a source edit")
+	}
+	if m4.Files["b.go"].SHA256 == m1.Files["b.go"].SHA256 {
+		t.Fatal("file digest did not move on a source edit")
+	}
+}
+
+// TestKeySeparation pins that each key ingredient matters.
+func TestKeySeparation(t *testing.T) {
+	base := ReviewKey("cfg", "/p/f.go", "h1")
+	for name, other := range map[string]string{
+		"config":  ReviewKey("cfg2", "/p/f.go", "h1"),
+		"path":    ReviewKey("cfg", "/q/f.go", "h1"),
+		"content": ReviewKey("cfg", "/p/f.go", "h2"),
+	} {
+		if other == base {
+			t.Fatalf("review key ignores %s", name)
+		}
+	}
+	if AnalysisKey("/p", "d1") == AnalysisKey("/p", "d2") {
+		t.Fatal("analysis key ignores digest")
+	}
+	if AnalysisKey("/p", "d1") == AnalysisKey("/q", "d1") {
+		t.Fatal("analysis key ignores dir")
+	}
+}

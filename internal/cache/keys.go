@@ -1,0 +1,108 @@
+// keys.go derives the cache's content addresses. A key never encodes
+// *when* something was analyzed, only *what*: the input bytes and the
+// configuration that interprets them (§4.3's cost model makes the review
+// tier the one worth addressing precisely). docs/SERVICE.md documents
+// the derivations for API consumers.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"wasabi/internal/sast"
+)
+
+// AnalysisVersion identifies the static-analysis revision folded into
+// analysis keys. Bump it when internal/sast's loop identification or
+// throws resolution changes output for unchanged input.
+const AnalysisVersion = "loops/v1"
+
+// FileDigest is one source file's content address.
+type FileDigest struct {
+	// SHA256 is the lowercase hex SHA-256 of the file contents.
+	SHA256 string
+	// Size is the file length in bytes.
+	Size int64
+}
+
+// DirManifest is the content address of one application directory: the
+// per-file digests of every static-workflow source file (the
+// sast.IsSourceFile set) plus a digest over the whole listing.
+type DirManifest struct {
+	// Dir is the directory the manifest describes.
+	Dir string
+	// Digest is the hex SHA-256 over the sorted (name, hash, size)
+	// triples — it changes iff any source file is added, removed,
+	// renamed or edited.
+	Digest string
+	// Files maps basenames to their digests.
+	Files map[string]FileDigest
+	// TotalBytes sums the source file sizes (the analysis-entry cost
+	// estimate).
+	TotalBytes int64
+}
+
+// HashDir builds the manifest of an application directory. It reads the
+// same file set sast.AnalyzeDir parses, so a manifest digest addresses
+// exactly the inputs of both the static analysis and the per-file LLM
+// reviews.
+func HashDir(dir string) (*DirManifest, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: hash %s: %w", dir, err)
+	}
+	m := &DirManifest{Dir: dir, Files: make(map[string]FileDigest)}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !sast.IsSourceFile(e.Name()) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("cache: hash %s: %w", dir, err)
+		}
+		sum := sha256.Sum256(src)
+		fd := FileDigest{SHA256: hex.EncodeToString(sum[:]), Size: int64(len(src))}
+		m.Files[name] = fd
+		m.TotalBytes += fd.Size
+		fmt.Fprintf(h, "%s\x00%s\x00%d\x00", name, fd.SHA256, fd.Size)
+	}
+	m.Digest = hex.EncodeToString(h.Sum(nil))
+	return m, nil
+}
+
+// ReviewKey addresses one file's LLM review: the client configuration
+// fingerprint (llm.Config.Fingerprint — prompt version, seed,
+// thresholds, failure-mode rates), the file's path (the simulated
+// model's stochastic-looking decisions are seeded by it, just as a real
+// prompt embeds the file name) and the content hash.
+func ReviewKey(cfgFingerprint, path, contentSHA256 string) string {
+	return keyOf("review", cfgFingerprint, path, contentSHA256)
+}
+
+// AnalysisKey addresses one directory's static analysis: the analyzer
+// version and the directory manifest digest. The directory path is
+// folded in because reported positions derive from it.
+func AnalysisKey(dir, manifestDigest string) string {
+	return keyOf("sast", AnalysisVersion, dir, manifestDigest)
+}
+
+// keyOf hashes the NUL-joined parts into a hex key. Keys are plain hex
+// strings so the disk tier can use them directly as file names.
+func keyOf(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

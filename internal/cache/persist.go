@@ -1,0 +1,107 @@
+// persist.go is the cache's optional disk tier: review entries written
+// through as JSON envelope files named by their key, read through on
+// memory misses. It is what makes warm re-analysis survive a process
+// restart (the serving shape §4.3's per-run cost argues for) without any
+// external storage dependency.
+//
+// Persistence is strictly best-effort: a failed write or an unreadable,
+// truncated or key-mismatched file degrades to a cache miss (counted in
+// cache_persist_errors_total / cache_decode_errors_total), never to an
+// analysis error. Eviction from the memory tier leaves disk files in
+// place; the directory is the durable tier and is pruned only by the
+// operator.
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wasabi/internal/llm"
+)
+
+// envelopeSchema identifies the on-disk entry format.
+const envelopeSchema = "wasabi-review-cache/v1"
+
+// envelope is the persisted form of one review entry. The key is stored
+// redundantly so a file renamed or copied to the wrong address fails
+// closed.
+type envelope struct {
+	Schema string         `json:"schema"`
+	Key    string         `json:"key"`
+	Review llm.FileReview `json:"review"`
+}
+
+// encodeReview renders the envelope bytes stored in both tiers.
+func encodeReview(key string, rev llm.FileReview) ([]byte, error) {
+	return json.Marshal(envelope{Schema: envelopeSchema, Key: key, Review: rev})
+}
+
+// decodeReview parses envelope bytes, verifying schema and key.
+func decodeReview(data []byte, key string) (llm.FileReview, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return llm.FileReview{}, fmt.Errorf("cache: decode entry: %w", err)
+	}
+	if env.Schema != envelopeSchema || env.Key != key {
+		return llm.FileReview{}, fmt.Errorf("cache: entry schema/key mismatch (schema %q)", env.Schema)
+	}
+	return env.Review, nil
+}
+
+// initDir creates the persistence directory when one is configured.
+func (c *Cache) initDir() error {
+	if c.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("cache: init dir: %w", err)
+	}
+	return nil
+}
+
+// entryPath is the disk address of a key.
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// loadDisk reads the persisted bytes for key, if the disk tier is
+// enabled and has them.
+func (c *Cache) loadDisk(key string) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// storeDisk persists entry bytes via write-to-temp + rename, so readers
+// never observe a torn file. Failures count, and are otherwise ignored.
+func (c *Cache) storeDisk(key string, data []byte) {
+	if c.dir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err == nil {
+		_, err = tmp.Write(data)
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp.Name(), c.entryPath(key))
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}
+	if err != nil {
+		c.mu.Lock()
+		c.persistErrors++
+		c.mu.Unlock()
+		c.reg.Counter("cache_persist_errors_total").Inc()
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"wasabi/internal/apps/corpus"
+	"wasabi/internal/cache"
 	"wasabi/internal/fault"
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
@@ -54,6 +55,15 @@ type Options struct {
 	// Workers setting; timings and spans are honest measurements. Nil
 	// disables observability at the cost of a nil check per event.
 	Obs *obs.Observer
+	// Cache, when non-nil, memoizes the identify stage across runs
+	// (docs/SERVICE.md): per-app static analyses keyed by directory
+	// content, and — on a fault-free backend — per-file LLM reviews
+	// keyed by (config fingerprint, path, content hash). A warm run
+	// over unchanged sources produces byte-identical results with zero
+	// fresh LLM spend; runs with an LLM fault profile bypass the review
+	// tier (their admissions depend on run-global order, so per-file
+	// memoization would be unsound) but still reuse static analyses.
+	Cache *cache.Cache
 }
 
 // DefaultOptions mirrors the paper's configuration and uses one worker per
@@ -74,6 +84,13 @@ type Wasabi struct {
 	opts Options
 	llm  *llm.Client
 	obs  *obs.Observer
+	// cache is Options.Cache; nil disables memoization.
+	cache *cache.Cache
+	// llmFP is the review-cache fingerprint of the LLM configuration,
+	// and reviewCache gates the review tier: it is false when a fault
+	// profile is configured, because fault-profile admissions depend on
+	// run-global ordering that per-file memoization cannot reproduce.
+	reviewCache bool
 	// sem is the worker-pool semaphore shared by every parallel loop of
 	// this toolkit instance, so nested fan-out (apps × plan entries) stays
 	// bounded by Workers in total. See parallelFor in parallel.go.
@@ -86,9 +103,9 @@ type Wasabi struct {
 // New returns a toolkit with the given options.
 func New(opts Options) *Wasabi {
 	if opts.CapK == 0 {
-		workers, o := opts.Workers, opts.Obs
+		workers, o, ca := opts.Workers, opts.Obs, opts.Cache
 		opts = DefaultOptions()
-		opts.Workers, opts.Obs = workers, o
+		opts.Workers, opts.Obs, opts.Cache = workers, o, ca
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -96,9 +113,11 @@ func New(opts Options) *Wasabi {
 	// The oracle and the LLM client report into the same registry.
 	opts.Oracle.Metrics = opts.Obs.Reg()
 	w := &Wasabi{
-		opts: opts,
-		llm:  llm.NewClient(opts.LLM).Instrument(opts.Obs.Reg()),
-		obs:  opts.Obs,
+		opts:        opts,
+		llm:         llm.NewClient(opts.LLM).Instrument(opts.Obs.Reg()),
+		obs:         opts.Obs,
+		cache:       opts.Cache,
+		reviewCache: opts.Cache != nil && opts.LLM.Fault == nil,
 		// The calling goroutine always participates in parallel loops, so
 		// the pool itself holds Workers-1 extra slots.
 		sem: make(chan struct{}, opts.Workers-1),
@@ -209,9 +228,30 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 			w.llm.OpenLane(lane, 0)
 		}
 	}()
-	analysis, err := sast.AnalyzeDir(app.Dir)
-	if err != nil {
-		return nil, fmt.Errorf("identify %s: %w", app.Code, err)
+	// With a cache attached, address the app's sources first: the
+	// manifest keys the static-analysis entry and carries the per-file
+	// content hashes the review keys need. Hash failures (e.g. a file
+	// vanishing mid-walk) disable memoization for this run rather than
+	// failing it — AnalyzeDir will surface any real I/O problem.
+	var man *cache.DirManifest
+	if w.cache != nil {
+		if m, err := cache.HashDir(app.Dir); err == nil {
+			man = m
+		}
+	}
+	var analysis *sast.Analysis
+	if man != nil {
+		analysis, _ = w.cache.GetAnalysis(cache.AnalysisKey(app.Dir, man.Digest))
+	}
+	if analysis == nil {
+		var err error
+		analysis, err = sast.AnalyzeDir(app.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("identify %s: %w", app.Code, err)
+		}
+		if man != nil {
+			w.cache.PutAnalysis(cache.AnalysisKey(app.Dir, man.Digest), analysis, man.TotalBytes)
+		}
 	}
 	id := &Identification{
 		App:            app.Code,
@@ -252,16 +292,48 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 	}
 	reviews := make([]llm.FileReview, len(files))
 	errs := make([]error, len(files))
+	cached := make([]bool, len(files))
+	// Review keys are derivable only for files the manifest covered;
+	// anything else (or any run with a fault profile) goes to the model.
+	useReviewCache := w.reviewCache && man != nil
+	var llmFP string
+	if useReviewCache {
+		llmFP = w.llm.Fingerprint()
+	}
 	w.parallelFor("reviews", len(files), func(i int) {
 		sp := w.obs.Trc().Start("review:"+files[i], "review",
 			"app", app.Code, "parent", "identify:"+app.Code)
-		reviews[i], errs[i] = w.llm.ReviewFileAt(filepath.Join(app.Dir, files[i]), lane, i)
-		sp.End()
+		defer sp.End()
+		path := filepath.Join(app.Dir, files[i])
+		key := ""
+		if useReviewCache {
+			if fd, ok := man.Files[files[i]]; ok {
+				key = cache.ReviewKey(llmFP, path, fd.SHA256)
+			}
+		}
+		if key != "" {
+			if rev, ok := w.cache.GetReview(key); ok {
+				reviews[i], cached[i] = rev, true
+				return
+			}
+		}
+		reviews[i], errs[i] = w.llm.ReviewFileAt(path, lane, i)
+		// Degraded reviews record a backend failure, not an answer —
+		// memoizing one would pin the failure past the fault. Unreachable
+		// while the review tier is fault-free-only, but kept as a guard.
+		if key != "" && errs[i] == nil && !reviews[i].Degraded {
+			w.cache.PutReview(key, reviews[i])
+		}
 	})
 	if reg := w.obs.Reg(); reg != nil {
+		// Fresh spend only: cache hits carry their original attributed
+		// Spent (so reports stay byte-identical warm vs cold), but no
+		// tokens actually moved for them this run.
 		var tokens int64
-		for _, rev := range reviews {
-			tokens += rev.Spent.TokensIn
+		for i, rev := range reviews {
+			if !cached[i] {
+				tokens += rev.Spent.TokensIn
+			}
 		}
 		reg.Counter("core_app_llm_tokens_total", "app", app.Code).Add(tokens)
 		reg.Counter(obs.StageTokensMetric, "stage", "identify").Add(tokens)

@@ -70,6 +70,30 @@ type Config struct {
 	Resilience ResilienceConfig
 }
 
+// PromptVersion identifies the revision of the Q1–Q4 prompt chain baked
+// into Review. It is part of every review-cache key (internal/cache), so
+// bumping it invalidates memoized reviews wholesale: change it whenever
+// Review's question logic or failure modes change in a way that can alter
+// output for unchanged input.
+const PromptVersion = "q1q4/v1"
+
+// Fingerprint renders every configuration fact that can influence a
+// review's outcome as a stable string — the "prompt/config version"
+// component of review-cache keys. Two clients with equal fingerprints
+// produce identical FileReviews for identical (path, contents) inputs,
+// provided no fault profile is active (fault-profile runs are admitted in
+// run-global order and are not cacheable per file; the profile is still
+// folded in defensively).
+func (c Config) Fingerprint() string {
+	fp := fmt.Sprintf("%s|thr=%d|seed=%d|price=%g|q1=%d|q4=%d|q3=%d|q2=%d",
+		PromptVersion, c.LargeFileThreshold, c.Seed, c.PricePerMTokens,
+		c.HallucinateRetryDenom, c.Q4MissDenom, c.CapMisreadDenom, c.DelayMisreadDenom)
+	if c.Fault != nil {
+		fp += "|fault=" + c.Fault.String()
+	}
+	return fp
+}
+
 // DefaultConfig mirrors the paper's measured behaviour.
 func DefaultConfig() Config {
 	return Config{
@@ -112,6 +136,10 @@ func NewClient(cfg Config) *Client {
 	}
 	return c
 }
+
+// Fingerprint returns the client's effective configuration fingerprint
+// (defaults applied), the form review-cache keys must use.
+func (c *Client) Fingerprint() string { return c.cfg.Fingerprint() }
 
 // Instrument attaches a metrics registry (nil is fine) and returns the
 // client for chaining.

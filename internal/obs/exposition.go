@@ -1,0 +1,116 @@
+// exposition.go renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4) — the lingua franca scrape format,
+// emitted dependency-free. One writer serves every surface that wants
+// the run's §3.1.3-style record-then-inspect metrics as text: the
+// wasabid daemon's GET /metrics endpoint and cmd/wasabi's end-of-run
+// stderr summary.
+//
+// Output is deterministic for a given snapshot: metric families are
+// sorted by name, samples within a family keep the snapshot's canonical
+// identity order, and histograms expand to cumulative _bucket/_sum/
+// _count series exactly as Prometheus expects.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes the snapshot in Prometheus text exposition format.
+func WriteText(w io.Writer, s Snapshot) error {
+	type family struct {
+		name  string
+		kind  string
+		lines []string
+	}
+	byName := make(map[string]*family)
+	order := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	fam := func(name, kind string) *family {
+		f := byName[name]
+		if f == nil {
+			f = &family{name: name, kind: kind}
+			byName[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, c := range s.Counters {
+		f := fam(c.Name, "counter")
+		f.lines = append(f.lines, fmt.Sprintf("%s%s %d", c.Name, labelsText(c.Labels, "", ""), c.Value))
+	}
+	for _, g := range s.Gauges {
+		f := fam(g.Name, "gauge")
+		f.lines = append(f.lines, fmt.Sprintf("%s%s %s", g.Name, labelsText(g.Labels, "", ""), formatFloat(g.Value)))
+	}
+	for _, h := range s.Histograms {
+		f := fam(h.Name, "histogram")
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d",
+				h.Name, labelsText(h.Labels, "le", formatFloat(bound)), cum))
+		}
+		f.lines = append(f.lines, fmt.Sprintf("%s_bucket%s %d",
+			h.Name, labelsText(h.Labels, "le", "+Inf"), h.Count))
+		f.lines = append(f.lines, fmt.Sprintf("%s_sum%s %s", h.Name, labelsText(h.Labels, "", ""), formatFloat(h.Sum)))
+		f.lines = append(f.lines, fmt.Sprintf("%s_count%s %d", h.Name, labelsText(h.Labels, "", ""), h.Count))
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := byName[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// labelsText renders a label set (plus an optional extra label appended
+// last, used for histogram le bounds) in exposition syntax; empty sets
+// render as nothing.
+func labelsText(ls labelSet, extraKey, extraValue string) string {
+	if len(ls) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraValue))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float the shortest way that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

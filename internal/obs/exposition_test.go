@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteTextExposition pins the exposition format: family grouping
+// and ordering, TYPE comments, label rendering, cumulative histogram
+// buckets with the +Inf terminator, and _sum/_count series.
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "stage", "review").Add(3)
+	r.Counter("b_total", "stage", "analysis").Inc()
+	r.Counter("a_total").Add(7)
+	r.Gauge("pool_workers").Set(4)
+	h := r.Histogram("lat_ms", []float64{1, 10}, "stage", "identify")
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if err := WriteText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE a_total counter",
+		"a_total 7",
+		"# TYPE b_total counter",
+		`b_total{stage="analysis"} 1`,
+		`b_total{stage="review"} 3`,
+		"# TYPE lat_ms histogram",
+		`lat_ms_bucket{stage="identify",le="1"} 1`,
+		`lat_ms_bucket{stage="identify",le="10"} 2`,
+		`lat_ms_bucket{stage="identify",le="+Inf"} 3`,
+		`lat_ms_sum{stage="identify"} 5005.5`,
+		`lat_ms_count{stage="identify"} 3`,
+		"# TYPE pool_workers gauge",
+		"pool_workers 4",
+		"",
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteTextEscaping verifies label-value escaping.
+func TestWriteTextEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "k", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := WriteText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if want := `esc_total{k="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped sample missing:\n%s", b.String())
+	}
+}
+
+// TestWriteTextEmpty verifies an empty snapshot renders as nothing.
+func TestWriteTextEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteText(&b, (*Registry)(nil).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("expected empty exposition, got %q", b.String())
+	}
+}

@@ -145,7 +145,4 @@ func TestBuildPipelineReport(t *testing.T) {
 	if dyn := rep.Stages["dynamic"]; dyn.Count != 1 || dyn.Tokens != 0 {
 		t.Fatalf("dynamic stats = %+v", dyn)
 	}
-	if out := SummaryTable(r.Snapshot()); len(out) == 0 {
-		t.Fatal("empty summary table")
-	}
 }

@@ -1,14 +1,13 @@
-// summary.go derives human- and machine-readable run summaries from a
-// metrics snapshot: the end-of-run table cmd/wasabi prints and the
-// BENCH_pipeline.json stage report cmd/benchreport writes (the pipeline
-// analogue of the paper's §4.3 cost accounting).
+// summary.go derives the machine-readable run summary from a metrics
+// snapshot: the BENCH_pipeline.json stage report cmd/benchreport writes
+// (the pipeline analogue of the paper's §4.3 cost accounting). Human-
+// readable output went through a bespoke table formatter until the
+// service work standardized every text surface on the Prometheus
+// exposition writer (exposition.go).
 package obs
 
 import (
 	"encoding/json"
-	"fmt"
-	"sort"
-	"strings"
 )
 
 // StageStats is one pipeline stage's roll-up in the BENCH_pipeline.json
@@ -28,10 +27,26 @@ type StageStats struct {
 type PipelineReport struct {
 	Schema string                `json:"schema"`
 	Stages map[string]StageStats `json:"stages"`
+	// Cache, when present, is the cold-vs-warm analysis-cache benchmark
+	// cmd/benchreport measures (docs/SERVICE.md).
+	Cache *CacheBench `json:"cache,omitempty"`
 }
 
-// PipelineReportSchema identifies the BENCH_pipeline.json format.
-const PipelineReportSchema = "wasabi-bench-pipeline/v1"
+// CacheBench compares a cold pipeline run against a warm, cache-served
+// re-run of the same corpus. Wall times are honest measurements; token
+// and hit/miss rows are deterministic.
+type CacheBench struct {
+	ColdWallMS      float64 `json:"cold_wall_ms"`
+	WarmWallMS      float64 `json:"warm_wall_ms"`
+	ColdFreshTokens int64   `json:"cold_fresh_tokens"`
+	WarmFreshTokens int64   `json:"warm_fresh_tokens"`
+	WarmHits        int64   `json:"warm_hits"`
+	WarmMisses      int64   `json:"warm_misses"`
+}
+
+// PipelineReportSchema identifies the BENCH_pipeline.json format (v2
+// added the optional cold-vs-warm cache section).
+const PipelineReportSchema = "wasabi-bench-pipeline/v2"
 
 // StageMetric is the histogram every stage observes its wall time into
 // (label: stage), and StageTokensMetric the counter LLM token spend is
@@ -78,34 +93,6 @@ func BuildPipelineReport(s Snapshot) PipelineReport {
 // sorted, so equal reports produce equal bytes).
 func (r PipelineReport) MarshalIndent() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
-}
-
-// SummaryTable renders the end-of-run observability table: per-stage
-// wall time and counts, then every counter in canonical order. Wall
-// times vary run to run; the counter block is deterministic.
-func SummaryTable(s Snapshot) string {
-	var b strings.Builder
-	rep := BuildPipelineReport(s)
-	stages := make([]string, 0, len(rep.Stages))
-	for st := range rep.Stages {
-		stages = append(stages, st)
-	}
-	sort.Strings(stages)
-	b.WriteString("== run observability ==\n")
-	if len(stages) > 0 {
-		fmt.Fprintf(&b, "%-12s %10s %8s %12s\n", "stage", "wall_ms", "count", "tokens")
-		for _, st := range stages {
-			v := rep.Stages[st]
-			fmt.Fprintf(&b, "%-12s %10.1f %8d %12d\n", st, v.WallMS, v.Count, v.Tokens)
-		}
-	}
-	if len(s.Counters) > 0 {
-		b.WriteString("counters:\n")
-		for _, c := range s.Counters {
-			fmt.Fprintf(&b, "  %-58s %10d\n", c.Labels.id(c.Name), c.Value)
-		}
-	}
-	return b.String()
 }
 
 // labelValue returns the value of key in ls, or "".

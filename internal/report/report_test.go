@@ -1,0 +1,120 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/core"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenDocument pins the canonical JSON document for one app,
+// byte for byte. Any schema or ordering drift shows up as a golden
+// diff; regenerate deliberately with `go test ./internal/report
+// -run Golden -update` and bump Schema when fields change.
+func TestGoldenDocument(t *testing.T) {
+	app, err := corpus.ByCode("HD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := core.New(core.DefaultOptions())
+	cr, err := w.RunCorpus([]corpus.App{app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Marshal(Build(cr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "report_HD.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("document drifted from golden file %s (regenerate with -update if intended)\ngot %d bytes, want %d", golden, len(got), len(want))
+	}
+
+	var doc Document
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatalf("document does not round-trip: %v", err)
+	}
+	if doc.Schema != Schema {
+		t.Fatalf("schema = %q, want %q", doc.Schema, Schema)
+	}
+	if len(doc.Apps) != 1 || doc.Apps[0].Code != "HD" {
+		t.Fatalf("apps = %+v", doc.Apps)
+	}
+	if doc.Usage.TokensIn == 0 {
+		t.Fatal("attributed usage missing from document")
+	}
+}
+
+// TestDocumentStableAcrossWorkers marshals the same corpus at different
+// worker counts and asserts identical bytes — the determinism the
+// service's cache contract builds on.
+func TestDocumentStableAcrossWorkers(t *testing.T) {
+	app, err := corpus.ByCode("HB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	marshal := func(workers int) []byte {
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		cr, err := core.New(opts).RunCorpus([]corpus.App{app})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := Marshal(Build(cr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(marshal(1), marshal(4)) {
+		t.Fatal("document bytes vary with worker count")
+	}
+}
+
+// TestMarshalApp pins the single-app wrapper the service's
+// /v1/reports/{app} endpoint serves.
+func TestMarshalApp(t *testing.T) {
+	app, err := corpus.ByCode("HD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := core.New(core.DefaultOptions()).RunCorpus([]corpus.App{app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Build(cr)
+	data, err := MarshalApp(doc.Apps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrapped struct {
+		Schema string `json:"schema"`
+		App    App    `json:"app"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err != nil {
+		t.Fatal(err)
+	}
+	if wrapped.Schema != Schema || wrapped.App.Code != "HD" {
+		t.Fatalf("wrapper = %q / %q", wrapped.Schema, wrapped.App.Code)
+	}
+}

@@ -83,6 +83,19 @@ type Analysis struct {
 	CandidateLoops int
 }
 
+// IsSourceFile reports whether a directory entry counts as application
+// source for the static workflows. Tests are excluded; suite.go and
+// workload.go hold an app's registered unit tests and manifest.go the
+// evaluation ground truth — none of them is application source. The
+// analysis cache (internal/cache) uses the same predicate when it hashes
+// a directory, so cache keys cover exactly the files analyzed here.
+func IsSourceFile(name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	return name != "suite.go" && name != "workload.go" && name != "manifest.go"
+}
+
 // AnalyzeDir parses every non-test Go file in dir and runs the retry-loop
 // analysis.
 func AnalyzeDir(dir string) (*Analysis, error) {
@@ -98,13 +111,7 @@ func AnalyzeDir(dir string) (*Analysis, error) {
 	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		// suite.go and workload.go hold the app's registered unit tests
-		// and manifest.go the evaluation ground truth — none of them is
-		// application source.
-		if name == "suite.go" || name == "workload.go" || name == "manifest.go" {
+		if e.IsDir() || !IsSourceFile(name) {
 			continue
 		}
 		path := filepath.Join(dir, name)

@@ -1,0 +1,375 @@
+// Package server is WASABI-as-a-service: the HTTP front end that turns
+// the one-shot batch pipeline into a long-running analysis daemon
+// (cmd/wasabid). The paper prices a single batch run at ~2,600 GPT-4
+// calls and ~$8 per app (§4.3); serving re-analysis behind the
+// content-addressed cache (internal/cache) makes the steady state
+// incremental instead — an unchanged corpus re-analyzes with zero fresh
+// LLM spend, and a one-file change re-reviews one file.
+//
+// Surface (docs/SERVICE.md is the full reference):
+//
+//	POST /v1/analyze        submit an analysis job (bounded queue; full → 429)
+//	GET  /v1/jobs/{id}      job status, and the canonical JSON report when done
+//	GET  /v1/reports/{app}  latest completed report section for one app
+//	GET  /healthz           liveness (503 while draining)
+//	GET  /metrics           Prometheus text exposition of the registry
+//
+// Jobs execute one at a time on a single runner goroutine — concurrency
+// lives *inside* a job (core.Options.Workers), where it is bounded and
+// deterministic — and every job shares the server's cache and metrics
+// registry. Shutdown is a graceful drain: accepted jobs (queued or
+// running) complete, new submissions are refused, and only then does the
+// listener stop.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/cache"
+	"wasabi/internal/core"
+	"wasabi/internal/llm"
+	"wasabi/internal/obs"
+	"wasabi/internal/report"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Addr is the listen address ("host:port"; ":0" picks a free port).
+	Addr string
+	// QueueDepth bounds the job queue; submissions beyond it are refused
+	// with 429. Zero means 8.
+	QueueDepth int
+	// PipelineWorkers is core.Options.Workers for every job (0 = one per
+	// CPU).
+	PipelineWorkers int
+	// Cache, when non-nil, is shared by every job (and its hit/miss
+	// counters appear in /metrics when it was built on Obs's registry).
+	Cache *cache.Cache
+	// Fault, when non-nil, runs every job against an unreliable
+	// simulated LLM backend (chaos drills; see docs/RESILIENCE.md).
+	Fault *llm.FaultProfile
+	// Obs observes the daemon: job and queue metrics, plus every
+	// pipeline metric of every job, accumulate in its registry, which
+	// /metrics serves. Nil disables observability (including /metrics
+	// content).
+	Obs *obs.Observer
+}
+
+// Server is the analysis daemon. Create with New, run with Start, stop
+// with Shutdown.
+type Server struct {
+	cfg  Config
+	obs  *obs.Observer
+	http *http.Server
+	ln   net.Listener
+
+	mu         sync.Mutex
+	draining   bool
+	nextID     int
+	jobs       map[string]*job
+	appReports map[string][]byte
+
+	queue      chan *job
+	runnerDone chan struct{}
+}
+
+// job is one queued analysis request and its outcome.
+type job struct {
+	id   string
+	apps []corpus.App
+
+	// Guarded by Server.mu after submission.
+	state  string // "queued" | "running" | "done" | "failed"
+	err    string
+	report []byte
+	fresh  llm.Usage
+}
+
+// New returns an unstarted server.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	s := &Server{
+		cfg:        cfg,
+		obs:        cfg.Obs,
+		jobs:       make(map[string]*job),
+		appReports: make(map[string][]byte),
+		queue:      make(chan *job, cfg.QueueDepth),
+		runnerDone: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/reports/{app}", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.http = &http.Server{Handler: mux}
+	s.obs.Reg().Gauge("server_queue_capacity").Set(float64(cfg.QueueDepth))
+	return s
+}
+
+// Start binds the listen address, launches the job runner and begins
+// serving. It returns once the listener is bound; Addr reports the bound
+// address (useful with ":0").
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	go s.runner()
+	go s.http.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the daemon: new submissions are refused (healthz turns
+// 503 so load balancers stop routing), every accepted job runs to
+// completion, then the HTTP listener closes. The context bounds the
+// wait; on expiry the listener is closed anyway and the error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	var err error
+	select {
+	case <-s.runnerDone:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.http.Close()
+	return err
+}
+
+// runner executes queued jobs in submission order until the queue closes
+// on drain.
+func (s *Server) runner() {
+	defer close(s.runnerDone)
+	for j := range s.queue {
+		s.obs.Reg().Gauge("server_queue_depth").Set(float64(len(s.queue)))
+		s.run(j)
+	}
+}
+
+// run executes one job through the pipeline.
+func (s *Server) run(j *job) {
+	s.mu.Lock()
+	j.state = "running"
+	s.mu.Unlock()
+	s.obs.Reg().Gauge("server_inflight_jobs").Set(1)
+	defer s.obs.Reg().Gauge("server_inflight_jobs").Set(0)
+	start := time.Now()
+
+	opts := core.DefaultOptions()
+	opts.Workers = s.cfg.PipelineWorkers
+	opts.Obs = s.obs
+	opts.Cache = s.cfg.Cache
+	if s.cfg.Fault != nil {
+		opts.LLM.Fault = s.cfg.Fault
+	}
+	w := core.New(opts)
+	cr, err := w.RunCorpus(j.apps)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.Reg().Histogram("server_job_ms", obs.LatencyBuckets).Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if err == nil {
+		doc := report.Build(cr)
+		var data []byte
+		if data, err = report.Marshal(doc); err == nil {
+			j.report = data
+			for _, app := range doc.Apps {
+				if appData, aerr := report.MarshalApp(app); aerr == nil {
+					s.appReports[app.Code] = appData
+				}
+			}
+		}
+	}
+	if err != nil {
+		j.state, j.err = "failed", err.Error()
+		s.obs.Reg().Counter("server_jobs_total", "status", "failed").Inc()
+		return
+	}
+	j.state = "done"
+	j.fresh = w.LLMUsage()
+	s.obs.Reg().Counter("server_jobs_total", "status", "done").Inc()
+}
+
+// analyzeRequest is the POST /v1/analyze body.
+type analyzeRequest struct {
+	// Apps lists corpus short codes; empty means the full corpus.
+	Apps []string `json:"apps"`
+}
+
+// jobView is the wire shape of a job (also the POST /v1/analyze
+// response, minus report).
+type jobView struct {
+	ID    string   `json:"id"`
+	State string   `json:"state"`
+	Apps  []string `json:"apps"`
+	Error string   `json:"error,omitempty"`
+	// FreshLLM is the LLM traffic the job actually generated — zero for
+	// a fully cache-served run, unlike the report's attributed usage.
+	FreshLLM *freshUsage `json:"fresh_llm,omitempty"`
+	// Report is the canonical JSON document (internal/report), present
+	// once the job is done.
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// freshUsage is llm.Usage with stable JSON keys.
+type freshUsage struct {
+	Calls    int     `json:"calls"`
+	TokensIn int64   `json:"tokens_in"`
+	CostUSD  float64 `json:"cost_usd"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var req analyzeRequest
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "decode request: "+err.Error())
+			return
+		}
+	}
+	apps := corpus.Apps()
+	if len(req.Apps) > 0 {
+		apps = make([]corpus.App, 0, len(req.Apps))
+		for _, code := range req.Apps {
+			app, err := corpus.ByCode(code)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			apps = append(apps, app)
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.obs.Reg().Counter("server_jobs_total", "status", "rejected").Inc()
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.nextID++
+	j := &job{id: fmt.Sprintf("job-%d", s.nextID), apps: apps, state: "queued"}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // not accepted: reuse the id
+		s.mu.Unlock()
+		s.obs.Reg().Counter("server_jobs_total", "status", "rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "job queue full")
+		return
+	}
+	s.jobs[j.id] = j
+	view := s.viewLocked(j, false)
+	s.mu.Unlock()
+
+	s.obs.Reg().Counter("server_jobs_total", "status", "accepted").Inc()
+	s.obs.Reg().Gauge("server_queue_depth").Set(float64(len(s.queue)))
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	view := s.viewLocked(j, true)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// viewLocked renders a job's wire shape; s.mu must be held.
+func (s *Server) viewLocked(j *job, includeReport bool) jobView {
+	v := jobView{ID: j.id, State: j.state, Error: j.err}
+	for _, app := range j.apps {
+		v.Apps = append(v.Apps, app.Code)
+	}
+	if j.state == "done" {
+		v.FreshLLM = &freshUsage{Calls: j.fresh.Calls, TokensIn: j.fresh.TokensIn, CostUSD: j.fresh.CostUSD}
+		if includeReport {
+			v.Report = j.report
+		}
+	}
+	return v
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	data, ok := s.appReports[r.PathValue("app")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no completed report for app")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteText(w, s.obs.Reg().Snapshot()) //nolint:errcheck // client gone
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}

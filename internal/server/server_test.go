@@ -1,0 +1,150 @@
+package server
+
+// server_test.go covers the HTTP surface deterministically by driving
+// the mux directly: New() builds the handler and the bounded queue but
+// only Start() launches the runner, so backpressure and drain states
+// can be pinned without racing a live job executor.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wasabi/internal/obs"
+)
+
+// do issues one request against the server's handler.
+func do(s *Server, method, path, body string) *httptest.ResponseRecorder {
+	var r *httptest.ResponseRecorder = httptest.NewRecorder()
+	var req = httptest.NewRequest(method, path, strings.NewReader(body))
+	s.http.Handler.ServeHTTP(r, req)
+	return r
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	s := New(Config{QueueDepth: 4})
+	if rec := do(s, "POST", "/v1/analyze", `{"apps":["NOPE"]}`); rec.Code != 400 {
+		t.Fatalf("unknown app: status = %d, want 400", rec.Code)
+	}
+	if rec := do(s, "POST", "/v1/analyze", `{"apps":`); rec.Code != 400 {
+		t.Fatalf("malformed body: status = %d, want 400", rec.Code)
+	}
+	rec := do(s, "POST", "/v1/analyze", `{"apps":["HD"]}`)
+	if rec.Code != 202 {
+		t.Fatalf("valid submit: status = %d, want 202", rec.Code)
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/jobs/job-1" {
+		t.Fatalf("Location = %q", loc)
+	}
+	var v jobView
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "job-1" || v.State != "queued" || len(v.Apps) != 1 || v.Apps[0] != "HD" {
+		t.Fatalf("accepted view = %+v", v)
+	}
+}
+
+func TestLookupsReturn404(t *testing.T) {
+	s := New(Config{})
+	if rec := do(s, "GET", "/v1/jobs/job-99", ""); rec.Code != 404 {
+		t.Fatalf("unknown job: status = %d, want 404", rec.Code)
+	}
+	if rec := do(s, "GET", "/v1/reports/HD", ""); rec.Code != 404 {
+		t.Fatalf("no completed report: status = %d, want 404", rec.Code)
+	}
+}
+
+// TestQueueBackpressure fills the bounded queue (no runner draining it)
+// and expects 429 with Retry-After once it is full.
+func TestQueueBackpressure(t *testing.T) {
+	reg := obs.New()
+	s := New(Config{QueueDepth: 2, Obs: reg})
+	for i := 0; i < 2; i++ {
+		if rec := do(s, "POST", "/v1/analyze", ""); rec.Code != 202 {
+			t.Fatalf("submit %d: status = %d, want 202", i, rec.Code)
+		}
+	}
+	rec := do(s, "POST", "/v1/analyze", "")
+	if rec.Code != 429 {
+		t.Fatalf("over-capacity submit: status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	snap := reg.Reg().Snapshot()
+	if got := snap.Counter("server_jobs_total", "status", "accepted"); got != 2 {
+		t.Fatalf("accepted = %d, want 2", got)
+	}
+	if got := snap.Counter("server_jobs_total", "status", "rejected"); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	// The rejected submission must not burn a job id: the next accepted
+	// one after capacity frees is job-3.
+	<-s.queue
+	if rec := do(s, "POST", "/v1/analyze", ""); rec.Header().Get("Location") != "/v1/jobs/job-3" {
+		t.Fatalf("Location after reject = %q, want /v1/jobs/job-3", rec.Header().Get("Location"))
+	}
+}
+
+func TestDrainingRefusesWork(t *testing.T) {
+	s := New(Config{})
+	if rec := do(s, "GET", "/healthz", ""); rec.Code != 200 {
+		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	if rec := do(s, "GET", "/healthz", ""); rec.Code != 503 {
+		t.Fatalf("draining healthz = %d, want 503", rec.Code)
+	}
+	if rec := do(s, "POST", "/v1/analyze", ""); rec.Code != 503 {
+		t.Fatalf("draining submit = %d, want 503", rec.Code)
+	}
+}
+
+func TestMetricsContentType(t *testing.T) {
+	reg := obs.New()
+	reg.Reg().Counter("example_total").Inc()
+	s := New(Config{Obs: reg})
+	rec := do(s, "GET", "/metrics", "")
+	if rec.Code != 200 {
+		t.Fatalf("metrics = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "example_total 1") {
+		t.Fatalf("exposition missing sample:\n%s", rec.Body.String())
+	}
+}
+
+// TestShutdownDrainsAcceptedJobs starts the real runner, submits a job,
+// and verifies Shutdown completes it before returning.
+func TestShutdownDrainsAcceptedJobs(t *testing.T) {
+	s := New(Config{Addr: "127.0.0.1:0", PipelineWorkers: 2})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(s, "POST", "/v1/analyze", `{"apps":["HD"]}`)
+	if rec.Code != 202 {
+		t.Fatalf("submit = %d, want 202", rec.Code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs["job-1"]
+	if j == nil || j.state != "done" {
+		t.Fatalf("accepted job not drained: %+v", j)
+	}
+	if len(j.report) == 0 {
+		t.Fatal("drained job has no report")
+	}
+}

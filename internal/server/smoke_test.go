@@ -1,0 +1,180 @@
+package server_test
+
+// smoke_test.go is the end-to-end service exercise `make serve-smoke`
+// runs: a real wasabid server on a loopback port, driven over plain
+// net/http through the full analyze → poll → report → metrics flow,
+// twice — the second job must be served entirely from the cache with
+// zero fresh LLM spend and a byte-identical report.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wasabi/internal/cache"
+	"wasabi/internal/obs"
+	"wasabi/internal/server"
+)
+
+// getJSON decodes a GET response into v.
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// submit posts an analyze request and returns the job id.
+func submit(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(`{"apps":["HD"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("analyze: status %d", resp.StatusCode)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+// await polls a job until it leaves the queue/runner.
+func await(t *testing.T, base, id string) (state string, report json.RawMessage, fresh struct {
+	Calls    int   `json:"calls"`
+	TokensIn int64 `json:"tokens_in"`
+}) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var v struct {
+			State    string          `json:"state"`
+			Error    string          `json:"error"`
+			Report   json.RawMessage `json:"report"`
+			FreshLLM *struct {
+				Calls    int   `json:"calls"`
+				TokensIn int64 `json:"tokens_in"`
+			} `json:"fresh_llm"`
+		}
+		getJSON(t, base+"/v1/jobs/"+id, &v)
+		switch v.State {
+		case "done":
+			if v.FreshLLM == nil {
+				t.Fatal("done job missing fresh_llm")
+			}
+			return v.State, v.Report, *v.FreshLLM
+		case "failed":
+			t.Fatalf("job %s failed: %s", id, v.Error)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return
+}
+
+func TestServeSmoke(t *testing.T) {
+	observer := obs.New()
+	ca, err := cache.New(cache.Options{Dir: t.TempDir(), Metrics: observer.Reg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		Addr:            "127.0.0.1:0",
+		QueueDepth:      4,
+		PipelineWorkers: 2,
+		Cache:           ca,
+		Obs:             observer,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	// Cold job: real LLM traffic.
+	id1 := submit(t, base)
+	_, report1, fresh1 := await(t, base, id1)
+	if fresh1.TokensIn == 0 || fresh1.Calls == 0 {
+		t.Fatalf("cold job spent nothing: %+v", fresh1)
+	}
+	if len(report1) == 0 {
+		t.Fatal("cold job returned no report")
+	}
+
+	// Warm job: byte-identical report, zero fresh spend.
+	id2 := submit(t, base)
+	_, report2, fresh2 := await(t, base, id2)
+	if fresh2.TokensIn != 0 || fresh2.Calls != 0 {
+		t.Fatalf("warm job spent fresh LLM traffic: %+v", fresh2)
+	}
+	if !bytes.Equal(report1, report2) {
+		t.Fatalf("warm report differs from cold: %d vs %d bytes", len(report1), len(report2))
+	}
+
+	// Per-app report endpoint serves the completed section.
+	var appDoc struct {
+		Schema string `json:"schema"`
+		App    struct {
+			Code string `json:"code"`
+		} `json:"app"`
+	}
+	getJSON(t, base+"/v1/reports/HD", &appDoc)
+	if appDoc.App.Code != "HD" {
+		t.Fatalf("report app = %+v", appDoc)
+	}
+
+	// Metrics exposition reflects the cache and job counters.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		`server_jobs_total{status="accepted"} 2`,
+		`server_jobs_total{status="done"} 2`,
+		`cache_hits_total{stage="review"}`,
+		"# TYPE server_job_ms histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// Graceful drain: refuses new work, then stops serving.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still serving after drain")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"wasabi/internal/evaluation"
 	"wasabi/internal/llm"
 	"wasabi/internal/oracle"
+	"wasabi/internal/report"
 	"wasabi/internal/sast"
 )
 
@@ -87,6 +88,9 @@ type Report struct {
 type Pipeline struct {
 	w   *core.Wasabi
 	ids []*core.Identification
+	// last is the most recent AnalyzeAll corpus run, retained for
+	// ReportJSON.
+	last *core.CorpusRun
 }
 
 // NewPipeline returns a pipeline with the given configuration.
@@ -122,6 +126,7 @@ func (p *Pipeline) AnalyzeAll(apps ...App) ([]*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wasabi: %w", err)
 	}
+	p.last = cr
 	reports := make([]*Report, 0, len(cr.Apps))
 	for _, ar := range cr.Apps {
 		p.ids = append(p.ids, ar.ID)
@@ -179,6 +184,19 @@ func (p *Pipeline) IFBugs() []BugReport {
 
 // LLMUsage reports the accumulated simulated-LLM cost (§4.3).
 func (p *Pipeline) LLMUsage() llm.Usage { return p.w.LLMUsage() }
+
+// ReportJSON renders the most recent AnalyzeAll run as the canonical,
+// schema-versioned JSON document — the deterministic encoding of every
+// Report plus the corpus-wide IF analysis, byte-identical at any worker
+// count (and across warm cache-served re-runs). It is the same encoder
+// the wasabid service returns and cmd/wasabi -json prints; see
+// docs/SERVICE.md for the schema.
+func (p *Pipeline) ReportJSON() ([]byte, error) {
+	if p.last == nil {
+		return nil, fmt.Errorf("wasabi: ReportJSON needs a prior AnalyzeAll run")
+	}
+	return report.Marshal(report.Build(p.last))
+}
 
 // Evaluate runs the complete paper evaluation (all tables and figures)
 // over the corpus. It is the programmatic equivalent of cmd/benchreport.
