@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench chaos serve-smoke docs-check ci all
+.PHONY: build test vet race bench bench-smoke chaos serve-smoke docs-check ci all
 
 all: ci
 
@@ -19,11 +19,20 @@ vet:
 ## race: run the concurrency-sensitive packages under the race detector,
 ## including the parallel-runner determinism test over the full corpus.
 race:
-	$(GO) test -race ./internal/core/... ./internal/testkit/... ./internal/fault/... ./internal/trace/... ./internal/obs/... ./internal/cache/... ./internal/server/...
+	$(GO) test -race ./internal/core/... ./internal/testkit/... ./internal/fault/... ./internal/trace/... ./internal/obs/... ./internal/cache/... ./internal/server/... ./internal/source/...
 
-## bench: run the pipeline benchmarks (sequential vs parallel).
+## bench: run the pipeline benchmarks (sequential vs parallel) and the
+## snapshot-store microbenchmarks (parse-once vs the legacy triple
+## parse, docs/PERFORMANCE.md).
 bench:
 	$(GO) test -bench 'BenchmarkPipeline' -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/source/
+
+## bench-smoke: compile and run every benchmark for one iteration — a
+## CI gate that keeps the benchmarks building and executable without
+## asserting thresholds.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/source/
 
 ## chaos: sweep LLM fault profiles under the race detector — the
 ## determinism-under-chaos and graceful-degradation gate
@@ -45,4 +54,4 @@ docs-check:
 	sh scripts/docs_check.sh
 
 ## ci: the local gate — everything the driver checks, in one target.
-ci: build test vet chaos serve-smoke docs-check
+ci: build test vet chaos serve-smoke bench-smoke docs-check

@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"wasabi/internal/apps/corpus"
@@ -32,6 +34,8 @@ import (
 	"wasabi/internal/evaluation"
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
+	"wasabi/internal/sast"
+	"wasabi/internal/source"
 )
 
 func main() {
@@ -68,6 +72,12 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Cache = cb
+		eb, err := measureEditBench(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		rep.SingleEdit = eb
 		data, err := rep.MarshalIndent()
 		if err == nil {
 			err = os.WriteFile(*pipelineOut, append(data, '\n'), 0o644)
@@ -108,20 +118,23 @@ func main() {
 	}
 }
 
-// measureCacheBench runs the full corpus twice against one shared cache:
-// cold (populating) and warm (replaying). Wall times are honest
-// measurements; the token and hit/miss rows are deterministic — a warm
-// corpus must cost zero fresh tokens (the contract the service in
-// docs/SERVICE.md is built on).
+// measureCacheBench runs the full corpus twice against one shared cache
+// and one shared snapshot store (the daemon configuration): cold
+// (populating) and warm (replaying). Wall times are honest measurements;
+// the token and hit/miss rows are deterministic — a warm corpus must
+// cost zero fresh tokens (the contract the service in docs/SERVICE.md is
+// built on).
 func measureCacheBench(workers int) (*obs.CacheBench, error) {
 	ca, err := cache.New(cache.Options{})
 	if err != nil {
 		return nil, err
 	}
+	store := source.NewStore(nil)
 	run := func() (time.Duration, llm.Usage, error) {
 		opts := core.DefaultOptions()
 		opts.Workers = workers
 		opts.Cache = ca
+		opts.Source = store
 		w := core.New(opts)
 		start := time.Now()
 		_, err := w.RunCorpus(corpus.Apps())
@@ -151,5 +164,94 @@ func measureCacheBench(workers int) (*obs.CacheBench, error) {
 		WarmFreshTokens: warmFresh.TokensIn,
 		WarmHits:        hits,
 		WarmMisses:      misses,
+	}, nil
+}
+
+// measureEditBench measures the warm single-file-edit trajectory the
+// daemon lives on (docs/PERFORMANCE.md): one app is copied to a scratch
+// directory, run cold and warm against one store+cache, then one source
+// file is touched and the app re-analyzed. The third run's counter
+// deltas are deterministic — one parse, one extraction, one review miss.
+func measureEditBench(workers int) (*obs.EditBench, error) {
+	app, err := corpus.ByCode("HD")
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "wasabi-editbench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	entries, err := os.ReadDir(app.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(app.Dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			return nil, err
+		}
+		if source.IsSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("benchreport: app %s has no source files", app.Code)
+	}
+	app.Dir = dir
+
+	observer := obs.New()
+	ca, err := cache.New(cache.Options{Metrics: observer.Reg()})
+	if err != nil {
+		return nil, err
+	}
+	store := source.NewStore(observer.Reg())
+	run := func() (time.Duration, llm.Usage, error) {
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		opts.Cache = ca
+		opts.Source = store
+		opts.Obs = observer
+		w := core.New(opts)
+		start := time.Now()
+		_, err := w.RunCorpus([]corpus.App{app})
+		return time.Since(start), w.LLMUsage(), err
+	}
+	for i := 0; i < 2; i++ { // cold, then warm
+		if _, _, err := run(); err != nil {
+			return nil, err
+		}
+	}
+
+	touched := filepath.Join(dir, names[0])
+	src, err := os.ReadFile(touched)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(touched, append(src, []byte("\n// touched by benchreport\n")...), 0o644); err != nil {
+		return nil, err
+	}
+
+	before := observer.Reg().Snapshot()
+	missBefore := ca.Stats().Misses[cache.StageReview]
+	wall, fresh, err := run()
+	if err != nil {
+		return nil, err
+	}
+	after := observer.Reg().Snapshot()
+	return &obs.EditBench{
+		WallMS:       float64(wall) / float64(time.Millisecond),
+		FreshTokens:  fresh.TokensIn,
+		Parses:       after.Counter("source_parse_total") - before.Counter("source_parse_total"),
+		Extracts:     after.Counter("source_derived_computes_total", "kind", sast.ExtractKind) - before.Counter("source_derived_computes_total", "kind", sast.ExtractKind),
+		ReviewMisses: ca.Stats().Misses[cache.StageReview] - missBefore,
 	}, nil
 }

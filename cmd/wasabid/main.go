@@ -6,7 +6,7 @@
 // Usage:
 //
 //	wasabid [-addr :8788] [-queue 8] [-workers N]
-//	        [-cache-dir DIR] [-cache-bytes N]
+//	        [-cache-dir DIR] [-cache-bytes N] [-pprof]
 //	        [-llm-fault-profile none|light|heavy|outage|k=v,...]
 //	        [-llm-outage-after N]
 //
@@ -41,6 +41,7 @@ func main() {
 		fmt.Sprintf("simulate an unreliable LLM backend for every job: %v or key=value list (see docs/RESILIENCE.md)", llm.ProfileNames()))
 	outageAfter := flag.Int("llm-outage-after", 0, "take the LLM backend hard-down from the Nth review of each job (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for accepted jobs to finish")
+	pprofOn := flag.Bool("pprof", false, "expose the Go runtime profiler under /debug/pprof/ (see docs/PERFORMANCE.md)")
 	flag.Parse()
 
 	observer := obs.New()
@@ -49,6 +50,7 @@ func main() {
 		QueueDepth:      *queue,
 		PipelineWorkers: *workers,
 		Obs:             observer,
+		Pprof:           *pprofOn,
 	}
 	ca, err := cache.New(cache.Options{Dir: *cacheDir, MaxBytes: *cacheBytes, Metrics: observer.Reg()})
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"wasabi/internal/sast"
+	"wasabi/internal/source"
 )
 
 // AnalysisVersion identifies the static-analysis revision folded into
@@ -46,16 +47,39 @@ type DirManifest struct {
 	TotalBytes int64
 }
 
-// HashDir builds the manifest of an application directory. It reads the
-// same file set sast.AnalyzeDir parses, so a manifest digest addresses
-// exactly the inputs of both the static analysis and the per-file LLM
-// reviews.
+// manifestFile is one (name, digest) input of buildManifest.
+type manifestFile struct {
+	name string
+	fd   FileDigest
+}
+
+// buildManifest assembles a DirManifest from per-file digests. files must
+// already be in sorted name order — both producers (HashDir's sorted
+// walk, a snapshot's sorted file list) guarantee it, which is what keeps
+// the two derivations byte-identical.
+func buildManifest(dir string, files []manifestFile) *DirManifest {
+	m := &DirManifest{Dir: dir, Files: make(map[string]FileDigest, len(files))}
+	h := sha256.New()
+	for _, f := range files {
+		m.Files[f.name] = f.fd
+		m.TotalBytes += f.fd.Size
+		fmt.Fprintf(h, "%s\x00%s\x00%d\x00", f.name, f.fd.SHA256, f.fd.Size)
+	}
+	m.Digest = hex.EncodeToString(h.Sum(nil))
+	return m
+}
+
+// HashDir builds the manifest of an application directory by reading it.
+// It covers the same file set the static workflows analyze, so a
+// manifest digest addresses exactly the inputs of both the static
+// analysis and the per-file LLM reviews. Pipeline runs derive the same
+// manifest from an already-loaded snapshot via FromSnapshot instead of
+// re-reading the tree.
 func HashDir(dir string) (*DirManifest, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("cache: hash %s: %w", dir, err)
 	}
-	m := &DirManifest{Dir: dir, Files: make(map[string]FileDigest)}
 	names := make([]string, 0, len(entries))
 	for _, e := range entries {
 		if e.IsDir() || !sast.IsSourceFile(e.Name()) {
@@ -64,20 +88,30 @@ func HashDir(dir string) (*DirManifest, error) {
 		names = append(names, e.Name())
 	}
 	sort.Strings(names)
-	h := sha256.New()
+	files := make([]manifestFile, 0, len(names))
 	for _, name := range names {
 		src, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
 			return nil, fmt.Errorf("cache: hash %s: %w", dir, err)
 		}
 		sum := sha256.Sum256(src)
-		fd := FileDigest{SHA256: hex.EncodeToString(sum[:]), Size: int64(len(src))}
-		m.Files[name] = fd
-		m.TotalBytes += fd.Size
-		fmt.Fprintf(h, "%s\x00%s\x00%d\x00", name, fd.SHA256, fd.Size)
+		files = append(files, manifestFile{name: name, fd: FileDigest{
+			SHA256: hex.EncodeToString(sum[:]), Size: int64(len(src)),
+		}})
 	}
-	m.Digest = hex.EncodeToString(h.Sum(nil))
-	return m, nil
+	return buildManifest(dir, files), nil
+}
+
+// FromSnapshot derives the directory manifest from an already-loaded
+// snapshot: the store hashed every file at load time, so no bytes are
+// re-read and nothing is re-hashed. The digest is byte-identical to
+// HashDir over the same directory state.
+func FromSnapshot(snap *source.Snapshot) *DirManifest {
+	files := make([]manifestFile, 0, len(snap.Files))
+	for _, f := range snap.Files {
+		files = append(files, manifestFile{name: f.Name, fd: FileDigest{SHA256: f.SHA256, Size: f.Size}})
+	}
+	return buildManifest(snap.Dir, files)
 }
 
 // ReviewKey addresses one file's LLM review: the client configuration

@@ -15,7 +15,6 @@ package core
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -29,6 +28,7 @@ import (
 	"wasabi/internal/oracle"
 	"wasabi/internal/planner"
 	"wasabi/internal/sast"
+	"wasabi/internal/source"
 	"wasabi/internal/testkit"
 )
 
@@ -64,6 +64,12 @@ type Options struct {
 	// tier (their admissions depend on run-global order, so per-file
 	// memoization would be unsound) but still reuse static analyses.
 	Cache *cache.Cache
+	// Source, when non-nil, is the parse-once snapshot store every
+	// stage loads corpus bytes through (docs/PERFORMANCE.md). The
+	// daemon passes one long-lived store so a warm job re-parses only
+	// changed files; nil builds a fresh per-toolkit store, which still
+	// guarantees each file is read and parsed exactly once per run.
+	Source *source.Store
 }
 
 // DefaultOptions mirrors the paper's configuration and uses one worker per
@@ -91,6 +97,9 @@ type Wasabi struct {
 	// profile is configured, because fault-profile admissions depend on
 	// run-global ordering that per-file memoization cannot reproduce.
 	reviewCache bool
+	// src is the parse-once snapshot store (Options.Source, or a fresh
+	// per-toolkit store): every read of corpus bytes goes through it.
+	src *source.Store
 	// sem is the worker-pool semaphore shared by every parallel loop of
 	// this toolkit instance, so nested fan-out (apps × plan entries) stays
 	// bounded by Workers in total. See parallelFor in parallel.go.
@@ -103,9 +112,9 @@ type Wasabi struct {
 // New returns a toolkit with the given options.
 func New(opts Options) *Wasabi {
 	if opts.CapK == 0 {
-		workers, o, ca := opts.Workers, opts.Obs, opts.Cache
+		workers, o, ca, src := opts.Workers, opts.Obs, opts.Cache, opts.Source
 		opts = DefaultOptions()
-		opts.Workers, opts.Obs, opts.Cache = workers, o, ca
+		opts.Workers, opts.Obs, opts.Cache, opts.Source = workers, o, ca, src
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -118,9 +127,13 @@ func New(opts Options) *Wasabi {
 		obs:         opts.Obs,
 		cache:       opts.Cache,
 		reviewCache: opts.Cache != nil && opts.LLM.Fault == nil,
+		src:         opts.Source,
 		// The calling goroutine always participates in parallel loops, so
 		// the pool itself holds Workers-1 extra slots.
 		sem: make(chan struct{}, opts.Workers-1),
+	}
+	if w.src == nil {
+		w.src = source.NewStore(opts.Obs.Reg())
 	}
 	w.obs.Reg().Gauge("core_pool_workers").Set(float64(opts.Workers))
 	return w
@@ -228,24 +241,27 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 			w.llm.OpenLane(lane, 0)
 		}
 	}()
-	// With a cache attached, address the app's sources first: the
-	// manifest keys the static-analysis entry and carries the per-file
-	// content hashes the review keys need. Hash failures (e.g. a file
-	// vanishing mid-walk) disable memoization for this run rather than
-	// failing it — AnalyzeDir will surface any real I/O problem.
+	// Load the app's sources through the snapshot store: one read, one
+	// hash, and (for changed content) one parse per file, shared by every
+	// consumer below — the static analysis, the per-file LLM reviews, and
+	// the cache's manifest derivation all work off this snapshot.
+	snap, err := w.src.Load(app.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("identify %s: %w", app.Code, err)
+	}
+	// With a cache attached, derive the manifest from the snapshot's
+	// already-computed hashes: it keys the static-analysis entry and
+	// carries the per-file content hashes the review keys need.
 	var man *cache.DirManifest
 	if w.cache != nil {
-		if m, err := cache.HashDir(app.Dir); err == nil {
-			man = m
-		}
+		man = cache.FromSnapshot(snap)
 	}
 	var analysis *sast.Analysis
 	if man != nil {
 		analysis, _ = w.cache.GetAnalysis(cache.AnalysisKey(app.Dir, man.Digest))
 	}
 	if analysis == nil {
-		var err error
-		analysis, err = sast.AnalyzeDir(app.Dir)
+		analysis, err = sast.AnalyzeSnapshot(snap)
 		if err != nil {
 			return nil, fmt.Errorf("identify %s: %w", app.Code, err)
 		}
@@ -278,23 +294,19 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 
 	// Technique 2: LLM fuzzy comprehension, with callee/throws resolution
 	// delegated back to traditional analysis. Reviews are pure per-file
-	// functions, so they fan out across the worker pool; the merge below
+	// functions consuming the snapshot's bytes and AST (no re-read, no
+	// re-parse), so they fan out across the worker pool; the merge below
 	// stays sequential in sorted file order, which keeps the identification
 	// byte-identical at every Workers setting.
-	files := make([]string, 0, len(analysis.Files))
-	for f := range analysis.Files {
-		files = append(files, f)
-	}
-	sort.Strings(files)
+	files := snap.Names()
 	if lane >= 0 {
 		opened = true
 		w.llm.OpenLane(lane, len(files))
 	}
 	reviews := make([]llm.FileReview, len(files))
-	errs := make([]error, len(files))
 	cached := make([]bool, len(files))
-	// Review keys are derivable only for files the manifest covered;
-	// anything else (or any run with a fault profile) goes to the model.
+	// Review keys are derivable only with a manifest; any run with a
+	// fault profile goes to the model.
 	useReviewCache := w.reviewCache && man != nil
 	var llmFP string
 	if useReviewCache {
@@ -304,12 +316,10 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 		sp := w.obs.Trc().Start("review:"+files[i], "review",
 			"app", app.Code, "parent", "identify:"+app.Code)
 		defer sp.End()
-		path := filepath.Join(app.Dir, files[i])
+		sf := snap.Files[i]
 		key := ""
 		if useReviewCache {
-			if fd, ok := man.Files[files[i]]; ok {
-				key = cache.ReviewKey(llmFP, path, fd.SHA256)
-			}
+			key = cache.ReviewKey(llmFP, sf.Path, sf.SHA256)
 		}
 		if key != "" {
 			if rev, ok := w.cache.GetReview(key); ok {
@@ -317,11 +327,11 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 				return
 			}
 		}
-		reviews[i], errs[i] = w.llm.ReviewFileAt(path, lane, i)
+		reviews[i] = w.llm.ReviewSnapshotAt(sf, lane, i)
 		// Degraded reviews record a backend failure, not an answer —
 		// memoizing one would pin the failure past the fault. Unreachable
 		// while the review tier is fault-free-only, but kept as a guard.
-		if key != "" && errs[i] == nil && !reviews[i].Degraded {
+		if key != "" && !reviews[i].Degraded {
 			w.cache.PutReview(key, reviews[i])
 		}
 	})
@@ -340,9 +350,6 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 	}
 	for i, f := range files {
 		rev := reviews[i]
-		if errs[i] != nil {
-			return nil, fmt.Errorf("identify %s: %w", app.Code, errs[i])
-		}
 		id.Reviews = append(id.Reviews, rev)
 		if rev.Degraded {
 			// The backend never answered for this file: record the gap and

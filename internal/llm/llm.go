@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"wasabi/internal/obs"
+	"wasabi/internal/source"
 )
 
 // Config tunes the simulated model.
@@ -260,15 +261,43 @@ func (c *Client) ReviewFileAt(path string, lane, idx int) (FileReview, error) {
 	if c.chaos == nil {
 		return c.Review(path, src), nil
 	}
-	return c.reviewChaos(path, src, lane, idx), nil
+	return c.reviewChaos(path, src, nil, lane, idx), nil
 }
 
-// Review runs the prompt chain over in-memory file contents. The review —
-// including its Spent accounting — is a pure function of (config, path,
-// contents), so concurrent reviews of different files are independent; the
-// client's cumulative Usage is the only shared state, and it is only ever
-// added to.
+// ReviewSnapshotAt is ReviewFileAt over a pre-loaded snapshot file: no
+// disk read, and the prompt chain consumes the snapshot's AST instead of
+// re-parsing the bytes (the parse-once contract). Everything observable
+// — the Q1–Q4 answers, the failure modes, the Spent accounting, and the
+// chaos/budget admission path — is byte-identical to reviewing the same
+// (path, contents) from disk.
+func (c *Client) ReviewSnapshotAt(f *source.File, lane, idx int) FileReview {
+	if c.chaos == nil {
+		return c.review(f.Path, f.Bytes, f)
+	}
+	return c.reviewChaos(f.Path, f.Bytes, f, lane, idx)
+}
+
+// ReviewSnapshot is ReviewSnapshotAt outside a sequenced corpus run.
+func (c *Client) ReviewSnapshot(f *source.File) FileReview {
+	return c.ReviewSnapshotAt(f, -1, 0)
+}
+
+// Review runs the prompt chain over in-memory file contents, parsing
+// them locally. Snapshot-backed runs use ReviewSnapshot/ReviewSnapshotAt
+// and skip the parse. The review — including its Spent accounting — is a
+// pure function of (config, path, contents), so concurrent reviews of
+// different files are independent; the client's cumulative Usage is the
+// only shared state, and it is only ever added to.
 func (c *Client) Review(path string, src []byte) FileReview {
+	return c.review(path, src, nil)
+}
+
+// review is the Q1–Q4 prompt chain. pre, when non-nil, supplies the
+// pre-parsed snapshot AST (and its parse error); nil parses src into a
+// throwaway FileSet, the pre-snapshot behaviour. The parse only matters
+// below the large-file threshold — the model answers Q1 from the raw
+// context either way — so Spent never depends on which path ran.
+func (c *Client) review(path string, src []byte, pre *source.File) FileReview {
 	base := basename(path)
 	rev := FileReview{File: base, Size: len(src)}
 	start := time.Now()
@@ -294,11 +323,18 @@ func (c *Client) Review(path string, src []byte) FileReview {
 		return rev
 	}
 
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	var f *ast.File
+	var err error
+	if pre != nil {
+		f, err = pre.AST, pre.ParseErr
+	} else {
+		f, err = parser.ParseFile(token.NewFileSet(), path, src, parser.ParseComments)
+	}
 	if err != nil {
 		// Unparseable input: the real model would still answer; ours
-		// conservatively says no.
+		// conservatively says no. Snapshot parse failures land here too,
+		// keeping the counter's semantics for genuinely unparseable files
+		// (large files never reach the parse, exactly as before).
 		c.reg.Counter("llm_parse_failures_total").Inc()
 		return rev
 	}

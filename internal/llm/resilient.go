@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"wasabi/internal/resilience"
+	"wasabi/internal/source"
 	"wasabi/internal/trace"
 	"wasabi/internal/vclock"
 )
@@ -241,8 +242,11 @@ func (c *Client) admit(path string, lane, idx int) admission {
 // canonical order, then the real retry loop against the faulty transport
 // on a per-review virtual clock. A review the backend cannot complete
 // returns a Degraded FileReview (never an error): the caller falls back
-// to static-only analysis for that file.
-func (c *Client) reviewChaos(path string, src []byte, lane, idx int) FileReview {
+// to static-only analysis for that file. pre, when non-nil, is the
+// pre-parsed snapshot file the successful-delivery review consumes;
+// admission and delivery depend only on (path, len(src)), so the
+// resilience decisions are identical with or without it.
+func (c *Client) reviewChaos(path string, src []byte, pre *source.File, lane, idx int) FileReview {
 	ch := c.chaos
 	ad := c.admit(path, lane, idx)
 	if ad.skip {
@@ -281,7 +285,7 @@ func (c *Client) reviewChaos(path string, src []byte, lane, idx int) FileReview 
 		}
 		return c.degraded(path, len(src), reason)
 	}
-	return c.Review(path, src)
+	return c.review(path, src, pre)
 }
 
 // degraded builds the review record for a file the backend never

@@ -27,9 +27,45 @@ type StageStats struct {
 type PipelineReport struct {
 	Schema string                `json:"schema"`
 	Stages map[string]StageStats `json:"stages"`
+	// Source, when present, is the snapshot store's read/parse roll-up
+	// for the run (docs/PERFORMANCE.md): with the parse-once pipeline,
+	// parses == unique files and the reuse ratio reports how much of the
+	// load was served from interned artifacts.
+	Source *SourceStats `json:"source,omitempty"`
 	// Cache, when present, is the cold-vs-warm analysis-cache benchmark
 	// cmd/benchreport measures (docs/SERVICE.md).
 	Cache *CacheBench `json:"cache,omitempty"`
+	// SingleEdit, when present, is the warm single-file-edit benchmark:
+	// a third run after touching exactly one source file of a warm,
+	// snapshot-backed corpus (docs/PERFORMANCE.md).
+	SingleEdit *EditBench `json:"single_edit,omitempty"`
+}
+
+// SourceStats is the snapshot store's roll-up, derived from the
+// source_* counters. Every field is deterministic.
+type SourceStats struct {
+	// Reads counts file loads (bytes read + hashed); Parses the ASTs
+	// actually built; Reuses the loads served from an interned artifact.
+	Reads  int64 `json:"reads"`
+	Parses int64 `json:"parses"`
+	Reuses int64 `json:"reuses"`
+	// Bytes totals the bytes read.
+	Bytes int64 `json:"bytes"`
+	// ReuseRatio is Reuses/Reads (0 when nothing was read).
+	ReuseRatio float64 `json:"reuse_ratio"`
+}
+
+// EditBench is the warm single-file-edit trajectory: after a cold and a
+// warm full run against one store and cache, one source file is touched
+// and the corpus re-analyzed. Wall time is an honest measurement; the
+// counter deltas are deterministic — exactly one file re-parses, exactly
+// one file re-extracts, exactly one review re-runs.
+type EditBench struct {
+	WallMS       float64 `json:"wall_ms"`
+	FreshTokens  int64   `json:"fresh_tokens"`
+	Parses       int64   `json:"parses"`
+	Extracts     int64   `json:"extracts"`
+	ReviewMisses int64   `json:"review_misses"`
 }
 
 // CacheBench compares a cold pipeline run against a warm, cache-served
@@ -45,8 +81,9 @@ type CacheBench struct {
 }
 
 // PipelineReportSchema identifies the BENCH_pipeline.json format (v2
-// added the optional cold-vs-warm cache section).
-const PipelineReportSchema = "wasabi-bench-pipeline/v2"
+// added the optional cold-vs-warm cache section; v3 the snapshot-store
+// source section and the warm single-file-edit benchmark).
+const PipelineReportSchema = "wasabi-bench-pipeline/v3"
 
 // StageMetric is the histogram every stage observes its wall time into
 // (label: stage), and StageTokensMetric the counter LLM token spend is
@@ -86,7 +123,25 @@ func BuildPipelineReport(s Snapshot) PipelineReport {
 		st.Tokens += c.Value
 		rep.Stages[stage] = st
 	}
+	if src := buildSourceStats(s); src.Reads > 0 {
+		rep.Source = &src
+	}
 	return rep
+}
+
+// buildSourceStats rolls the source_* counters up into the v3 source
+// section.
+func buildSourceStats(s Snapshot) SourceStats {
+	st := SourceStats{
+		Reads:  s.Counter("source_files_loaded_total"),
+		Parses: s.Counter("source_parse_total"),
+		Reuses: s.Counter("source_reuse_total"),
+		Bytes:  s.Counter("source_bytes_total"),
+	}
+	if st.Reads > 0 {
+		st.ReuseRatio = float64(st.Reuses) / float64(st.Reads)
+	}
+	return st
 }
 
 // MarshalIndent renders the report as indented JSON (map keys serialize

@@ -18,12 +18,11 @@ package sast
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
+
+	"wasabi/internal/source"
 )
 
 // Method is a function or method declaration found in the corpus.
@@ -84,69 +83,23 @@ type Analysis struct {
 }
 
 // IsSourceFile reports whether a directory entry counts as application
-// source for the static workflows. Tests are excluded; suite.go and
-// workload.go hold an app's registered unit tests and manifest.go the
-// evaluation ground truth — none of them is application source. The
-// analysis cache (internal/cache) uses the same predicate when it hashes
-// a directory, so cache keys cover exactly the files analyzed here.
-func IsSourceFile(name string) bool {
-	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-		return false
-	}
-	return name != "suite.go" && name != "workload.go" && name != "manifest.go"
-}
+// source for the static workflows. It is source.IsSourceFile, re-exported
+// where the analyses live: the snapshot store, the analysis cache
+// (internal/cache) and this package all share the predicate, so content
+// addresses cover exactly the files analyzed here.
+func IsSourceFile(name string) bool { return source.IsSourceFile(name) }
 
-// AnalyzeDir parses every non-test Go file in dir and runs the retry-loop
-// analysis.
+// AnalyzeDir loads every non-test Go file in dir into a one-shot
+// snapshot and runs the retry-loop analysis. Pipeline runs go through
+// AnalyzeSnapshot (snapshot.go) on an already-loaded, shared snapshot
+// instead; this entry point remains for standalone callers and parses
+// each file exactly once either way.
 func AnalyzeDir(dir string) (*Analysis, error) {
-	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
+	snap, err := source.NewStore(nil).Load(dir)
 	if err != nil {
 		return nil, fmt.Errorf("sast: %w", err)
 	}
-	a := &Analysis{
-		Files:   make(map[string]int),
-		Methods: make(map[string]*Method),
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !IsSourceFile(name) {
-			continue
-		}
-		path := filepath.Join(dir, name)
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return nil, fmt.Errorf("sast: %w", err)
-		}
-		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
-		if err != nil {
-			return nil, fmt.Errorf("sast: %w", err)
-		}
-		a.Pkg = f.Name.Name
-		a.Files[name] = len(src)
-		files = append(files, f)
-	}
-	for _, f := range files {
-		base := filepath.Base(fset.Position(f.Pos()).Filename)
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			m := &Method{
-				Name:    a.Pkg + "." + funcKey(fd),
-				File:    base,
-				Throws:  parseThrows(fd.Doc),
-				HasHook: callsFaultHook(fd.Body),
-				decl:    fd,
-				fset:    fset,
-			}
-			a.Methods[m.Name] = m
-		}
-	}
-	a.findRetryLoops()
-	return a, nil
+	return AnalyzeSnapshot(snap)
 }
 
 // funcKey renders "Type.method" for methods and "func" for functions.

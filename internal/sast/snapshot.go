@@ -1,0 +1,92 @@
+// snapshot.go is the parse-once entry point of the traditional static
+// analysis: AnalyzeSnapshot consumes a pre-loaded source.Snapshot
+// instead of re-reading and re-parsing the directory, and splits the
+// work file-granularly — per-file method extraction is memoized on the
+// snapshot file by content hash (File.Memo), so a warm daemon
+// re-extracts only files whose bytes changed — followed by the cheap
+// cross-file merge (package-qualified naming and the retry-loop
+// analysis, which must see every method to resolve callees).
+package sast
+
+import (
+	"fmt"
+	"go/ast"
+
+	"wasabi/internal/source"
+)
+
+// ExtractKind is the File.Memo key of the per-file extraction artifact
+// (the source_derived_*_total{kind=...} metrics label).
+const ExtractKind = "sast-extract"
+
+// fileFacts is the per-file extraction artifact: the package name and
+// every function declaration's facts, keyed pkg-unqualified so the
+// artifact depends on nothing outside the file. The merge step applies
+// the directory's package prefix.
+type fileFacts struct {
+	pkg   string
+	funcs []fileFunc
+}
+
+// fileFunc is one extracted function declaration.
+type fileFunc struct {
+	key     string // funcKey: "Type.method" or "func"
+	throws  []string
+	hasHook bool
+	decl    *ast.FuncDecl
+}
+
+// extractFacts computes (or reuses) the file's extraction artifact.
+// Callers must have checked ParseErr: extraction requires an AST.
+func extractFacts(f *source.File) *fileFacts {
+	return f.Memo(ExtractKind, func() any {
+		ff := &fileFacts{pkg: f.AST.Name.Name}
+		for _, d := range f.AST.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ff.funcs = append(ff.funcs, fileFunc{
+				key:     funcKey(fd),
+				throws:  parseThrows(fd.Doc),
+				hasHook: callsFaultHook(fd.Body),
+				decl:    fd,
+			})
+		}
+		return ff
+	}).(*fileFacts)
+}
+
+// AnalyzeSnapshot runs the retry-loop analysis over a pre-loaded
+// snapshot. It parses nothing: per-file facts come from the snapshot's
+// memoized extraction, and only the cross-file merge (naming, callee
+// resolution, loop analysis) runs unconditionally. The result is
+// byte-identical to AnalyzeDir over the same directory state.
+func AnalyzeSnapshot(snap *source.Snapshot) (*Analysis, error) {
+	a := &Analysis{
+		Files:   make(map[string]int),
+		Methods: make(map[string]*Method),
+	}
+	for _, f := range snap.Files {
+		if f.ParseErr != nil {
+			return nil, fmt.Errorf("sast: %w", f.ParseErr)
+		}
+		a.Pkg = f.AST.Name.Name
+		a.Files[f.Name] = int(f.Size)
+	}
+	for _, f := range snap.Files {
+		for _, fn := range extractFacts(f).funcs {
+			m := &Method{
+				Name:    a.Pkg + "." + fn.key,
+				File:    f.Name,
+				Throws:  fn.throws,
+				HasHook: fn.hasHook,
+				decl:    fn.decl,
+				fset:    snap.Fset,
+			}
+			a.Methods[m.Name] = m
+		}
+	}
+	a.findRetryLoops()
+	return a, nil
+}

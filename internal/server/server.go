@@ -29,6 +29,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
@@ -38,6 +39,7 @@ import (
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 	"wasabi/internal/report"
+	"wasabi/internal/source"
 )
 
 // Config tunes the daemon.
@@ -61,6 +63,11 @@ type Config struct {
 	// /metrics serves. Nil disables observability (including /metrics
 	// content).
 	Obs *obs.Observer
+	// Pprof, when true, exposes the Go runtime profiler under
+	// /debug/pprof/ (docs/SERVICE.md). Off by default: the endpoints
+	// leak operational detail and cost CPU while profiling, so they are
+	// opt-in (cmd/wasabid's -pprof flag).
+	Pprof bool
 }
 
 // Server is the analysis daemon. Create with New, run with Start, stop
@@ -70,6 +77,11 @@ type Server struct {
 	obs  *obs.Observer
 	http *http.Server
 	ln   net.Listener
+	// source is the daemon-lifetime snapshot store every job loads
+	// corpus bytes through: content unchanged between jobs is never
+	// re-parsed, which (with the analysis cache) makes warm re-analysis
+	// file-granular (docs/PERFORMANCE.md).
+	source *source.Store
 
 	mu         sync.Mutex
 	draining   bool
@@ -101,6 +113,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		obs:        cfg.Obs,
+		source:     source.NewStore(cfg.Obs.Reg()),
 		jobs:       make(map[string]*job),
 		appReports: make(map[string][]byte),
 		queue:      make(chan *job, cfg.QueueDepth),
@@ -112,6 +125,13 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/reports/{app}", s.handleReport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.http = &http.Server{Handler: mux}
 	s.obs.Reg().Gauge("server_queue_capacity").Set(float64(cfg.QueueDepth))
 	return s
@@ -186,6 +206,7 @@ func (s *Server) run(j *job) {
 	opts.Workers = s.cfg.PipelineWorkers
 	opts.Obs = s.obs
 	opts.Cache = s.cfg.Cache
+	opts.Source = s.source
 	if s.cfg.Fault != nil {
 		opts.LLM.Fault = s.cfg.Fault
 	}

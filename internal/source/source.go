@@ -1,0 +1,237 @@
+// Package source is the parse-once snapshot store behind every static
+// consumer of corpus bytes. The pipeline's stages are independent by
+// design — traditional static analysis, LLM fuzzy comprehension, and
+// content-addressed cache keying each interpret the same files (the
+// paper's §3.1.1 techniques and the §4.3 cost model price them
+// separately) — but that independence used to be paid on the hot path:
+// every file was read from disk and parsed into an AST up to three
+// times per run. A Store loads each file exactly once per run and
+// memoizes the expensive artifact — (bytes, sha256, *ast.File, shared
+// token.FileSet positions) — by (path, content hash), so a warm daemon
+// re-parses only files whose bytes actually changed.
+//
+// Consumers receive a Snapshot: the directory's source files in sorted
+// order, fully loaded and parsed. Files are immutable once interned;
+// derived per-file artifacts (e.g. internal/sast's method extraction)
+// piggyback on the same content addressing through File.Memo, which is
+// what makes the static tier file-granular and incremental.
+//
+// Concurrency: a Store is safe for concurrent Load calls across worker
+// lanes. Parsing is serialized per (path, hash) entry by a sync.Once;
+// the shared token.FileSet is internally synchronized; a File's bytes
+// and AST are never mutated after interning, so concurrent readers need
+// no locking. All source_* metrics (docs/OBSERVABILITY.md) count
+// logical events and are deterministic across worker counts.
+package source
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"wasabi/internal/obs"
+)
+
+// IsSourceFile reports whether a directory entry counts as application
+// source for the static workflows. Tests are excluded; suite.go and
+// workload.go hold an app's registered unit tests and manifest.go the
+// evaluation ground truth — none of them is application source. Every
+// consumer of a Snapshot (sast, llm review keying, cache manifests)
+// shares this predicate, so content addresses cover exactly the files
+// analyzed.
+func IsSourceFile(name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	return name != "suite.go" && name != "workload.go" && name != "manifest.go"
+}
+
+// File is one loaded source file: bytes, content address, and the parsed
+// AST, all computed exactly once per (path, content) version. Fields are
+// immutable after interning; concurrent readers share them freely.
+type File struct {
+	// Name is the file basename.
+	Name string
+	// Path is the full path the file was loaded from.
+	Path string
+	// Bytes is the raw file content.
+	Bytes []byte
+	// SHA256 is the lowercase hex SHA-256 of Bytes — the content address
+	// review keys and directory manifests are derived from.
+	SHA256 string
+	// Size is len(Bytes) as an int64 (the manifest shape).
+	Size int64
+	// AST is the parsed file, nil when ParseErr is set.
+	AST *ast.File
+	// ParseErr is the parser error for files that do not parse. The LLM
+	// reviewer treats such files as unanswerable; the traditional static
+	// analysis fails on them, exactly as it did when it parsed itself.
+	ParseErr error
+	// Fset is the store-wide FileSet AST positions resolve against.
+	Fset *token.FileSet
+
+	store *Store
+	mu    sync.Mutex
+	memo  map[string]any
+}
+
+// Memo returns the derived artifact registered under kind, computing it
+// with compute at most once per file version. This is the hook the
+// file-granular static tier hangs off: extraction results keyed by
+// content survive across runs in a long-lived store, so a warm daemon
+// recomputes them only for files that changed. compute must be a pure
+// function of the file and must not call Memo on the same file.
+func (f *File) Memo(kind string, compute func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v, ok := f.memo[kind]; ok {
+		f.store.reg.Counter("source_derived_reuse_total", "kind", kind).Inc()
+		return v
+	}
+	v := compute()
+	f.memo[kind] = v
+	f.store.reg.Counter("source_derived_computes_total", "kind", kind).Inc()
+	return v
+}
+
+// Snapshot is one directory's loaded state: every source file, sorted by
+// name, parsed against the store's shared FileSet.
+type Snapshot struct {
+	// Dir is the directory the snapshot describes.
+	Dir string
+	// Fset resolves positions for every Files[i].AST.
+	Fset *token.FileSet
+	// Files are the directory's source files in sorted name order.
+	Files []*File
+}
+
+// TotalBytes sums the snapshot's file sizes.
+func (s *Snapshot) TotalBytes() int64 {
+	var n int64
+	for _, f := range s.Files {
+		n += f.Size
+	}
+	return n
+}
+
+// Names returns the file basenames in snapshot (sorted) order.
+func (s *Snapshot) Names() []string {
+	out := make([]string, len(s.Files))
+	for i, f := range s.Files {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Store interns loaded files by (path, content hash). The zero value is
+// not usable; call NewStore. A Store may live for one run (the CLI) or
+// across many (the daemon shares one across jobs, which is where the
+// incremental wins come from).
+//
+// Entries are retained for the store's lifetime: every edit of a file
+// interns a new version without releasing the old one (see
+// docs/KNOWN_ISSUES.md on long-lived daemon growth).
+type Store struct {
+	reg  *obs.Registry
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+}
+
+// storeEntry guards one (path, hash) artifact: once.Do computes it, every
+// later Load reuses it.
+type storeEntry struct {
+	once sync.Once
+	file *File
+}
+
+// NewStore returns an empty store reporting into reg (nil disables
+// metrics).
+func NewStore(reg *obs.Registry) *Store {
+	return &Store{
+		reg:     reg,
+		fset:    token.NewFileSet(),
+		entries: make(map[string]*storeEntry),
+	}
+}
+
+// Fset returns the store-wide FileSet.
+func (s *Store) Fset() *token.FileSet { return s.fset }
+
+// Load reads every source file of dir — exactly once each — and returns
+// the snapshot. Bytes are read and hashed on every call (that is how
+// change detection works); the parse and everything derived from it are
+// reused when the content hash matches a previously interned version.
+// Unparseable files do not fail the load: they carry ParseErr, and each
+// consumer decides (sast fails, llm degrades to "no answer").
+func (s *Store) Load(dir string) (*Snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("source: %w", err)
+	}
+	snap := &Snapshot{Dir: dir, Fset: s.fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !IsSourceFile(name) {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("source: %w", err)
+		}
+		s.reg.Counter("source_files_loaded_total").Inc()
+		s.reg.Counter("source_bytes_total").Add(int64(len(data)))
+		snap.Files = append(snap.Files, s.intern(path, name, data))
+	}
+	return snap, nil
+}
+
+// intern returns the canonical File for (path, content), parsing on first
+// sight of this content version and reusing the artifact afterwards.
+func (s *Store) intern(path, name string, data []byte) *File {
+	sum := sha256.Sum256(data)
+	key := path + "\x00" + hex.EncodeToString(sum[:])
+	s.mu.Lock()
+	en, ok := s.entries[key]
+	if !ok {
+		en = &storeEntry{}
+		s.entries[key] = en
+	}
+	s.mu.Unlock()
+	computed := false
+	en.once.Do(func() {
+		computed = true
+		f := &File{
+			Name:   name,
+			Path:   path,
+			Bytes:  data,
+			SHA256: hex.EncodeToString(sum[:]),
+			Size:   int64(len(data)),
+			Fset:   s.fset,
+			store:  s,
+			memo:   make(map[string]any),
+		}
+		f.AST, f.ParseErr = parser.ParseFile(s.fset, path, data, parser.ParseComments)
+		if f.ParseErr != nil {
+			f.AST = nil
+		}
+		s.reg.Counter("source_parse_total").Inc()
+		s.mu.Lock()
+		s.reg.Gauge("source_store_files").Set(float64(len(s.entries)))
+		s.mu.Unlock()
+		en.file = f
+	})
+	if !computed {
+		s.reg.Counter("source_reuse_total").Inc()
+	}
+	return en.file
+}

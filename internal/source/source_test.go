@@ -1,0 +1,217 @@
+package source_test
+
+// source_test pins the store's contract: each (path, content) version is
+// parsed exactly once no matter how many loads or lanes touch it, edits
+// invalidate exactly the edited file, and derived artifacts registered
+// through File.Memo are computed at most once per file version. The
+// counters asserted here are the same ones docs/OBSERVABILITY.md
+// documents and the incremental tests in internal/core build on.
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"wasabi/internal/obs"
+	"wasabi/internal/source"
+)
+
+// writeDir materializes files into a temp dir and returns its path.
+func writeDir(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestIsSourceFile(t *testing.T) {
+	cases := map[string]bool{
+		"retry.go":      true,
+		"client.go":     true,
+		"retry_test.go": false,
+		"suite.go":      false,
+		"workload.go":   false,
+		"manifest.go":   false,
+		"README.md":     false,
+		"go":            false,
+	}
+	for name, want := range cases {
+		if got := source.IsSourceFile(name); got != want {
+			t.Errorf("IsSourceFile(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestLoadParsesOncePerVersion is the core contract: N files load with N
+// parses; a second load of the unchanged dir re-reads bytes (that is how
+// change detection works) but reuses every parsed artifact.
+func TestLoadParsesOncePerVersion(t *testing.T) {
+	dir := writeDir(t, map[string]string{
+		"a.go":      "package demo\n\nfunc A() {}\n",
+		"b.go":      "package demo\n\nfunc B() {}\n",
+		"b_test.go": "package demo\n",
+		"suite.go":  "package demo\n",
+		"notes.txt": "not source",
+		"c.go":      "package demo\n\nfunc C() {}\n",
+	})
+	observer := obs.New()
+	st := source.NewStore(observer.Reg())
+
+	snap, err := st.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snap.Names(), []string{"a.go", "b.go", "c.go"}; len(got) != len(want) {
+		t.Fatalf("snapshot files = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("snapshot files = %v, want %v", got, want)
+			}
+		}
+	}
+	s := observer.Reg().Snapshot()
+	if n := s.Counter("source_parse_total"); n != 3 {
+		t.Fatalf("cold parses = %d, want 3", n)
+	}
+	if n := s.Counter("source_reuse_total"); n != 0 {
+		t.Fatalf("cold reuses = %d, want 0", n)
+	}
+
+	snap2, err := st.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = observer.Reg().Snapshot()
+	if n := s.Counter("source_parse_total"); n != 3 {
+		t.Fatalf("warm parses = %d, want 3 (no re-parse of unchanged files)", n)
+	}
+	if n := s.Counter("source_reuse_total"); n != 3 {
+		t.Fatalf("warm reuses = %d, want 3", n)
+	}
+	for i := range snap.Files {
+		if snap.Files[i] != snap2.Files[i] {
+			t.Fatalf("warm load returned a different *File for %s", snap.Files[i].Name)
+		}
+	}
+}
+
+// TestEditInvalidatesOnlyEditedFile: after touching one file, exactly one
+// new parse happens; the other files' artifacts are reused.
+func TestEditInvalidatesOnlyEditedFile(t *testing.T) {
+	dir := writeDir(t, map[string]string{
+		"a.go": "package demo\n\nfunc A() {}\n",
+		"b.go": "package demo\n\nfunc B() {}\n",
+	})
+	observer := obs.New()
+	st := source.NewStore(observer.Reg())
+	if _, err := st.Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte("package demo\n\nfunc A2() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := observer.Reg().Snapshot()
+	if n := s.Counter("source_parse_total"); n != 3 {
+		t.Fatalf("parses after single edit = %d, want 3 (2 cold + 1 re-parse)", n)
+	}
+	if n := s.Counter("source_reuse_total"); n != 1 {
+		t.Fatalf("reuses after single edit = %d, want 1 (b.go only)", n)
+	}
+	if snap.Files[0].AST == nil || snap.Files[0].AST.Decls == nil {
+		t.Fatal("edited file has no parsed AST")
+	}
+}
+
+// TestParseErrDoesNotFailLoad: a file that does not parse still loads —
+// the consumer decides (sast fails, llm degrades).
+func TestParseErrDoesNotFailLoad(t *testing.T) {
+	dir := writeDir(t, map[string]string{
+		"bad.go":  "package demo\n\nfunc Broken( {\n",
+		"good.go": "package demo\n\nfunc Fine() {}\n",
+	})
+	snap, err := source.NewStore(nil).Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Files) != 2 {
+		t.Fatalf("loaded %d files, want 2", len(snap.Files))
+	}
+	bad, good := snap.Files[0], snap.Files[1]
+	if bad.ParseErr == nil || bad.AST != nil {
+		t.Fatalf("bad.go: ParseErr=%v AST=%v, want error and nil AST", bad.ParseErr, bad.AST)
+	}
+	if good.ParseErr != nil || good.AST == nil {
+		t.Fatalf("good.go: ParseErr=%v, want parsed AST", good.ParseErr)
+	}
+}
+
+// TestMemoComputesOncePerVersion: a derived artifact is computed once per
+// file version and reused afterwards, with the per-kind counters moving
+// exactly as the incremental static tier expects.
+func TestMemoComputesOncePerVersion(t *testing.T) {
+	dir := writeDir(t, map[string]string{"a.go": "package demo\n"})
+	observer := obs.New()
+	st := source.NewStore(observer.Reg())
+	snap, err := st.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := snap.Files[0]
+	calls := 0
+	compute := func() any { calls++; return calls }
+	if v := f.Memo("facts", compute); v.(int) != 1 {
+		t.Fatalf("first Memo = %v, want 1", v)
+	}
+	if v := f.Memo("facts", compute); v.(int) != 1 {
+		t.Fatalf("second Memo = %v, want cached 1", v)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	s := observer.Reg().Snapshot()
+	if n := s.Counter("source_derived_computes_total", "kind", "facts"); n != 1 {
+		t.Fatalf("derived computes = %d, want 1", n)
+	}
+	if n := s.Counter("source_derived_reuse_total", "kind", "facts"); n != 1 {
+		t.Fatalf("derived reuses = %d, want 1", n)
+	}
+}
+
+// TestConcurrentLoadSingleParse hammers one dir from many goroutines;
+// the per-entry sync.Once must collapse the parses to one per file.
+func TestConcurrentLoadSingleParse(t *testing.T) {
+	dir := writeDir(t, map[string]string{
+		"a.go": "package demo\n\nfunc A() {}\n",
+		"b.go": "package demo\n\nfunc B() {}\n",
+	})
+	observer := obs.New()
+	st := source.NewStore(observer.Reg())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := st.Load(dir); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	s := observer.Reg().Snapshot()
+	if n := s.Counter("source_parse_total"); n != 2 {
+		t.Fatalf("concurrent parses = %d, want 2", n)
+	}
+	if loaded, reused := s.Counter("source_files_loaded_total"), s.Counter("source_reuse_total"); loaded-reused != 2 {
+		t.Fatalf("loaded=%d reused=%d, want exactly 2 first-sight loads", loaded, reused)
+	}
+}
