@@ -43,9 +43,12 @@ chaos:
 
 ## serve-smoke: end-to-end service exercise — a real wasabid server on a
 ## loopback port driven through analyze → poll → report → metrics, with
-## the second job served entirely from the cache (docs/SERVICE.md).
+## three tenants submitting concurrently, every warm job served from the
+## cache, and /metrics proving the slots overlapped (docs/SERVICE.md,
+## docs/SCHEDULING.md); plus the scheduler's wall-clock overlap,
+## fairness, and shared-snapshot-store concurrency proofs.
 serve-smoke:
-	$(GO) test -race -run 'TestServeSmoke' -count=1 ./internal/server/
+	$(GO) test -race -run 'TestServeSmoke|TestJobsOverlapWallClock|TestSlowTenantCannotStarveFast|TestConcurrentJobsShareSnapshotStore' -count=1 ./internal/server/
 
 ## docs-check: fail on dangling doc references — .md paths mentioned in
 ## Go sources, relative links in README.md and docs/*.md, and internal

@@ -17,10 +17,14 @@
 // metrics registry rather than being recomputed from results. The
 // artifact also carries the cold-vs-warm analysis-cache comparison
 // (docs/SERVICE.md): a second full-corpus run against a populated cache,
-// with its wall time, fresh token spend and hit/miss counts.
+// with its wall time, fresh token spend and hit/miss counts — and, since
+// v4, the multi-tenant scheduler load benchmark (docs/SCHEDULING.md):
+// simulated tenants hammering an in-process wasabid, with throughput
+// and wait/run latency quantiles.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +39,7 @@ import (
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 	"wasabi/internal/sast"
+	"wasabi/internal/server"
 	"wasabi/internal/source"
 )
 
@@ -78,6 +83,12 @@ func main() {
 			os.Exit(1)
 		}
 		rep.SingleEdit = eb
+		sb, err := measureServeBench(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Serve = sb
 		data, err := rep.MarshalIndent()
 		if err == nil {
 			err = os.WriteFile(*pipelineOut, append(data, '\n'), 0o644)
@@ -165,6 +176,46 @@ func measureCacheBench(workers int) (*obs.CacheBench, error) {
 		WarmHits:        hits,
 		WarmMisses:      misses,
 	}, nil
+}
+
+// measureServeBench runs the multi-tenant scheduler load benchmark
+// (docs/SCHEDULING.md) against an in-process wasabid: many simulated
+// tenants submit single-app jobs concurrently and the driver waits for
+// all of them, capturing throughput plus the server-side wait/run
+// latency quantiles and the busy-slot high-water mark. Wall-clock
+// numbers are honest measurements; Completed is exact.
+func measureServeBench(workers int) (*obs.ServeBench, error) {
+	observer := obs.New()
+	ca, err := cache.New(cache.Options{Metrics: observer.Reg()})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{
+		Addr:            "127.0.0.1:0",
+		QueueDepth:      4,
+		SchedulerSlots:  4,
+		PipelineWorkers: workers,
+		Cache:           ca,
+		Obs:             observer,
+	})
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+	}()
+	sb, err := server.RunLoad("http://"+srv.Addr(), server.LoadOptions{
+		Tenants: 12,
+		Jobs:    2,
+		Apps:    []string{"HD"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	server.AttachSchedStats(sb, observer.Reg().Snapshot())
+	return sb, nil
 }
 
 // measureEditBench measures the warm single-file-edit trajectory the

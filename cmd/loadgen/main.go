@@ -1,0 +1,96 @@
+// Command loadgen hammers a wasabid daemon with analysis jobs from many
+// simulated tenants and reports throughput, backpressure and latency —
+// the load side of the multi-tenant scheduler (docs/SCHEDULING.md).
+//
+// Usage:
+//
+//	loadgen -tenants 100 -jobs 2 -apps HD             # self-hosted daemon
+//	loadgen -addr http://localhost:8788 -tenants 100  # running daemon
+//
+// With -addr empty, loadgen starts an in-process wasabid (flags -slots,
+// -quota, -queue, -workers shape it) so the bench also captures the
+// server-side scheduler stats (slot high-water mark, wait/run latency
+// quantiles); against a remote daemon those fields read zero and the
+// client-side numbers stand alone. The result is the `serve` section of
+// the BENCH_pipeline.json schema, printed as JSON on stdout.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wasabi/internal/cache"
+	"wasabi/internal/obs"
+	"wasabi/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target daemon base URL; empty starts an in-process wasabid")
+	tenants := flag.Int("tenants", 100, "simulated tenants")
+	jobs := flag.Int("jobs", 2, "jobs submitted per tenant")
+	appsFlag := flag.String("apps", "HD", "comma-separated corpus codes per job; empty = full corpus")
+	slots := flag.Int("slots", 0, "in-process daemon: scheduler worker slots (0 = auto)")
+	quota := flag.Int("quota", 0, "in-process daemon: per-tenant in-flight quota (0 = slots)")
+	queue := flag.Int("queue", 4, "in-process daemon: per-tenant queue depth")
+	workers := flag.Int("workers", 1, "in-process daemon: pipeline workers per job")
+	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
+	flag.Parse()
+
+	var codes []string
+	if *appsFlag != "" {
+		codes = strings.Split(*appsFlag, ",")
+	}
+	opt := server.LoadOptions{Tenants: *tenants, Jobs: *jobs, Apps: codes, Timeout: *timeout}
+
+	base := *addr
+	var observer *obs.Observer
+	if base == "" {
+		observer = obs.New()
+		ca, err := cache.New(cache.Options{Metrics: observer.Reg()})
+		if err != nil {
+			fatal(err)
+		}
+		srv := server.New(server.Config{
+			Addr:            "127.0.0.1:0",
+			QueueDepth:      *queue,
+			SchedulerSlots:  *slots,
+			TenantQuota:     *quota,
+			PipelineWorkers: *workers,
+			Cache:           ca,
+			Obs:             observer,
+		})
+		if err := srv.Start(); err != nil {
+			fatal(err)
+		}
+		base = "http://" + srv.Addr()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process wasabid on %s\n", base)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // best-effort teardown
+		}()
+	}
+
+	sb, err := server.RunLoad(base, opt)
+	if err != nil {
+		fatal(err)
+	}
+	if observer != nil {
+		server.AttachSchedStats(sb, observer.Reg().Snapshot())
+	}
+	data, err := json.MarshalIndent(sb, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -6,9 +6,15 @@
 // Usage:
 //
 //	wasabid [-addr :8788] [-queue 8] [-workers N]
+//	        [-slots N] [-tenant-quota N] [-tenant-priority name=w,...]
 //	        [-cache-dir DIR] [-cache-bytes N] [-pprof]
 //	        [-llm-fault-profile none|light|heavy|outage|k=v,...]
 //	        [-llm-outage-after N]
+//
+// Jobs run concurrently on -slots worker slots fed by per-tenant fair
+// queues (docs/SCHEDULING.md): -queue bounds each tenant's backlog,
+// -tenant-quota caps one tenant's concurrent slots, and -tenant-priority
+// grants named tenants extra round-robin weight.
 //
 // The daemon prints its bound address on startup ("-addr :0" picks a
 // free port) and drains gracefully on SIGTERM/SIGINT: accepted jobs run
@@ -22,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,7 +41,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8788", "listen address (\":0\" picks a free port)")
-	queue := flag.Int("queue", 8, "job queue depth; submissions beyond it get 429")
+	queue := flag.Int("queue", 8, "per-tenant job queue depth; submissions beyond it get 429")
+	slots := flag.Int("slots", 0, "concurrent job slots; 0 = GOMAXPROCS (min 2)")
+	tenantQuota := flag.Int("tenant-quota", 0, "max concurrent jobs per tenant; 0 = slots")
+	tenantPriority := flag.String("tenant-priority", "", "round-robin weights as name=w,... (unlisted tenants weigh 1)")
 	workers := flag.Int("workers", 0, "pipeline worker pool size per job; 0 = one per CPU")
 	cacheDir := flag.String("cache-dir", "", "persist the analysis cache in this directory (empty = memory only)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache byte budget (0 = default)")
@@ -44,10 +55,18 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose the Go runtime profiler under /debug/pprof/ (see docs/PERFORMANCE.md)")
 	flag.Parse()
 
+	priorities, err := parsePriorities(*tenantPriority)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	observer := obs.New()
 	cfg := server.Config{
 		Addr:            *addr,
 		QueueDepth:      *queue,
+		SchedulerSlots:  *slots,
+		TenantQuota:     *tenantQuota,
+		TenantPriority:  priorities,
 		PipelineWorkers: *workers,
 		Obs:             observer,
 		Pprof:           *pprofOn,
@@ -75,8 +94,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wasabid: listening on %s (queue %d, cache %s)\n",
-		srv.Addr(), *queue, cacheLabel(*cacheDir))
+	fmt.Fprintf(os.Stderr, "wasabid: listening on %s (slots %s, per-tenant queue %d, cache %s)\n",
+		srv.Addr(), slotsLabel(*slots), *queue, cacheLabel(*cacheDir))
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	<-ctx.Done()
@@ -102,4 +121,32 @@ func cacheLabel(dir string) string {
 		return "memory-only"
 	}
 	return "persisted in " + dir
+}
+
+// slotsLabel describes the scheduler sizing for the startup line.
+func slotsLabel(slots int) string {
+	if slots <= 0 {
+		return "auto"
+	}
+	return strconv.Itoa(slots)
+}
+
+// parsePriorities parses the -tenant-priority "name=w,..." list.
+func parsePriorities(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("wasabid: -tenant-priority entry %q is not name=weight", pair)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("wasabid: -tenant-priority weight for %q must be a positive integer", name)
+		}
+		out[name] = w
+	}
+	return out, nil
 }

@@ -359,3 +359,51 @@ func (s Snapshot) HistogramPoint(name string, labels ...string) (HistogramPoint,
 	}
 	return HistogramPoint{}, false
 }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of the recorded
+// distribution by linear interpolation inside the bucket holding the
+// rank — the same estimator Prometheus's histogram_quantile uses.
+// Observations in the +Inf bucket clamp to the last finite bound (the
+// estimate is a floor, not an extrapolation). Returns 0 on an empty
+// histogram.
+func (h HistogramPoint) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	cum := int64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		prev := float64(cum - c)
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// AddGauge inserts a derived gauge into the snapshot, keeping the gauges
+// section sorted by canonical identity so serialization stays
+// deterministic. It exists for render-time summaries (e.g. the scheduler
+// quantiles wasabid's /metrics derives from its latency histograms)
+// that should not live as mutable registry state.
+func (s *Snapshot) AddGauge(name string, value float64, labels ...string) {
+	p := GaugePoint{Name: name, Labels: makeLabels(labels), Value: value}
+	id := p.Labels.id(p.Name)
+	i := sort.Search(len(s.Gauges), func(i int) bool {
+		return s.Gauges[i].Labels.id(s.Gauges[i].Name) >= id
+	})
+	s.Gauges = append(s.Gauges, GaugePoint{})
+	copy(s.Gauges[i+1:], s.Gauges[i:])
+	s.Gauges[i] = p
+}

@@ -146,3 +146,63 @@ func TestBuildPipelineReport(t *testing.T) {
 		t.Fatalf("dynamic stats = %+v", dyn)
 	}
 }
+
+// TestHistogramQuantile pins the bucket-interpolation estimator the
+// scheduler summaries are derived from.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 20, 40})
+	// 4 observations in (0,10], 4 in (10,20], 2 in (20,40].
+	for _, v := range []float64{2, 4, 6, 8, 12, 14, 16, 18, 25, 35} {
+		h.Observe(v)
+	}
+	hp, _ := r.Snapshot().HistogramPoint("lat")
+	if got := hp.Quantile(0.5); got != 12.5 {
+		t.Fatalf("p50 = %v, want 12.5 (rank 5 interpolated in (10,20])", got)
+	}
+	if got := hp.Quantile(0.2); got != 5 {
+		t.Fatalf("p20 = %v, want 5 (rank 2 interpolated in (0,10])", got)
+	}
+	if got := hp.Quantile(1); got != 40 {
+		t.Fatalf("p100 = %v, want the last bound", got)
+	}
+	// Observations beyond every bound clamp to the last finite bound.
+	h.Observe(10000)
+	hp, _ = r.Snapshot().HistogramPoint("lat")
+	if got := hp.Quantile(0.99); got != 40 {
+		t.Fatalf("p99 with +Inf mass = %v, want clamp to 40", got)
+	}
+	if got := (HistogramPoint{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+// TestSnapshotAddGauge: derived gauges insert in canonical identity
+// order, so post-processed snapshots stay deterministic.
+func TestSnapshotAddGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("m_a").Set(1)
+	r.Gauge("m_z").Set(2)
+	snap := r.Snapshot()
+	snap.AddGauge("m_q_quantile", 3.5, "q", "0.50")
+	snap.AddGauge("m_b", 4)
+	var names []string
+	for _, g := range snap.Gauges {
+		names = append(names, g.Labels.id(g.Name))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("gauges out of order after AddGauge: %v", names)
+		}
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := WriteText(&buf1, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&buf2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("exposition of an augmented snapshot is not deterministic")
+	}
+}

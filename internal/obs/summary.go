@@ -39,6 +39,10 @@ type PipelineReport struct {
 	// a third run after touching exactly one source file of a warm,
 	// snapshot-backed corpus (docs/PERFORMANCE.md).
 	SingleEdit *EditBench `json:"single_edit,omitempty"`
+	// Serve, when present, is the multi-tenant scheduler load benchmark:
+	// many simulated tenants hammering a live wasabid instance
+	// (docs/SCHEDULING.md).
+	Serve *ServeBench `json:"serve,omitempty"`
 }
 
 // SourceStats is the snapshot store's roll-up, derived from the
@@ -80,10 +84,37 @@ type CacheBench struct {
 	WarmMisses      int64   `json:"warm_misses"`
 }
 
+// ServeBench is the scheduler load benchmark: Tenants simulated tenants
+// each submit Jobs jobs against a wasabid instance running Slots worker
+// slots, and the driver waits for every job to complete. Wall time,
+// throughput and the latency quantiles are honest measurements (they
+// vary run to run); Completed and Rejections are exact client-side
+// counts. The quantiles come from the server's own
+// server_sched_job_wait_ms / server_sched_job_run_ms histograms and are
+// zero when the driver targets a remote daemon whose registry it cannot
+// read.
+type ServeBench struct {
+	Tenants    int     `json:"tenants"`
+	Jobs       int     `json:"jobs_per_tenant"`
+	Slots      int     `json:"slots"`
+	Completed  int64   `json:"completed"`
+	Rejections int64   `json:"rejections_429"`
+	WallMS     float64 `json:"wall_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	WaitP50MS  float64 `json:"wait_p50_ms"`
+	WaitP99MS  float64 `json:"wait_p99_ms"`
+	RunP50MS   float64 `json:"run_p50_ms"`
+	RunP99MS   float64 `json:"run_p99_ms"`
+	// MaxBusySlots is the high-water mark of concurrently busy slots
+	// (server_sched_slots_busy_max) — proof the load actually overlapped.
+	MaxBusySlots float64 `json:"max_busy_slots"`
+}
+
 // PipelineReportSchema identifies the BENCH_pipeline.json format (v2
 // added the optional cold-vs-warm cache section; v3 the snapshot-store
-// source section and the warm single-file-edit benchmark).
-const PipelineReportSchema = "wasabi-bench-pipeline/v3"
+// source section and the warm single-file-edit benchmark; v4 the
+// multi-tenant serve benchmark).
+const PipelineReportSchema = "wasabi-bench-pipeline/v4"
 
 // StageMetric is the histogram every stage observes its wall time into
 // (label: stage), and StageTokensMetric the counter LLM token spend is

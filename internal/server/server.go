@@ -8,18 +8,22 @@
 //
 // Surface (docs/SERVICE.md is the full reference):
 //
-//	POST /v1/analyze        submit an analysis job (bounded queue; full → 429)
+//	POST /v1/analyze        submit an analysis job (tenant queue full → 429)
 //	GET  /v1/jobs/{id}      job status, and the canonical JSON report when done
 //	GET  /v1/reports/{app}  latest completed report section for one app
 //	GET  /healthz           liveness (503 while draining)
 //	GET  /metrics           Prometheus text exposition of the registry
 //
-// Jobs execute one at a time on a single runner goroutine — concurrency
-// lives *inside* a job (core.Options.Workers), where it is bounded and
-// deterministic — and every job shares the server's cache and metrics
-// registry. Shutdown is a graceful drain: accepted jobs (queued or
-// running) complete, new submissions are refused, and only then does the
-// listener stop.
+// Jobs execute concurrently on Config.SchedulerSlots worker slots fed by
+// per-tenant fair queues (scheduler.go, docs/SCHEDULING.md): every
+// submission carries a tenant key (default DefaultTenant), tenants are
+// served weighted round-robin under per-tenant in-flight quotas, and a
+// full tenant queue answers 429 without affecting other tenants.
+// Concurrency *inside* a job (core.Options.Workers) stays bounded and
+// deterministic; every job shares the server's cache, snapshot store and
+// metrics registry. Shutdown is a graceful drain: accepted jobs (queued
+// or running) complete, new submissions are refused, and only then does
+// the listener stop.
 package server
 
 import (
@@ -30,6 +34,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,13 +48,34 @@ import (
 	"wasabi/internal/source"
 )
 
+// DefaultTenant is the tenant key of submissions that name none — the
+// pre-tenancy API shape keeps working and lands in one shared queue.
+const DefaultTenant = "shared"
+
+// maxTenantLen bounds tenant names; they become metric label values, so
+// unbounded attacker-chosen strings would bloat the registry.
+const maxTenantLen = 64
+
 // Config tunes the daemon.
 type Config struct {
 	// Addr is the listen address ("host:port"; ":0" picks a free port).
 	Addr string
-	// QueueDepth bounds the job queue; submissions beyond it are refused
-	// with 429. Zero means 8.
+	// QueueDepth bounds each tenant's job queue; submissions beyond it
+	// are refused with 429 for that tenant only. Zero means 8.
 	QueueDepth int
+	// SchedulerSlots is how many jobs run concurrently (the worker slot
+	// count of the scheduler). Zero derives from the host: GOMAXPROCS,
+	// floored at 2 so tenants overlap even on one core (job runtime is
+	// not purely CPU-bound once the cache and disk tiers are warm).
+	SchedulerSlots int
+	// TenantQuota caps how many slots one tenant may occupy at once.
+	// Zero means SchedulerSlots (a lone tenant may use every slot; set
+	// it lower to guarantee idle headroom for late arrivals).
+	TenantQuota int
+	// TenantPriority maps tenant name → round-robin weight (≥1). A
+	// tenant with weight w gets up to w consecutive picks per scheduling
+	// cycle; unlisted tenants weigh 1. See docs/SCHEDULING.md.
+	TenantPriority map[string]int
 	// PipelineWorkers is core.Options.Workers for every job (0 = one per
 	// CPU).
 	PipelineWorkers int
@@ -58,10 +85,10 @@ type Config struct {
 	// Fault, when non-nil, runs every job against an unreliable
 	// simulated LLM backend (chaos drills; see docs/RESILIENCE.md).
 	Fault *llm.FaultProfile
-	// Obs observes the daemon: job and queue metrics, plus every
-	// pipeline metric of every job, accumulate in its registry, which
-	// /metrics serves. Nil disables observability (including /metrics
-	// content).
+	// Obs observes the daemon: job, queue and scheduler metrics, plus
+	// every pipeline metric of every job, accumulate in its registry,
+	// which /metrics serves. Nil disables observability (including
+	// /metrics content).
 	Obs *obs.Observer
 	// Pprof, when true, exposes the Go runtime profiler under
 	// /debug/pprof/ (docs/SERVICE.md). Off by default: the endpoints
@@ -79,24 +106,34 @@ type Server struct {
 	ln   net.Listener
 	// source is the daemon-lifetime snapshot store every job loads
 	// corpus bytes through: content unchanged between jobs is never
-	// re-parsed, which (with the analysis cache) makes warm re-analysis
-	// file-granular (docs/PERFORMANCE.md).
+	// re-parsed — and concurrent jobs over the same corpus parse each
+	// file exactly once between them (per-entry sync.Once), which the
+	// many-jobs race test pins (docs/PERFORMANCE.md).
 	source *source.Store
+	// sched fans submissions out to worker slots through per-tenant
+	// fair queues (scheduler.go).
+	sched *scheduler
+	// runJob executes one job; it is s.run except in scheduler tests,
+	// which substitute timed synthetic jobs to prove wall-clock overlap
+	// and fairness without corpus noise.
+	runJob func(*job)
 
 	mu         sync.Mutex
 	draining   bool
 	nextID     int
 	jobs       map[string]*job
 	appReports map[string][]byte
-
-	queue      chan *job
-	runnerDone chan struct{}
 }
 
 // job is one queued analysis request and its outcome.
 type job struct {
-	id   string
-	apps []corpus.App
+	id     string
+	tenant string
+	apps   []corpus.App
+	// submitted and started bound the queue-wait; started is stamped by
+	// the scheduler when a slot picks the job.
+	submitted time.Time
+	started   time.Time
 
 	// Guarded by Server.mu after submission.
 	state  string // "queued" | "running" | "done" | "failed"
@@ -110,15 +147,24 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 8
 	}
+	if cfg.SchedulerSlots <= 0 {
+		cfg.SchedulerSlots = runtime.GOMAXPROCS(0)
+		if cfg.SchedulerSlots < 2 {
+			cfg.SchedulerSlots = 2
+		}
+	}
+	if cfg.TenantQuota <= 0 || cfg.TenantQuota > cfg.SchedulerSlots {
+		cfg.TenantQuota = cfg.SchedulerSlots
+	}
 	s := &Server{
 		cfg:        cfg,
 		obs:        cfg.Obs,
 		source:     source.NewStore(cfg.Obs.Reg()),
 		jobs:       make(map[string]*job),
 		appReports: make(map[string][]byte),
-		queue:      make(chan *job, cfg.QueueDepth),
-		runnerDone: make(chan struct{}),
+		sched:      newScheduler(cfg.SchedulerSlots, cfg.TenantQuota, cfg.QueueDepth, cfg.TenantPriority, cfg.Obs.Reg()),
 	}
+	s.runJob = s.run
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -137,16 +183,16 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Start binds the listen address, launches the job runner and begins
-// serving. It returns once the listener is bound; Addr reports the bound
-// address (useful with ":0").
+// Start binds the listen address, launches the scheduler's worker slots
+// and begins serving. It returns once the listener is bound; Addr
+// reports the bound address (useful with ":0").
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
 	}
 	s.ln = ln
-	go s.runner()
+	s.sched.start(func(j *job) { s.runJob(j) })
 	go s.http.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
 	return nil
 }
@@ -160,19 +206,18 @@ func (s *Server) Addr() string {
 }
 
 // Shutdown drains the daemon: new submissions are refused (healthz turns
-// 503 so load balancers stop routing), every accepted job runs to
-// completion, then the HTTP listener closes. The context bounds the
-// wait; on expiry the listener is closed anyway and the error returned.
+// 503 so load balancers stop routing), every accepted job — queued on
+// any tenant or running on any slot — runs to completion, then the HTTP
+// listener closes. The context bounds the wait; on expiry the listener
+// is closed anyway and the error returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if !s.draining {
-		s.draining = true
-		close(s.queue)
-	}
+	s.draining = true
 	s.mu.Unlock()
+	s.sched.drain()
 	var err error
 	select {
-	case <-s.runnerDone:
+	case <-s.sched.done:
 	case <-ctx.Done():
 		err = fmt.Errorf("server: drain interrupted: %w", ctx.Err())
 	}
@@ -183,23 +228,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// runner executes queued jobs in submission order until the queue closes
-// on drain.
-func (s *Server) runner() {
-	defer close(s.runnerDone)
-	for j := range s.queue {
-		s.obs.Reg().Gauge("server_queue_depth").Set(float64(len(s.queue)))
-		s.run(j)
-	}
-}
-
-// run executes one job through the pipeline.
+// run executes one job through the pipeline. Multiple runs execute
+// concurrently (one per busy slot); everything they share — cache,
+// snapshot store, registry — is goroutine-safe, and per-job state lives
+// in the job's own core.Wasabi instance.
 func (s *Server) run(j *job) {
 	s.mu.Lock()
 	j.state = "running"
 	s.mu.Unlock()
-	s.obs.Reg().Gauge("server_inflight_jobs").Set(1)
-	defer s.obs.Reg().Gauge("server_inflight_jobs").Set(0)
 	start := time.Now()
 
 	opts := core.DefaultOptions()
@@ -213,25 +249,32 @@ func (s *Server) run(j *job) {
 	w := core.New(opts)
 	cr, err := w.RunCorpus(j.apps)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.obs.Reg().Histogram("server_job_ms", obs.LatencyBuckets).Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	// Build and marshal outside the server lock; only state publication
+	// needs it.
+	var data []byte
+	appData := map[string][]byte{}
 	if err == nil {
 		doc := report.Build(cr)
-		var data []byte
 		if data, err = report.Marshal(doc); err == nil {
-			j.report = data
 			for _, app := range doc.Apps {
-				if appData, aerr := report.MarshalApp(app); aerr == nil {
-					s.appReports[app.Code] = appData
+				if d, aerr := report.MarshalApp(app); aerr == nil {
+					appData[app.Code] = d
 				}
 			}
 		}
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs.Reg().Histogram("server_job_ms", obs.LatencyBuckets).Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	if err != nil {
 		j.state, j.err = "failed", err.Error()
 		s.obs.Reg().Counter("server_jobs_total", "status", "failed").Inc()
 		return
+	}
+	j.report = data
+	for code, d := range appData {
+		s.appReports[code] = d
 	}
 	j.state = "done"
 	j.fresh = w.LLMUsage()
@@ -242,15 +285,19 @@ func (s *Server) run(j *job) {
 type analyzeRequest struct {
 	// Apps lists corpus short codes; empty means the full corpus.
 	Apps []string `json:"apps"`
+	// Tenant keys the submission to a fair queue (docs/SCHEDULING.md).
+	// Empty means DefaultTenant, which keeps pre-tenancy clients working.
+	Tenant string `json:"tenant"`
 }
 
 // jobView is the wire shape of a job (also the POST /v1/analyze
 // response, minus report).
 type jobView struct {
-	ID    string   `json:"id"`
-	State string   `json:"state"`
-	Apps  []string `json:"apps"`
-	Error string   `json:"error,omitempty"`
+	ID     string   `json:"id"`
+	State  string   `json:"state"`
+	Tenant string   `json:"tenant"`
+	Apps   []string `json:"apps"`
+	Error  string   `json:"error,omitempty"`
 	// FreshLLM is the LLM traffic the job actually generated — zero for
 	// a fully cache-served run, unlike the report's attributed usage.
 	FreshLLM *freshUsage `json:"fresh_llm,omitempty"`
@@ -279,6 +326,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tenant := strings.TrimSpace(req.Tenant)
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	if len(tenant) > maxTenantLen {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("tenant name longer than %d bytes", maxTenantLen))
+		return
+	}
 	apps := corpus.Apps()
 	if len(req.Apps) > 0 {
 		apps = make([]corpus.App, 0, len(req.Apps))
@@ -300,15 +355,23 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nextID++
-	j := &job{id: fmt.Sprintf("job-%d", s.nextID), apps: apps, state: "queued"}
-	select {
-	case s.queue <- j:
-	default:
+	j := &job{
+		id:        fmt.Sprintf("job-%d", s.nextID),
+		tenant:    tenant,
+		apps:      apps,
+		submitted: time.Now(),
+		state:     "queued",
+	}
+	if err := s.sched.enqueue(j); err != nil {
 		s.nextID-- // not accepted: reuse the id
 		s.mu.Unlock()
 		s.obs.Reg().Counter("server_jobs_total", "status", "rejected").Inc()
+		if err == errDraining {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "job queue full")
+		httpError(w, http.StatusTooManyRequests, "tenant job queue full")
 		return
 	}
 	s.jobs[j.id] = j
@@ -316,7 +379,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.obs.Reg().Counter("server_jobs_total", "status", "accepted").Inc()
-	s.obs.Reg().Gauge("server_queue_depth").Set(float64(len(s.queue)))
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, view)
 }
@@ -336,7 +398,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // viewLocked renders a job's wire shape; s.mu must be held.
 func (s *Server) viewLocked(j *job, includeReport bool) jobView {
-	v := jobView{ID: j.id, State: j.state, Error: j.err}
+	v := jobView{ID: j.id, State: j.state, Tenant: j.tenant, Error: j.err}
 	for _, app := range j.apps {
 		v.Apps = append(v.Apps, app.Code)
 	}
@@ -373,9 +435,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+// schedQuantiles is the percentile set /metrics summarizes the
+// scheduler's wait/run histograms at.
+var schedQuantiles = []float64{0.5, 0.9, 0.99}
+
+// addSchedSummaries derives quantile gauges from the scheduler's latency
+// histograms and inserts them into the snapshot (sorted, so the
+// exposition stays deterministic for a given snapshot). The source
+// histograms carry wall-clock facts, so the values vary run to run; only
+// their presence and ordering are stable.
+func addSchedSummaries(snap *obs.Snapshot) {
+	for _, name := range []string{"server_sched_job_wait_ms", "server_sched_job_run_ms"} {
+		h, ok := snap.HistogramPoint(name)
+		if !ok || h.Count == 0 {
+			continue
+		}
+		for _, q := range schedQuantiles {
+			snap.AddGauge(name+"_quantile", h.Quantile(q), "q", fmt.Sprintf("%.2f", q))
+		}
+	}
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	obs.WriteText(w, s.obs.Reg().Snapshot()) //nolint:errcheck // client gone
+	snap := s.obs.Reg().Snapshot()
+	addSchedSummaries(&snap)
+	obs.WriteText(w, snap) //nolint:errcheck // client gone
 }
 
 // httpError writes a JSON error body.

@@ -58,35 +58,93 @@ func TestLookupsReturn404(t *testing.T) {
 	}
 }
 
-// TestQueueBackpressure fills the bounded queue (no runner draining it)
-// and expects 429 with Retry-After once it is full.
+// TestQueueBackpressure fills one tenant's bounded queue (no workers
+// draining it) and expects 429 with Retry-After once it is full — while
+// a different tenant still submits freely.
 func TestQueueBackpressure(t *testing.T) {
 	reg := obs.New()
 	s := New(Config{QueueDepth: 2, Obs: reg})
 	for i := 0; i < 2; i++ {
-		if rec := do(s, "POST", "/v1/analyze", ""); rec.Code != 202 {
+		if rec := do(s, "POST", "/v1/analyze", `{"tenant":"alpha"}`); rec.Code != 202 {
 			t.Fatalf("submit %d: status = %d, want 202", i, rec.Code)
 		}
 	}
-	rec := do(s, "POST", "/v1/analyze", "")
+	rec := do(s, "POST", "/v1/analyze", `{"tenant":"alpha"}`)
 	if rec.Code != 429 {
 		t.Fatalf("over-capacity submit: status = %d, want 429", rec.Code)
 	}
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("429 without Retry-After")
 	}
+	// Backpressure is per tenant: the same body under another tenant key
+	// (or none — the shared default tenant) is still accepted, and the
+	// rejected submission must not have burned a job id.
+	if rec := do(s, "POST", "/v1/analyze", `{"tenant":"beta"}`); rec.Code != 202 {
+		t.Fatalf("other-tenant submit during alpha backpressure: status = %d, want 202", rec.Code)
+	} else if loc := rec.Header().Get("Location"); loc != "/v1/jobs/job-3" {
+		t.Fatalf("Location after reject = %q, want /v1/jobs/job-3", loc)
+	}
+	if rec := do(s, "POST", "/v1/analyze", ""); rec.Code != 202 {
+		t.Fatalf("default-tenant submit: status = %d, want 202", rec.Code)
+	}
+
 	snap := reg.Reg().Snapshot()
-	if got := snap.Counter("server_jobs_total", "status", "accepted"); got != 2 {
-		t.Fatalf("accepted = %d, want 2", got)
+	if got := snap.Counter("server_jobs_total", "status", "accepted"); got != 4 {
+		t.Fatalf("accepted = %d, want 4", got)
 	}
 	if got := snap.Counter("server_jobs_total", "status", "rejected"); got != 1 {
 		t.Fatalf("rejected = %d, want 1", got)
 	}
-	// The rejected submission must not burn a job id: the next accepted
-	// one after capacity frees is job-3.
-	<-s.queue
-	if rec := do(s, "POST", "/v1/analyze", ""); rec.Header().Get("Location") != "/v1/jobs/job-3" {
-		t.Fatalf("Location after reject = %q, want /v1/jobs/job-3", rec.Header().Get("Location"))
+	if got := snap.Counter("server_sched_rejections_total", "tenant", "alpha"); got != 1 {
+		t.Fatalf("alpha rejections = %d, want 1", got)
+	}
+	// The queue-depth gauges move at enqueue time, not only when a
+	// worker dequeues — /metrics must never read stale between jobs.
+	assertGauge(t, snap, "server_queue_depth", nil, 4)
+	assertGauge(t, snap, "server_sched_queue_depth", []string{"tenant", "alpha"}, 2)
+	assertGauge(t, snap, "server_sched_queue_depth", []string{"tenant", "beta"}, 1)
+	assertGauge(t, snap, "server_sched_queue_depth", []string{"tenant", DefaultTenant}, 1)
+}
+
+// assertGauge fails unless the snapshot holds the named gauge at want.
+func assertGauge(t *testing.T, snap obs.Snapshot, name string, labels []string, want float64) {
+	t.Helper()
+	for _, g := range snap.Gauges {
+		if g.Name != name {
+			continue
+		}
+		match := len(labels) == 0 && len(g.Labels) == 0
+		if len(labels) == 2 && len(g.Labels) == 1 &&
+			g.Labels[0].Key == labels[0] && g.Labels[0].Value == labels[1] {
+			match = true
+		}
+		if match {
+			if g.Value != want {
+				t.Fatalf("%s%v = %v, want %v", name, labels, g.Value, want)
+			}
+			return
+		}
+	}
+	t.Fatalf("gauge %s%v not in snapshot", name, labels)
+}
+
+// TestTenantValidation pins the tenant-field admission rules.
+func TestTenantValidation(t *testing.T) {
+	s := New(Config{})
+	long := strings.Repeat("x", maxTenantLen+1)
+	if rec := do(s, "POST", "/v1/analyze", `{"tenant":"`+long+`"}`); rec.Code != 400 {
+		t.Fatalf("oversized tenant: status = %d, want 400", rec.Code)
+	}
+	rec := do(s, "POST", "/v1/analyze", `{"tenant":"  "}`)
+	if rec.Code != 202 {
+		t.Fatalf("blank tenant: status = %d, want 202", rec.Code)
+	}
+	var v jobView
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Tenant != DefaultTenant {
+		t.Fatalf("blank tenant mapped to %q, want %q", v.Tenant, DefaultTenant)
 	}
 }
 

@@ -2,9 +2,11 @@ package server_test
 
 // smoke_test.go is the end-to-end service exercise `make serve-smoke`
 // runs: a real wasabid server on a loopback port, driven over plain
-// net/http through the full analyze → poll → report → metrics flow,
-// twice — the second job must be served entirely from the cache with
-// zero fresh LLM spend and a byte-identical report.
+// net/http through the full analyze → poll → report → metrics flow.
+// One cold job pays the LLM spend; then three tenants submit
+// concurrently and every warm job must be served entirely from the
+// cache with zero fresh spend and a byte-identical report, with
+// /metrics proving more than one scheduler slot was busy at once.
 
 import (
 	"bytes"
@@ -13,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -37,22 +40,28 @@ func getJSON(t *testing.T, url string, v any) {
 	}
 }
 
-// submit posts an analyze request and returns the job id.
-func submit(t *testing.T, base string) string {
+// submit posts an analyze request for the full corpus under a tenant
+// key and returns the job id.
+func submit(t *testing.T, base, tenant string) string {
 	t.Helper()
-	resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(`{"apps":["HD"]}`))
+	body := `{"tenant":"` + tenant + `"}`
+	resp, err := http.Post(base+"/v1/analyze", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("analyze: status %d", resp.StatusCode)
+		t.Fatalf("analyze (%s): status %d", tenant, resp.StatusCode)
 	}
 	var v struct {
-		ID string `json:"id"`
+		ID     string `json:"id"`
+		Tenant string `json:"tenant"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
 		t.Fatal(err)
+	}
+	if v.Tenant != tenant {
+		t.Fatalf("job tenant = %q, want %q", v.Tenant, tenant)
 	}
 	return v.ID
 }
@@ -63,7 +72,7 @@ func await(t *testing.T, base, id string) (state string, report json.RawMessage,
 	TokensIn int64 `json:"tokens_in"`
 }) {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
+	deadline := time.Now().Add(120 * time.Second)
 	for time.Now().Before(deadline) {
 		var v struct {
 			State    string          `json:"state"`
@@ -99,6 +108,7 @@ func TestServeSmoke(t *testing.T) {
 	srv := server.New(server.Config{
 		Addr:            "127.0.0.1:0",
 		QueueDepth:      4,
+		SchedulerSlots:  3,
 		PipelineWorkers: 2,
 		Cache:           ca,
 		Obs:             observer,
@@ -117,8 +127,8 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("healthz: status %d", resp.StatusCode)
 	}
 
-	// Cold job: real LLM traffic.
-	id1 := submit(t, base)
+	// Cold job (default shared tenant): real LLM traffic.
+	id1 := submit(t, base, server.DefaultTenant)
 	_, report1, fresh1 := await(t, base, id1)
 	if fresh1.TokensIn == 0 || fresh1.Calls == 0 {
 		t.Fatalf("cold job spent nothing: %+v", fresh1)
@@ -127,14 +137,28 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal("cold job returned no report")
 	}
 
-	// Warm job: byte-identical report, zero fresh spend.
-	id2 := submit(t, base)
-	_, report2, fresh2 := await(t, base, id2)
-	if fresh2.TokensIn != 0 || fresh2.Calls != 0 {
-		t.Fatalf("warm job spent fresh LLM traffic: %+v", fresh2)
+	// Concurrent warm jobs from three tenants: each byte-identical to
+	// the cold report at zero fresh spend, scheduled onto overlapping
+	// slots.
+	tenants := []string{"team-a", "team-b", "team-c"}
+	ids := make([]string, len(tenants))
+	var wg sync.WaitGroup
+	for i, tenant := range tenants {
+		wg.Add(1)
+		go func(i int, tenant string) {
+			defer wg.Done()
+			ids[i] = submit(t, base, tenant)
+		}(i, tenant)
 	}
-	if !bytes.Equal(report1, report2) {
-		t.Fatalf("warm report differs from cold: %d vs %d bytes", len(report1), len(report2))
+	wg.Wait()
+	for i, id := range ids {
+		_, report, fresh := await(t, base, id)
+		if fresh.TokensIn != 0 || fresh.Calls != 0 {
+			t.Fatalf("warm job %s (%s) spent fresh LLM traffic: %+v", id, tenants[i], fresh)
+		}
+		if !bytes.Equal(report1, report) {
+			t.Fatalf("warm report %s differs from cold: %d vs %d bytes", id, len(report), len(report1))
+		}
 	}
 
 	// Per-app report endpoint serves the completed section.
@@ -149,7 +173,9 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("report app = %+v", appDoc)
 	}
 
-	// Metrics exposition reflects the cache and job counters.
+	// Metrics exposition reflects the jobs, the cache, the per-tenant
+	// scheduler series, and the render-time latency summaries. The
+	// busy-slot high-water mark proves the warm jobs overlapped.
 	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -158,14 +184,29 @@ func TestServeSmoke(t *testing.T) {
 	resp.Body.Close()
 	text := string(body)
 	for _, want := range []string{
-		`server_jobs_total{status="accepted"} 2`,
-		`server_jobs_total{status="done"} 2`,
+		`server_jobs_total{status="accepted"} 4`,
+		`server_jobs_total{status="done"} 4`,
+		`server_sched_jobs_total{tenant="team-a"} 1`,
+		`server_sched_queue_depth{tenant="team-b"} 0`,
+		`server_sched_slots 3`,
 		`cache_hits_total{stage="review"}`,
-		"# TYPE server_job_ms histogram",
+		"# TYPE server_sched_job_wait_ms histogram",
+		"# TYPE server_sched_job_run_ms histogram",
+		`server_sched_job_wait_ms_quantile{q="0.50"}`,
+		`server_sched_job_run_ms_quantile{q="0.99"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
+	}
+	busyMax := float64(0)
+	for _, g := range observer.Reg().Snapshot().Gauges {
+		if g.Name == "server_sched_slots_busy_max" {
+			busyMax = g.Value
+		}
+	}
+	if busyMax < 2 {
+		t.Fatalf("server_sched_slots_busy_max = %v, want >= 2 (concurrent tenants must overlap)", busyMax)
 	}
 
 	// Graceful drain: refuses new work, then stops serving.

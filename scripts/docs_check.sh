@@ -8,6 +8,10 @@
 #      to an existing file (anchors and absolute URLs are skipped).
 #   3. Every internal/* package states its paper section (a "§"
 #      reference) somewhere in its package documentation.
+#   4. Every scheduler metric the server emits (server_sched_*,
+#      server_queue_*, server_inflight_*) is cataloged in
+#      docs/OBSERVABILITY.md — the catalog must not drift behind the
+#      code.
 #
 # Exits non-zero listing every violation; run via `make docs-check`.
 set -u
@@ -46,6 +50,12 @@ done
 for pkgdir in $(find internal -type f -name '*.go' ! -name '*_test.go' -exec dirname {} \; | sort -u); do
 	grep -l '§' "$pkgdir"/*.go >/dev/null 2>&1 ||
 		err "package $pkgdir has no paper-section (§) reference in its godoc"
+done
+
+# 4. Server scheduler metrics must be cataloged in docs/OBSERVABILITY.md.
+for metric in $(grep -hoE '"(server_sched|server_queue|server_inflight)[a-z_]*"' internal/server/*.go | tr -d '"' | sort -u); do
+	grep -q "$metric" docs/OBSERVABILITY.md ||
+		err "metric $metric (internal/server) is not cataloged in docs/OBSERVABILITY.md"
 done
 
 if [ "$fail" -ne 0 ]; then
