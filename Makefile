@@ -42,13 +42,15 @@ chaos:
 	$(GO) test -race ./internal/resilience/ ./internal/llm/
 
 ## serve-smoke: end-to-end service exercise — a real wasabid server on a
-## loopback port driven through analyze → poll → report → metrics, with
-## three tenants submitting concurrently, every warm job served from the
-## cache, and /metrics proving the slots overlapped (docs/SERVICE.md,
-## docs/SCHEDULING.md); plus the scheduler's wall-clock overlap,
-## fairness, and shared-snapshot-store concurrency proofs.
+## loopback port driven through analyze → poll → report → trace →
+## metrics, with three tenants submitting concurrently, every warm job
+## served from the cache, and /metrics proving the slots overlapped
+## (docs/SERVICE.md, docs/SCHEDULING.md); plus the scheduler's
+## wall-clock overlap, fairness, and shared-snapshot-store concurrency
+## proofs, and the per-job trace-isolation and structured-log
+## correlation proofs (docs/OBSERVABILITY.md).
 serve-smoke:
-	$(GO) test -race -run 'TestServeSmoke|TestJobsOverlapWallClock|TestSlowTenantCannotStarveFast|TestConcurrentJobsShareSnapshotStore' -count=1 ./internal/server/
+	$(GO) test -race -run 'TestServeSmoke|TestJobsOverlapWallClock|TestSlowTenantCannotStarveFast|TestConcurrentJobsShareSnapshotStore|TestJobTraceIsolationUnderConcurrency|TestStructuredLogCorrelation' -count=1 ./internal/server/
 
 ## docs-check: fail on dangling doc references — .md paths mentioned in
 ## Go sources, relative links in README.md and docs/*.md, and internal

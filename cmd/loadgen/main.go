@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -83,11 +84,47 @@ func main() {
 	if observer != nil {
 		server.AttachSchedStats(sb, observer.Reg().Snapshot())
 	}
+	sampleTrace(base)
 	data, err := json.MarshalIndent(sb, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(string(data))
+}
+
+// sampleTrace spot-checks the daemon's per-job tracing after the run:
+// it reads the trace index and pulls the newest job's span tree,
+// reporting what one job's trace looks like under this load (span count
+// and serialized size). Diagnostics only — printed to stderr, never part
+// of the bench JSON — and best-effort: a pre-tracing daemon just reports
+// that traces are unavailable.
+func sampleTrace(base string) {
+	var idx struct {
+		Traces []struct {
+			JobID      string  `json:"job_id"`
+			Tenant     string  `json:"tenant"`
+			Spans      int     `json:"spans"`
+			Bytes      int     `json:"bytes"`
+			DurationMS float64 `json:"duration_ms"`
+		} `json:"traces"`
+	}
+	resp, err := http.Get(base + "/v1/traces")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: trace index unavailable: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "loadgen: trace index unavailable (status %d)\n", resp.StatusCode)
+		return
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil || len(idx.Traces) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: trace index empty")
+		return
+	}
+	newest := idx.Traces[0]
+	fmt.Fprintf(os.Stderr, "loadgen: %d traces retained; newest %s (tenant %s): %d spans, %d bytes, %.1f ms; GET %s/v1/jobs/%s/trace\n",
+		len(idx.Traces), newest.JobID, newest.Tenant, newest.Spans, newest.Bytes, newest.DurationMS, base, newest.JobID)
 }
 
 func fatal(err error) {

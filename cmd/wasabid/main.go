@@ -10,11 +10,19 @@
 //	        [-cache-dir DIR] [-cache-bytes N] [-pprof]
 //	        [-llm-fault-profile none|light|heavy|outage|k=v,...]
 //	        [-llm-outage-after N]
+//	        [-log-format text|json] [-log-level LEVEL] [-trace-ring N]
+//	        [-version]
 //
 // Jobs run concurrently on -slots worker slots fed by per-tenant fair
 // queues (docs/SCHEDULING.md): -queue bounds each tenant's backlog,
 // -tenant-quota caps one tenant's concurrent slots, and -tenant-priority
 // grants named tenants extra round-robin weight.
+//
+// Structured logs go to stderr (-log-format json for machine
+// consumption; every job event carries job_id/tenant/trace_id — the
+// event catalog is in docs/OBSERVABILITY.md), and each completed job's
+// span tree is retained in a -trace-ring-bounded ring served at
+// GET /v1/jobs/{id}/trace.
 //
 // The daemon prints its bound address on startup ("-addr :0" picks a
 // free port) and drains gracefully on SIGTERM/SIGINT: accepted jobs run
@@ -26,8 +34,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
@@ -53,8 +63,21 @@ func main() {
 	outageAfter := flag.Int("llm-outage-after", 0, "take the LLM backend hard-down from the Nth review of each job (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for accepted jobs to finish")
 	pprofOn := flag.Bool("pprof", false, "expose the Go runtime profiler under /debug/pprof/ (see docs/PERFORMANCE.md)")
+	logFormat := flag.String("log-format", "text", "structured log encoding on stderr: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	traceRing := flag.Int("trace-ring", 0, "completed job traces to retain for GET /v1/jobs/{id}/trace (0 = default)")
+	showVersion := flag.Bool("version", false, "print the wasabi version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Printf("wasabid %s %s\n", server.Version, runtime.Version())
+		return
+	}
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	priorities, err := parsePriorities(*tenantPriority)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -70,6 +93,8 @@ func main() {
 		PipelineWorkers: *workers,
 		Obs:             observer,
 		Pprof:           *pprofOn,
+		Log:             logger,
+		TraceRing:       *traceRing,
 	}
 	ca, err := cache.New(cache.Options{Dir: *cacheDir, MaxBytes: *cacheBytes, Metrics: observer.Reg()})
 	if err != nil {
@@ -113,6 +138,24 @@ func main() {
 		st.Hits[cache.StageReview]+st.Hits[cache.StageAnalysis],
 		st.Misses[cache.StageReview]+st.Misses[cache.StageAnalysis],
 		st.Evictions, st.Entries, st.Bytes)
+}
+
+// buildLogger assembles the daemon's slog handler from the -log-format
+// and -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("wasabid: -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("wasabid: -log-format %q is not text or json", format)
+	}
 }
 
 // cacheLabel describes the cache configuration for the startup line.

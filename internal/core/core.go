@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -315,7 +316,27 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 	w.parallelFor("reviews", len(files), func(i int) {
 		sp := w.obs.Trc().Start("review:"+files[i], "review",
 			"app", app.Code, "parent", "identify:"+app.Code)
-		defer sp.End()
+		// The span records the review's outcome facts ("Daemon tracing"
+		// in docs/OBSERVABILITY.md): whether it was served from cache,
+		// what it freshly spent, and how the resilient client fared —
+		// the per-request provenance that answers "which call retried,
+		// which degraded, what did it cost".
+		defer func() {
+			rev := reviews[i]
+			fresh := int64(0)
+			if !cached[i] {
+				fresh = rev.Spent.TokensIn
+			}
+			sp.SetArg("cached", strconv.FormatBool(cached[i]))
+			sp.SetArg("fresh_tokens", strconv.FormatInt(fresh, 10))
+			if rev.Retries > 0 {
+				sp.SetArg("retries", strconv.Itoa(rev.Retries))
+			}
+			if rev.Degraded {
+				sp.SetArg("degraded", rev.DegradedReason)
+			}
+			sp.End()
+		}()
 		sf := snap.Files[i]
 		key := ""
 		if useReviewCache {

@@ -232,6 +232,13 @@ type FileReview struct {
 	// DegradedReason is one of the Degraded* constants (resilient.go)
 	// when Degraded is set.
 	DegradedReason string
+	// Retries counts transport attempts beyond the first that this
+	// review consumed (0 for a clean first try, and for degraded reviews
+	// that never got a successful attempt the count of failed retries).
+	// It is a scheduling fact, not a property of the file contents, so
+	// it is excluded from JSON: cached review envelopes and reports must
+	// stay byte-identical between cold and warm runs.
+	Retries int `json:"-"`
 }
 
 // ReviewFile runs the prompt chain over the file at path. With a fault

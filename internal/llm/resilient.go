@@ -273,8 +273,9 @@ func (c *Client) reviewChaos(path string, src []byte, pre *source.File, lane, id
 		attempt++
 		return ch.transport.Do(ctx, call)
 	})
-	if attempt > 1 {
-		c.reg.Counter("llm_transport_retries_total").Add(int64(attempt - 1))
+	retries := attempt - 1
+	if retries > 0 {
+		c.reg.Counter("llm_transport_retries_total").Add(int64(retries))
 	}
 	if err != nil {
 		reason := ad.reason
@@ -283,9 +284,13 @@ func (c *Client) reviewChaos(path string, src []byte, pre *source.File, lane, id
 			// be a bug, but degrade honestly rather than panic.
 			reason = DegradedRetries
 		}
-		return c.degraded(path, len(src), reason)
+		rev := c.degraded(path, len(src), reason)
+		rev.Retries = retries
+		return rev
 	}
-	return c.review(path, src, pre)
+	rev := c.review(path, src, pre)
+	rev.Retries = retries
+	return rev
 }
 
 // degraded builds the review record for a file the backend never

@@ -57,6 +57,40 @@ func TestWriteTextEscaping(t *testing.T) {
 	}
 }
 
+// TestWriteTextEscapingConformance pins the full label-value escaping
+// contract against the Prometheus text format: backslash, double quote
+// and newline are escaped (in that replacement set), while the
+// separator bytes '=', ',', '{' and '}' — legal inside a quoted label
+// value — pass through literally. Tenant names are user-supplied label
+// values, so a hostile tenant must not be able to break a scrape or
+// smuggle an extra sample line.
+func TestWriteTextEscapingConformance(t *testing.T) {
+	cases := []struct{ value, rendered string }{
+		{`back\slash`, `back\\slash`},
+		{`dou"ble`, `dou\"ble`},
+		{"new\nline", `new\nline`},
+		{`a=b,c{d}e`, `a=b,c{d}e`}, // separators stay literal inside quotes
+		{"\\\"\n", `\\\"\n`},
+		{`x="1",evil{} 9`, `x=\"1\",evil{} 9`},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		r.Counter("esc_total", "tenant", tc.value).Inc()
+		var b strings.Builder
+		if err := WriteText(&b, r.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		want := `esc_total{tenant="` + tc.rendered + `"} 1` + "\n"
+		if got := b.String(); got != "# TYPE esc_total counter\n"+want {
+			t.Fatalf("value %q rendered as:\n%swant sample line:\n%s", tc.value, got, want)
+		}
+		// The escaped exposition must still be exactly one sample line.
+		if lines := strings.Count(b.String(), "\n"); lines != 2 {
+			t.Fatalf("value %q produced %d lines, want 2 (TYPE + sample)", tc.value, lines)
+		}
+	}
+}
+
 // TestWriteTextEmpty verifies an empty snapshot renders as nothing.
 func TestWriteTextEmpty(t *testing.T) {
 	var b strings.Builder

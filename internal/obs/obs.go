@@ -55,3 +55,13 @@ func (o *Observer) Trc() *Tracer {
 	}
 	return o.Tracer
 }
+
+// WithTracer returns an Observer that shares this observer's metrics
+// registry but records spans into tr. The wasabid daemon scopes
+// observability per job this way: metrics stay fleet-wide (one registry
+// behind /metrics) while each job gets a private tracer, so concurrent
+// jobs' span trees are isolated by construction. Safe on nil (the
+// result then carries a nil registry).
+func (o *Observer) WithTracer(tr *Tracer) *Observer {
+	return &Observer{Metrics: o.Reg(), Tracer: tr}
+}

@@ -18,17 +18,40 @@ import (
 // nil instruments, whose methods are no-ops.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]counterEntry
+	gauges   map[string]gaugeEntry
+	hists    map[string]histEntry
+}
+
+// Each entry keeps the instrument's name and canonical label set beside
+// the instrument itself: label values are user-supplied (tenant names
+// become Prometheus labels), so snapshots must never re-derive them by
+// parsing the identity string — a value containing '=', ',' or '{'
+// would come back corrupted.
+type counterEntry struct {
+	name   string
+	labels labelSet
+	c      *Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels labelSet
+	g      *Gauge
+}
+
+type histEntry struct {
+	name   string
+	labels labelSet
+	h      *Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters: make(map[string]counterEntry),
+		gauges:   make(map[string]gaugeEntry),
+		hists:    make(map[string]histEntry),
 	}
 }
 
@@ -157,12 +180,12 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 	id := ls.id(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.counters[id]
-	if c == nil {
-		c = &Counter{}
-		r.counters[id] = c
+	e, ok := r.counters[id]
+	if !ok {
+		e = counterEntry{name: name, labels: ls, c: &Counter{}}
+		r.counters[id] = e
 	}
-	return c
+	return e.c
 }
 
 // Gauge returns the gauge registered under name and labels, creating it
@@ -175,12 +198,27 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	id := ls.id(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g := r.gauges[id]
-	if g == nil {
-		g = &Gauge{}
-		r.gauges[id] = g
+	e, ok := r.gauges[id]
+	if !ok {
+		e = gaugeEntry{name: name, labels: ls, g: &Gauge{}}
+		r.gauges[id] = e
 	}
-	return g
+	return e.g
+}
+
+// RemoveGauge deletes the gauge with the given identity, if registered.
+// Counters and histograms are intentionally not removable — they are
+// monotonic facts a scrape may still want — but gauges describe current
+// state, and keeping one alive for an evicted tenant would report state
+// that no longer exists. No-op on a nil registry.
+func (r *Registry) RemoveGauge(name string, labels ...string) {
+	if r == nil {
+		return
+	}
+	id := makeLabels(labels).id(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.gauges, id)
 }
 
 // Histogram returns the histogram registered under name and labels,
@@ -195,14 +233,14 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *H
 	id := ls.id(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h := r.hists[id]
-	if h == nil {
+	e, ok := r.hists[id]
+	if !ok {
 		b := append([]float64(nil), bounds...)
 		sort.Float64s(b)
-		h = &Histogram{bounds: b, cells: make([]int64, len(b)+1)}
-		r.hists[id] = h
+		e = histEntry{name: name, labels: ls, h: &Histogram{bounds: b, cells: make([]int64, len(b)+1)}}
+		r.hists[id] = e
 	}
-	return h
+	return e.h
 }
 
 // LatencyBuckets is the default bucket set for millisecond latency
@@ -245,40 +283,6 @@ type Snapshot struct {
 	Histograms []HistogramPoint `json:"histograms"`
 }
 
-// splitID recovers (name, labels) from a canonical identity string.
-// Identities are only ever built by labelSet.id, so the format is fixed.
-func splitID(id string) (string, labelSet) {
-	for i := 0; i < len(id); i++ {
-		if id[i] != '{' {
-			continue
-		}
-		name, rest := id[:i], id[i+1:len(id)-1]
-		var ls labelSet
-		for len(rest) > 0 {
-			pair := rest
-			if j := indexByte(rest, ','); j >= 0 {
-				pair, rest = rest[:j], rest[j+1:]
-			} else {
-				rest = ""
-			}
-			if k := indexByte(pair, '='); k >= 0 {
-				ls = append(ls, Label{Key: pair[:k], Value: pair[k+1:]})
-			}
-		}
-		return name, ls
-	}
-	return id, nil
-}
-
-func indexByte(s string, b byte) int {
-	for i := 0; i < len(s); i++ {
-		if s[i] == b {
-			return i
-		}
-	}
-	return -1
-}
-
 // Snapshot copies the registry's current state. Nil registry yields an
 // empty (but non-nil-sectioned) snapshot.
 func (r *Registry) Snapshot() Snapshot {
@@ -292,19 +296,17 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for id, c := range r.counters {
-		name, ls := splitID(id)
-		snap.Counters = append(snap.Counters, CounterPoint{Name: name, Labels: ls, Value: c.Value()})
+	for _, e := range r.counters {
+		snap.Counters = append(snap.Counters, CounterPoint{Name: e.name, Labels: e.labels, Value: e.c.Value()})
 	}
-	for id, g := range r.gauges {
-		name, ls := splitID(id)
-		snap.Gauges = append(snap.Gauges, GaugePoint{Name: name, Labels: ls, Value: g.Value()})
+	for _, e := range r.gauges {
+		snap.Gauges = append(snap.Gauges, GaugePoint{Name: e.name, Labels: e.labels, Value: e.g.Value()})
 	}
-	for id, h := range r.hists {
-		name, ls := splitID(id)
+	for _, e := range r.hists {
+		h := e.h
 		h.mu.Lock()
 		p := HistogramPoint{
-			Name: name, Labels: ls,
+			Name: e.name, Labels: e.labels,
 			Bounds: append([]float64(nil), h.bounds...),
 			Counts: append([]int64(nil), h.cells...),
 			Count:  h.count,

@@ -177,6 +177,64 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHostileLabelValuesRoundTrip: tenant names become label values
+// verbatim, so values containing the identity-string separator bytes
+// ('=', ',', '{', '}') and escape-worthy bytes must survive the trip
+// through Snapshot untouched — the registry stores name and labels
+// beside each instrument instead of re-parsing its identity string.
+func TestHostileLabelValuesRoundTrip(t *testing.T) {
+	hostile := "a=b,c{d}e\"f\\g\nh"
+	r := NewRegistry()
+	r.Counter("jobs_total", "tenant", hostile).Add(2)
+	r.Gauge("depth", "tenant", hostile).Set(3)
+	r.Histogram("lat_ms", []float64{1}, "tenant", hostile).Observe(0.5)
+
+	snap := r.Snapshot()
+	if got := snap.Counter("jobs_total", "tenant", hostile); got != 2 {
+		t.Fatalf("counter lookup by hostile label = %d, want 2", got)
+	}
+	for _, c := range snap.Counters {
+		if c.Name != "jobs_total" || len(c.Labels) != 1 || c.Labels[0].Key != "tenant" || c.Labels[0].Value != hostile {
+			t.Fatalf("counter point corrupted: %+v", c)
+		}
+	}
+	for _, g := range snap.Gauges {
+		if g.Name != "depth" || g.Labels[0].Value != hostile {
+			t.Fatalf("gauge point corrupted: %+v", g)
+		}
+	}
+	hp, ok := snap.HistogramPoint("lat_ms", "tenant", hostile)
+	if !ok || hp.Labels[0].Value != hostile {
+		t.Fatalf("histogram point corrupted: ok=%v %+v", ok, hp)
+	}
+}
+
+// TestRemoveGauge: eviction deletes a gauge's identity; re-registering
+// it afterwards starts fresh.
+func TestRemoveGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("server_sched_queue_depth", "tenant", "acme").Set(7)
+	r.Gauge("server_sched_queue_depth", "tenant", "other").Set(1)
+	r.RemoveGauge("server_sched_queue_depth", "tenant", "acme")
+	snap := r.Snapshot()
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Labels[0].Value != "other" {
+		t.Fatalf("gauges after removal = %+v, want only tenant=other", snap.Gauges)
+	}
+	// Labels match in any order, same as registration.
+	r.Gauge("g2", "a", "1", "b", "2").Set(5)
+	r.RemoveGauge("g2", "b", "2", "a", "1")
+	if n := len(r.Snapshot().Gauges); n != 1 {
+		t.Fatalf("canonical-order removal missed: %d gauges", n)
+	}
+	// A re-created gauge is a fresh instrument.
+	if v := r.Gauge("server_sched_queue_depth", "tenant", "acme").Value(); v != 0 {
+		t.Fatalf("re-created gauge = %v, want 0", v)
+	}
+	// Nil registry and absent identities are no-ops.
+	(*Registry)(nil).RemoveGauge("x")
+	r.RemoveGauge("never_registered")
+}
+
 // TestSnapshotAddGauge: derived gauges insert in canonical identity
 // order, so post-processed snapshots stay deterministic.
 func TestSnapshotAddGauge(t *testing.T) {

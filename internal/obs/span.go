@@ -2,6 +2,13 @@
 // parent/child spans over pipeline stages (§3.1's identify → plan →
 // inject → oracle sequence), serialized as Chrome trace-event JSON so a
 // run renders directly in Perfetto / about://tracing.
+//
+// A Tracer can be scoped to one unit of work: the batch CLI keeps one
+// tracer for the whole run, while the wasabid daemon mints one per job
+// (docs/OBSERVABILITY.md "Daemon tracing") with SetCommonArgs carrying
+// the job's correlation identity (job_id, tenant, trace_id) onto every
+// span, so each job's trace is self-contained and byte-isolated from
+// every concurrently running job.
 package obs
 
 import (
@@ -23,6 +30,16 @@ type Tracer struct {
 	start  time.Time
 	events []chromeEvent
 	lanes  []bool // lane i occupied?
+	// common is merged into every span's args at completion (explicit
+	// args win) — the per-job correlation identity.
+	common map[string]string
+	// rootParent, when set, is recorded as the parent of every root span
+	// opened via Start that carries no explicit parent arg, so a scoped
+	// trace stays one connected tree (the daemon sets it to its "run"
+	// span; spans recorded via Record keep their explicit parentage).
+	rootParent string
+	// procName overrides the process_name metadata event.
+	procName string
 }
 
 // Span is one in-flight operation. End completes it; children inherit
@@ -60,6 +77,58 @@ type chromeTrace struct {
 // NewTracer returns an empty tracer anchored at the current time.
 func NewTracer() *Tracer { return &Tracer{start: time.Now()} }
 
+// NewTracerAt returns an empty tracer anchored at the given time — the
+// daemon anchors a job's tracer at submission so the queue-wait span
+// starts at timestamp zero.
+func NewTracerAt(start time.Time) *Tracer { return &Tracer{start: start} }
+
+// SetCommonArgs installs alternating key/value args merged into every
+// span the tracer records (explicit span args win on collision). The
+// daemon stamps job_id/tenant/trace_id here so every span of a job's
+// trace carries its correlation identity. No-op on nil.
+func (t *Tracer) SetCommonArgs(args ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.common = argMap(args)
+}
+
+// SetRootParent names the span adopted as parent by every parentless
+// root span opened via Start — the seam that hangs the pipeline's
+// "corpus" root under the daemon's per-job "run" span without the
+// pipeline knowing it is being served. No-op on nil.
+func (t *Tracer) SetRootParent(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rootParent = name
+}
+
+// SetProcessName overrides the process_name metadata Perfetto displays
+// (default "wasabi pipeline"). No-op on nil.
+func (t *Tracer) SetProcessName(name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procName = name
+}
+
+// SpanCount reports how many completed spans the tracer holds. 0 on nil.
+func (t *Tracer) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
 // Start opens a root span with the given name, category and alternating
 // key/value args, allocating the lowest free display lane. Nil tracer
 // returns a nil span.
@@ -68,18 +137,7 @@ func (t *Tracer) Start(name, cat string, args ...string) *Span {
 		return nil
 	}
 	t.mu.Lock()
-	lane := -1
-	for i, busy := range t.lanes {
-		if !busy {
-			lane = i
-			break
-		}
-	}
-	if lane < 0 {
-		lane = len(t.lanes)
-		t.lanes = append(t.lanes, false)
-	}
-	t.lanes[lane] = true
+	lane := t.allocLaneLocked()
 	t.mu.Unlock()
 	return &Span{
 		tr: t, name: name, cat: cat,
@@ -87,6 +145,18 @@ func (t *Tracer) Start(name, cat string, args ...string) *Span {
 		start: time.Now(),
 		args:  argMap(args),
 	}
+}
+
+// allocLaneLocked takes the lowest free lane; t.mu must be held.
+func (t *Tracer) allocLaneLocked() int {
+	for i, busy := range t.lanes {
+		if !busy {
+			t.lanes[i] = true
+			return i
+		}
+	}
+	t.lanes = append(t.lanes, true)
+	return len(t.lanes) - 1
 }
 
 // Child opens a sub-span on the parent's lane, recording the parent name
@@ -108,6 +178,20 @@ func (s *Span) Child(name, cat string, args ...string) *Span {
 	}
 }
 
+// SetArg annotates the span with one key/value arg before End — review
+// spans use it to record outcome facts (fresh token spend, cache hit,
+// retries, degradation) known only once the work finished. The span is
+// owned by one goroutine until End, so no locking. No-op on nil.
+func (s *Span) SetArg(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = make(map[string]string, 1)
+	}
+	s.args[key] = value
+}
+
 // End completes the span, appending it to the tracer and freeing its
 // lane if it owns one. No-op on nil.
 func (s *Span) End() {
@@ -118,6 +202,13 @@ func (s *Span) End() {
 	t := s.tr
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	args := s.args
+	if s.ownsLane && t.rootParent != "" && args["parent"] == "" && s.name != t.rootParent {
+		if args == nil {
+			args = make(map[string]string, 1)
+		}
+		args["parent"] = t.rootParent
+	}
 	t.events = append(t.events, chromeEvent{
 		Name: s.name,
 		Cat:  s.cat,
@@ -126,11 +217,53 @@ func (s *Span) End() {
 		Dur:  maxI64(now.Sub(s.start).Microseconds(), 1),
 		PID:  1,
 		TID:  s.lane + 1, // tid 0 is reserved for metadata
-		Args: s.args,
+		Args: t.mergeCommonLocked(args),
 	})
 	if s.ownsLane {
 		t.lanes[s.lane] = false
 	}
+}
+
+// Record appends an already-completed span measured externally — the
+// daemon records the queue-wait (submission → slot start) and the
+// slot-run envelope this way, since neither is "in flight" code the
+// Start/End pattern could bracket. The span takes the lowest lane free
+// at record time. No-op on nil.
+func (t *Tracer) Record(name, cat string, start, end time.Time, args ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lane := t.allocLaneLocked()
+	t.lanes[lane] = false // retrospective: occupies no wall-clock
+	t.events = append(t.events, chromeEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		TS:   start.Sub(t.start).Microseconds(),
+		Dur:  maxI64(end.Sub(start).Microseconds(), 1),
+		PID:  1,
+		TID:  lane + 1,
+		Args: t.mergeCommonLocked(argMap(args)),
+	})
+}
+
+// mergeCommonLocked folds the tracer's common args into m (explicit keys
+// win); t.mu must be held.
+func (t *Tracer) mergeCommonLocked(m map[string]string) map[string]string {
+	if len(t.common) == 0 {
+		return m
+	}
+	if m == nil {
+		m = make(map[string]string, len(t.common))
+	}
+	for k, v := range t.common {
+		if _, ok := m[k]; !ok {
+			m[k] = v
+		}
+	}
+	return m
 }
 
 // SinceMS returns the span's age in milliseconds — the value stage
@@ -147,13 +280,15 @@ func (s *Span) SinceMS() float64 {
 // metadata so Perfetto labels the lanes. Safe on a nil tracer, which
 // writes an empty-but-valid trace.
 func (t *Tracer) WriteJSON(w io.Writer) error {
-	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
-		{Name: "process_name", Ph: "M", PID: 1, Args: map[string]string{"name": "wasabi pipeline"}},
-	}}
+	proc := "wasabi pipeline"
+	trace := chromeTrace{DisplayTimeUnit: "ms"}
 	if t != nil {
 		t.mu.Lock()
 		events := append([]chromeEvent(nil), t.events...)
 		lanes := len(t.lanes)
+		if t.procName != "" {
+			proc = t.procName
+		}
 		t.mu.Unlock()
 		// Stable output for a given set of spans: order by start, then
 		// lane, then name (End order depends on scheduling).
@@ -167,6 +302,9 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			}
 			return a.Name < b.Name
 		})
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: 1, Args: map[string]string{"name": proc},
+		})
 		for i := 0; i < lanes; i++ {
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 				Name: "thread_name", Ph: "M", PID: 1, TID: i + 1,
@@ -174,6 +312,10 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			})
 		}
 		trace.TraceEvents = append(trace.TraceEvents, events...)
+	} else {
+		trace.TraceEvents = []chromeEvent{
+			{Name: "process_name", Ph: "M", PID: 1, Args: map[string]string{"name": proc}},
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")

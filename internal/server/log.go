@@ -1,0 +1,69 @@
+// log.go is the daemon's structured logging surface. Every event the
+// daemon emits about a job carries the job's correlation identity —
+// job_id, tenant, trace_id — so one grep (or one log-pipeline filter)
+// reconstructs a job's full lifecycle and joins it to its span tree
+// (GET /v1/jobs/{id}/trace) and to the per-tenant cost series. This is
+// the per-request provenance the §4.3 cost accounting needs in a served
+// setting: which job retried, which degraded, what it cost and for whom.
+//
+// Events are named constants, never inline strings, and the catalog in
+// docs/OBSERVABILITY.md must list every one (scripts/docs_check.sh
+// enforces it). The logger itself is log/slog: cmd/wasabid picks the
+// handler (-log-format text|json, -log-level) and hands it in via
+// Config.Log; a nil Config.Log discards, so tests and embedded use pay
+// only for the event-assembly they observe.
+package server
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Log event names. One constant per distinct daemon happening; the
+// docs/OBSERVABILITY.md log-event catalog documents each one's fields.
+const (
+	// evServerStart: the daemon bound its listener and started its
+	// scheduler slots. Fields: addr, slots, version.
+	evServerStart = "server.start"
+	// evServerDrain: shutdown began; admission is closed and accepted
+	// jobs are running to completion.
+	evServerDrain = "server.drain"
+	// evServerStop: drain finished and the listener closed. Fields:
+	// uptime_s.
+	evServerStop = "server.stop"
+	// evJobAccepted: a submission passed validation and entered its
+	// tenant's queue. Fields: job identity, apps, queue_depth.
+	evJobAccepted = "job.accepted"
+	// evJobRejected: a submission was refused. Fields: tenant, reason
+	// (draining | queue-full), status (the HTTP code sent).
+	evJobRejected = "job.rejected"
+	// evJobStart: a scheduler slot picked the job and the pipeline run
+	// began. Fields: job identity, queue_wait_ms.
+	evJobStart = "job.start"
+	// evJobFinish: the run completed (either way). Fields: job identity,
+	// state (done | failed), run_ms, fresh_tokens, spans, error.
+	evJobFinish = "job.finish"
+	// evJobDegraded: the job completed but one or more file reviews fell
+	// back to static-only analysis. Fields: job identity, degraded_files.
+	evJobDegraded = "job.degraded"
+	// evTenantEvicted: a tenant went idle (empty queue, zero in-flight)
+	// and the scheduler reclaimed its state. Fields: tenant.
+	evTenantEvicted = "sched.tenant_evicted"
+)
+
+// discardLogger is the nil-Config.Log default: a real *slog.Logger (so
+// call sites never nil-check) that writes nowhere.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// jobAttrs renders a job's correlation identity as slog attrs — the
+// prefix every job-scoped event carries.
+func jobAttrs(j *job) []any {
+	return []any{"job_id", j.id, "tenant", j.tenant, "trace_id", j.traceID}
+}
+
+// logJob emits a job-scoped event with the correlation identity first.
+func (s *Server) logJob(ev string, j *job, args ...any) {
+	s.log.Info(ev, append(jobAttrs(j), args...)...)
+}

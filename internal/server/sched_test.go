@@ -40,12 +40,12 @@ import (
 // backlog empties, then b drains.
 func TestWeightedRoundRobinPickOrder(t *testing.T) {
 	reg := obs.New().Reg()
-	sc := newScheduler(1, 100, 100, map[string]int{"a": 2}, reg)
+	sc := newScheduler(1, 100, 100, map[string]int{"a": 2}, reg, nil)
 	for i := 0; i < 6; i++ {
-		if err := sc.enqueue(&job{tenant: "a", submitted: time.Now()}); err != nil {
+		if _, err := sc.enqueue(&job{tenant: "a", submitted: time.Now()}); err != nil {
 			t.Fatal(err)
 		}
-		if err := sc.enqueue(&job{tenant: "b", submitted: time.Now()}); err != nil {
+		if _, err := sc.enqueue(&job{tenant: "b", submitted: time.Now()}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -69,9 +69,9 @@ func TestWeightedRoundRobinPickOrder(t *testing.T) {
 // a tenant's queued jobs stay queued until one finishes.
 func TestTenantQuotaBoundsPicks(t *testing.T) {
 	reg := obs.New().Reg()
-	sc := newScheduler(4, 1, 100, nil, reg)
+	sc := newScheduler(4, 1, 100, nil, reg, nil)
 	for i := 0; i < 3; i++ {
-		if err := sc.enqueue(&job{tenant: "a", submitted: time.Now()}); err != nil {
+		if _, err := sc.enqueue(&job{tenant: "a", submitted: time.Now()}); err != nil {
 			t.Fatal(err)
 		}
 	}

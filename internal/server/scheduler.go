@@ -29,6 +29,7 @@ package server
 
 import (
 	"errors"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -63,6 +64,7 @@ type scheduler struct {
 	// weights maps tenant name → round-robin weight (default 1).
 	weights map[string]int
 	reg     *obs.Registry
+	log     *slog.Logger
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -81,14 +83,19 @@ type scheduler struct {
 	wg       sync.WaitGroup
 }
 
-// newScheduler sizes the scheduler from a validated Config.
-func newScheduler(slots, quota, depth int, weights map[string]int, reg *obs.Registry) *scheduler {
+// newScheduler sizes the scheduler from a validated Config. log may be
+// nil (tests); events then discard.
+func newScheduler(slots, quota, depth int, weights map[string]int, reg *obs.Registry, log *slog.Logger) *scheduler {
+	if log == nil {
+		log = discardLogger()
+	}
 	s := &scheduler{
 		slots:   slots,
 		quota:   quota,
 		depth:   depth,
 		weights: weights,
 		reg:     reg,
+		log:     log,
 		tenants: make(map[string]*tenantQueue),
 		done:    make(chan struct{}),
 	}
@@ -120,28 +127,29 @@ func (s *scheduler) tenantLocked(name string) *tenantQueue {
 	return t
 }
 
-// enqueue admits a job to its tenant's queue. It returns errDraining
-// after drain began and errQueueFull when the tenant's backlog is at
-// capacity — callers map those to 503 and 429 respectively. The queue
-// depth gauges move at enqueue time (not just at dequeue), so /metrics
-// never reads a stale depth between jobs.
-func (s *scheduler) enqueue(j *job) error {
+// enqueue admits a job to its tenant's queue, returning the tenant's
+// resulting backlog depth. It returns errDraining after drain began and
+// errQueueFull when the tenant's backlog is at capacity — callers map
+// those to 503 and 429 respectively. The queue depth gauges move at
+// enqueue time (not just at dequeue), so /metrics never reads a stale
+// depth between jobs.
+func (s *scheduler) enqueue(j *job) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return errDraining
+		return 0, errDraining
 	}
 	t := s.tenantLocked(j.tenant)
 	if len(t.jobs) >= s.depth {
 		s.reg.Counter("server_sched_rejections_total", "tenant", t.name).Inc()
-		return errQueueFull
+		return len(t.jobs), errQueueFull
 	}
 	t.jobs = append(t.jobs, j)
 	s.queued++
 	s.reg.Counter("server_sched_jobs_total", "tenant", t.name).Inc()
 	s.depthGaugesLocked(t)
 	s.cond.Signal()
-	return nil
+	return len(t.jobs), nil
 }
 
 // depthGaugesLocked refreshes the per-tenant and aggregate queue-depth
@@ -243,7 +251,8 @@ func (s *scheduler) next() *job {
 
 // finish releases the job's slot and quota share. It broadcasts because
 // one completion can make several waiters runnable (a freed slot and a
-// freed quota unit are different wake conditions).
+// freed quota unit are different wake conditions). A tenant left with no
+// backlog and no in-flight jobs is evicted on the spot.
 func (s *scheduler) finish(j *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -255,7 +264,38 @@ func (s *scheduler) finish(j *job) {
 	s.reg.Gauge("server_inflight_jobs").Set(float64(s.busy))
 	s.reg.Histogram("server_sched_job_run_ms", obs.LatencyBuckets).
 		Observe(float64(time.Since(j.started)) / float64(time.Millisecond))
+	if len(t.jobs) == 0 && t.inflight == 0 {
+		s.evictLocked(t)
+	}
 	s.cond.Broadcast()
+}
+
+// evictLocked reclaims an idle tenant's scheduling state — the
+// KNOWN_ISSUES "tenant state never reclaimed" fix: a daemon serving a
+// long tail of one-shot tenants no longer accumulates a queue struct,
+// a sorted-order slot and two gauges per tenant forever. The tenant's
+// monotonic counters (jobs, rejections, token spend) survive — history
+// should — but its *state* gauges are removed: a depth/in-flight gauge
+// for a tenant that no longer exists would report state that isn't
+// there. A returning tenant is simply re-created with fresh round-robin
+// credit, which is exactly what a brand-new tenant gets. s.mu must be
+// held.
+func (s *scheduler) evictLocked(t *tenantQueue) {
+	delete(s.tenants, t.name)
+	i := sort.SearchStrings(s.order, t.name)
+	s.order = append(s.order[:i], s.order[i+1:]...)
+	if s.cursor > i {
+		s.cursor--
+	}
+	if len(s.order) > 0 {
+		s.cursor %= len(s.order)
+	} else {
+		s.cursor = 0
+	}
+	s.reg.Counter("server_sched_tenant_evictions_total").Inc()
+	s.reg.RemoveGauge("server_sched_queue_depth", "tenant", t.name)
+	s.reg.RemoveGauge("server_sched_tenant_inflight", "tenant", t.name)
+	s.log.Info(evTenantEvicted, "tenant", t.name)
 }
 
 // drain closes admission and wakes every worker so they can exit once

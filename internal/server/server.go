@@ -8,11 +8,13 @@
 //
 // Surface (docs/SERVICE.md is the full reference):
 //
-//	POST /v1/analyze        submit an analysis job (tenant queue full → 429)
-//	GET  /v1/jobs/{id}      job status, and the canonical JSON report when done
-//	GET  /v1/reports/{app}  latest completed report section for one app
-//	GET  /healthz           liveness (503 while draining)
-//	GET  /metrics           Prometheus text exposition of the registry
+//	POST /v1/analyze            submit an analysis job (tenant queue full → 429)
+//	GET  /v1/jobs/{id}          job status, and the canonical JSON report when done
+//	GET  /v1/jobs/{id}/trace    the job's span tree (Chrome trace-event JSON)
+//	GET  /v1/traces             index of retained traces, newest first
+//	GET  /v1/reports/{app}      latest completed report section for one app
+//	GET  /healthz               liveness (503 while draining)
+//	GET  /metrics               Prometheus text exposition of the registry
 //
 // Jobs execute concurrently on Config.SchedulerSlots worker slots fed by
 // per-tenant fair queues (scheduler.go, docs/SCHEDULING.md): every
@@ -24,13 +26,25 @@
 // metrics registry. Shutdown is a graceful drain: accepted jobs (queued
 // or running) complete, new submissions are refused, and only then does
 // the listener stop.
+//
+// Every job is observable end to end (docs/OBSERVABILITY.md "Daemon
+// tracing"): submission mints a job context — job id, tenant, trace id —
+// that rides every structured log event (log.go), every span of the
+// job's private tracer (queue-wait → slot run → pipeline stages →
+// per-file reviews), and the per-tenant cost series
+// server_tenant_llm_tokens_total / server_tenant_job_ms that pair fair
+// scheduling with fair billing.
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -95,6 +109,14 @@ type Config struct {
 	// leak operational detail and cost CPU while profiling, so they are
 	// opt-in (cmd/wasabid's -pprof flag).
 	Pprof bool
+	// Log receives the daemon's structured events (log.go catalogs
+	// them); cmd/wasabid builds it from -log-format/-log-level. Nil
+	// discards.
+	Log *slog.Logger
+	// TraceRing bounds how many completed job traces the daemon retains
+	// for GET /v1/jobs/{id}/trace (oldest evicted first). Zero means
+	// DefaultTraceRing.
+	TraceRing int
 }
 
 // Server is the analysis daemon. Create with New, run with Start, stop
@@ -117,6 +139,12 @@ type Server struct {
 	// which substitute timed synthetic jobs to prove wall-clock overlap
 	// and fairness without corpus noise.
 	runJob func(*job)
+	// log receives structured events (never nil; defaults to discard).
+	log *slog.Logger
+	// traces retains completed jobs' span trees (tracering.go).
+	traces *traceRing
+	// started is stamped by Start; server_uptime_seconds derives from it.
+	started time.Time
 
 	mu         sync.Mutex
 	draining   bool
@@ -129,7 +157,11 @@ type Server struct {
 type job struct {
 	id     string
 	tenant string
-	apps   []corpus.App
+	// traceID is the job's wire-visible trace identity, minted at
+	// submission alongside the id; logs, spans and the trace index all
+	// carry it, so external systems can join on either.
+	traceID string
+	apps    []corpus.App
 	// submitted and started bound the queue-wait; started is stamped by
 	// the scheduler when a slot picks the job.
 	submitted time.Time
@@ -140,6 +172,17 @@ type job struct {
 	err    string
 	report []byte
 	fresh  llm.Usage
+}
+
+// newTraceID mints a 64-bit random hex trace id.
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not a reason to refuse work; the job id
+		// stays the unique key in that case.
+		return "trace-unavailable"
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // New returns an unstarted server.
@@ -156,18 +199,26 @@ func New(cfg Config) *Server {
 	if cfg.TenantQuota <= 0 || cfg.TenantQuota > cfg.SchedulerSlots {
 		cfg.TenantQuota = cfg.SchedulerSlots
 	}
+	log := cfg.Log
+	if log == nil {
+		log = discardLogger()
+	}
 	s := &Server{
 		cfg:        cfg,
 		obs:        cfg.Obs,
+		log:        log,
 		source:     source.NewStore(cfg.Obs.Reg()),
 		jobs:       make(map[string]*job),
 		appReports: make(map[string][]byte),
-		sched:      newScheduler(cfg.SchedulerSlots, cfg.TenantQuota, cfg.QueueDepth, cfg.TenantPriority, cfg.Obs.Reg()),
+		traces:     newTraceRing(cfg.TraceRing, cfg.Obs.Reg()),
+		sched:      newScheduler(cfg.SchedulerSlots, cfg.TenantQuota, cfg.QueueDepth, cfg.TenantPriority, cfg.Obs.Reg(), log),
 	}
 	s.runJob = s.run
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	mux.HandleFunc("GET /v1/reports/{app}", s.handleReport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -180,6 +231,7 @@ func New(cfg Config) *Server {
 	}
 	s.http = &http.Server{Handler: mux}
 	s.obs.Reg().Gauge("server_queue_capacity").Set(float64(cfg.QueueDepth))
+	s.obs.Reg().Gauge("wasabi_build_info", "version", Version, "go_version", runtime.Version()).Set(1)
 	return s
 }
 
@@ -192,8 +244,10 @@ func (s *Server) Start() error {
 		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
 	}
 	s.ln = ln
+	s.started = time.Now()
 	s.sched.start(func(j *job) { s.runJob(j) })
 	go s.http.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	s.log.Info(evServerStart, "addr", s.Addr(), "slots", s.cfg.SchedulerSlots, "version", Version)
 	return nil
 }
 
@@ -214,6 +268,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.log.Info(evServerDrain)
 	s.sched.drain()
 	var err error
 	select {
@@ -225,6 +280,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.ln.Close()
 	}
 	s.http.Close()
+	uptime := 0.0
+	if !s.started.IsZero() {
+		uptime = time.Since(s.started).Seconds()
+	}
+	s.log.Info(evServerStop, "uptime_s", uptime)
 	return err
 }
 
@@ -232,15 +292,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // concurrently (one per busy slot); everything they share — cache,
 // snapshot store, registry — is goroutine-safe, and per-job state lives
 // in the job's own core.Wasabi instance.
+//
+// Observability scoping: the job gets a *private* tracer anchored at
+// submission — so queue-wait is the first span of its own trace — with
+// the job's correlation identity stamped on every span, while metrics
+// keep flowing into the shared daemon registry. The pipeline's root
+// "corpus" span is re-parented under the job's "run" span
+// (SetRootParent), producing one connected tree per job: job →
+// queue-wait + run → corpus → app → stages → per-file reviews.
 func (s *Server) run(j *job) {
 	s.mu.Lock()
 	j.state = "running"
 	s.mu.Unlock()
 	start := time.Now()
+	s.logJob(evJobStart, j, "queue_wait_ms", durMS(start.Sub(j.submitted)))
+
+	tr := obs.NewTracerAt(j.submitted)
+	tr.SetProcessName("wasabid " + j.id)
+	tr.SetCommonArgs("job_id", j.id, "tenant", j.tenant, "trace_id", j.traceID)
+	tr.SetRootParent("run")
 
 	opts := core.DefaultOptions()
 	opts.Workers = s.cfg.PipelineWorkers
-	opts.Obs = s.obs
+	opts.Obs = s.obs.WithTracer(tr)
 	opts.Cache = s.cfg.Cache
 	opts.Source = s.source
 	if s.cfg.Fault != nil {
@@ -264,12 +338,47 @@ func (s *Server) run(j *job) {
 		}
 	}
 
+	end := time.Now()
+	state := "done"
+	if err != nil {
+		state = "failed"
+	}
+	fresh := w.LLMUsage()
+
+	// Close out the job's span tree with the scheduler-side envelope
+	// spans the pipeline could not see, then freeze it into the ring.
+	tr.Record("queue-wait", "sched", j.submitted, start, "parent", "job")
+	tr.Record("run", "sched", start, end, "parent", "job")
+	tr.Record("job", "job", j.submitted, end, "state", state,
+		"fresh_tokens", fmt.Sprintf("%d", fresh.TokensIn))
+	var traceBuf bytes.Buffer
+	tr.WriteJSON(&traceBuf) //nolint:errcheck // bytes.Buffer cannot fail
+	s.traces.put(traceMeta{
+		JobID: j.id, Tenant: j.tenant, TraceID: j.traceID, State: state,
+		Spans: tr.SpanCount(), DurationMS: durMS(end.Sub(j.submitted)),
+	}, traceBuf.Bytes())
+
+	// Tenant cost attribution. server_tenant_llm_tokens_total counts the
+	// same event as llm_tokens_in_total — a fresh (uncached, undegraded)
+	// review charging the backend — just keyed by who asked, so summing
+	// it across tenants equals the fleet counter's growth exactly.
+	reg := s.obs.Reg()
+	reg.Counter("server_tenant_llm_tokens_total", "tenant", j.tenant).Add(fresh.TokensIn)
+	reg.Histogram("server_tenant_job_ms", obs.LatencyBuckets, "tenant", j.tenant).Observe(durMS(end.Sub(start)))
+
+	if err == nil {
+		if n := len(cr.DegradedFiles()); n > 0 {
+			s.logJob(evJobDegraded, j, "degraded_files", n)
+		}
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.obs.Reg().Histogram("server_job_ms", obs.LatencyBuckets).Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	reg.Histogram("server_job_ms", obs.LatencyBuckets).Observe(durMS(end.Sub(start)))
 	if err != nil {
 		j.state, j.err = "failed", err.Error()
-		s.obs.Reg().Counter("server_jobs_total", "status", "failed").Inc()
+		reg.Counter("server_jobs_total", "status", "failed").Inc()
+		s.logJob(evJobFinish, j, "state", state, "run_ms", durMS(end.Sub(start)), "error", err.Error())
 		return
 	}
 	j.report = data
@@ -277,8 +386,16 @@ func (s *Server) run(j *job) {
 		s.appReports[code] = d
 	}
 	j.state = "done"
-	j.fresh = w.LLMUsage()
-	s.obs.Reg().Counter("server_jobs_total", "status", "done").Inc()
+	j.fresh = fresh
+	reg.Counter("server_jobs_total", "status", "done").Inc()
+	s.logJob(evJobFinish, j, "state", state, "run_ms", durMS(end.Sub(start)),
+		"fresh_tokens", fresh.TokensIn, "spans", tr.SpanCount())
+}
+
+// durMS renders a duration as float milliseconds (the unit every
+// latency histogram and log field uses).
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 // analyzeRequest is the POST /v1/analyze body.
@@ -293,11 +410,12 @@ type analyzeRequest struct {
 // jobView is the wire shape of a job (also the POST /v1/analyze
 // response, minus report).
 type jobView struct {
-	ID     string   `json:"id"`
-	State  string   `json:"state"`
-	Tenant string   `json:"tenant"`
-	Apps   []string `json:"apps"`
-	Error  string   `json:"error,omitempty"`
+	ID      string   `json:"id"`
+	State   string   `json:"state"`
+	Tenant  string   `json:"tenant"`
+	TraceID string   `json:"trace_id"`
+	Apps    []string `json:"apps"`
+	Error   string   `json:"error,omitempty"`
 	// FreshLLM is the LLM traffic the job actually generated — zero for
 	// a fully cache-served run, unlike the report's attributed usage.
 	FreshLLM *freshUsage `json:"fresh_llm,omitempty"`
@@ -351,6 +469,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.mu.Unlock()
 		s.obs.Reg().Counter("server_jobs_total", "status", "rejected").Inc()
+		s.log.Info(evJobRejected, "tenant", tenant, "reason", "draining", "status", http.StatusServiceUnavailable)
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
@@ -358,18 +477,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	j := &job{
 		id:        fmt.Sprintf("job-%d", s.nextID),
 		tenant:    tenant,
+		traceID:   newTraceID(),
 		apps:      apps,
 		submitted: time.Now(),
 		state:     "queued",
 	}
-	if err := s.sched.enqueue(j); err != nil {
+	queued, err := s.sched.enqueue(j)
+	if err != nil {
 		s.nextID-- // not accepted: reuse the id
 		s.mu.Unlock()
 		s.obs.Reg().Counter("server_jobs_total", "status", "rejected").Inc()
 		if err == errDraining {
+			s.log.Info(evJobRejected, "tenant", tenant, "reason", "draining", "status", http.StatusServiceUnavailable)
 			httpError(w, http.StatusServiceUnavailable, "draining")
 			return
 		}
+		s.log.Info(evJobRejected, "tenant", tenant, "reason", "queue-full", "status", http.StatusTooManyRequests)
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "tenant job queue full")
 		return
@@ -379,6 +502,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.obs.Reg().Counter("server_jobs_total", "status", "accepted").Inc()
+	s.logJob(evJobAccepted, j, "apps", len(apps), "queue_depth", queued)
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
 	writeJSON(w, http.StatusAccepted, view)
 }
@@ -398,7 +522,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // viewLocked renders a job's wire shape; s.mu must be held.
 func (s *Server) viewLocked(j *job, includeReport bool) jobView {
-	v := jobView{ID: j.id, State: j.state, Tenant: j.tenant, Error: j.err}
+	v := jobView{ID: j.id, State: j.state, Tenant: j.tenant, TraceID: j.traceID, Error: j.err}
 	for _, app := range j.apps {
 		v.Apps = append(v.Apps, app.Code)
 	}
@@ -409,6 +533,37 @@ func (s *Server) viewLocked(j *job, includeReport bool) jobView {
 		}
 	}
 	return v
+}
+
+// handleJobTrace serves a completed job's span tree as Chrome
+// trace-event JSON (open it in Perfetto / about://tracing as-is). Traces
+// exist only for completed jobs still inside the bounded ring; the 404
+// message distinguishes "not finished yet" from "evicted or unknown".
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, ok := s.traces.get(id)
+	if !ok {
+		s.mu.Lock()
+		j, known := s.jobs[id]
+		state := ""
+		if known {
+			state = j.state
+		}
+		s.mu.Unlock()
+		if known && (state == "queued" || state == "running") {
+			httpError(w, http.StatusNotFound, "trace not available until the job completes")
+			return
+		}
+		httpError(w, http.StatusNotFound, "no trace retained for job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+// handleTraces serves the trace ring's index, newest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"traces": s.traces.index()})
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -460,6 +615,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	snap := s.obs.Reg().Snapshot()
 	addSchedSummaries(&snap)
+	// Uptime is derived at render time rather than kept as mutable
+	// registry state nothing else reads (same pattern as the scheduler
+	// quantiles).
+	if !s.started.IsZero() {
+		snap.AddGauge("server_uptime_seconds", time.Since(s.started).Seconds())
+	}
 	obs.WriteText(w, snap) //nolint:errcheck // client gone
 }
 

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -161,6 +162,62 @@ func TestServeSmoke(t *testing.T) {
 		}
 	}
 
+	// Every completed job's span tree is retained and served as Chrome
+	// trace-event JSON; the cold job's must cover the whole lifecycle —
+	// queue-wait and slot run, the pipeline root, and per-file reviews —
+	// with the job's correlation identity on each span.
+	var traceDoc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	getJSON(t, base+"/v1/jobs/"+id1+"/trace", &traceDoc)
+	seen := map[string]bool{}
+	reviews := 0
+	for _, ev := range traceDoc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		seen[ev.Name] = true
+		if strings.HasPrefix(ev.Name, "review:") {
+			reviews++
+		}
+		if got := ev.Args["job_id"]; got != id1 {
+			t.Fatalf("span %q carries job_id %q, want %q", ev.Name, got, id1)
+		}
+		if got := ev.Args["tenant"]; got != server.DefaultTenant {
+			t.Fatalf("span %q carries tenant %q, want %q", ev.Name, got, server.DefaultTenant)
+		}
+	}
+	for _, want := range []string{"job", "queue-wait", "run", "corpus"} {
+		if !seen[want] {
+			t.Fatalf("trace for %s is missing the %q span (have %v)", id1, want, seen)
+		}
+	}
+	if reviews == 0 {
+		t.Fatalf("trace for %s has no per-file review spans", id1)
+	}
+
+	// The trace index lists all four jobs, newest first — the cold job,
+	// which completed first, comes last.
+	var idx struct {
+		Traces []struct {
+			JobID   string `json:"job_id"`
+			TraceID string `json:"trace_id"`
+			State   string `json:"state"`
+			Spans   int    `json:"spans"`
+		} `json:"traces"`
+	}
+	getJSON(t, base+"/v1/traces", &idx)
+	if len(idx.Traces) != 4 {
+		t.Fatalf("trace index has %d entries, want 4", len(idx.Traces))
+	}
+	if last := idx.Traces[len(idx.Traces)-1]; last.JobID != id1 || last.State != "done" || last.Spans == 0 || last.TraceID == "" {
+		t.Fatalf("oldest trace index entry = %+v, want completed %s", last, id1)
+	}
+
 	// Per-app report endpoint serves the completed section.
 	var appDoc struct {
 		Schema string `json:"schema"`
@@ -187,13 +244,18 @@ func TestServeSmoke(t *testing.T) {
 		`server_jobs_total{status="accepted"} 4`,
 		`server_jobs_total{status="done"} 4`,
 		`server_sched_jobs_total{tenant="team-a"} 1`,
-		`server_sched_queue_depth{tenant="team-b"} 0`,
 		`server_sched_slots 3`,
 		`cache_hits_total{stage="review"}`,
 		"# TYPE server_sched_job_wait_ms histogram",
 		"# TYPE server_sched_job_run_ms histogram",
 		`server_sched_job_wait_ms_quantile{q="0.50"}`,
 		`server_sched_job_run_ms_quantile{q="0.99"}`,
+		"# TYPE server_sched_tenant_evictions_total counter",
+		`server_tenant_llm_tokens_total{tenant="team-a"} 0`,
+		"# TYPE server_tenant_job_ms histogram",
+		`wasabi_build_info{go_version="` + runtime.Version() + `",version="` + server.Version + `"} 1`,
+		"# TYPE server_uptime_seconds gauge",
+		"server_trace_ring_entries 4",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
@@ -217,5 +279,18 @@ func TestServeSmoke(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("listener still serving after drain")
+	}
+
+	// With every worker exited, all four one-shot tenants went idle and
+	// were reclaimed: the eviction counter covers each, and no stale
+	// per-tenant state gauges survive.
+	snap := observer.Reg().Snapshot()
+	if got := snap.Counter("server_sched_tenant_evictions_total"); got != 4 {
+		t.Fatalf("server_sched_tenant_evictions_total = %d, want 4", got)
+	}
+	for _, g := range snap.Gauges {
+		if g.Name == "server_sched_queue_depth" || g.Name == "server_sched_tenant_inflight" {
+			t.Fatalf("stale per-tenant gauge survived eviction: %+v", g)
+		}
 	}
 }

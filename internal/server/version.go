@@ -1,0 +1,9 @@
+// version.go pins the daemon's release identity, surfaced three ways:
+// the wasabid -version flag, the evServerStart log event, and the
+// wasabi_build_info metric (§3.1.3 record-then-inspect applied to
+// deployment provenance: a scrape should say what is running, not just
+// how it behaves). Bumped per released PR.
+package server
+
+// Version is the wasabi release the daemon reports.
+const Version = "0.7.0"

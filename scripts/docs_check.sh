@@ -8,10 +8,16 @@
 #      to an existing file (anchors and absolute URLs are skipped).
 #   3. Every internal/* package states its paper section (a "§"
 #      reference) somewhere in its package documentation.
-#   4. Every scheduler metric the server emits (server_sched_*,
-#      server_queue_*, server_inflight_*) is cataloged in
+#   4. Every daemon metric the server emits (server_sched_*,
+#      server_queue_*, server_inflight_*, server_tenant_*,
+#      server_trace_*, server_uptime_*, wasabi_build_*) is cataloged in
 #      docs/OBSERVABILITY.md — the catalog must not drift behind the
 #      code.
+#   5. Every HTTP endpoint the server registers ("METHOD /path" mux
+#      patterns) is documented in docs/SERVICE.md.
+#   6. Every structured-log event name the server defines (the ev*
+#      constants in internal/server/log.go) is cataloged in
+#      docs/OBSERVABILITY.md.
 #
 # Exits non-zero listing every violation; run via `make docs-check`.
 set -u
@@ -52,10 +58,26 @@ for pkgdir in $(find internal -type f -name '*.go' ! -name '*_test.go' -exec dir
 		err "package $pkgdir has no paper-section (§) reference in its godoc"
 done
 
-# 4. Server scheduler metrics must be cataloged in docs/OBSERVABILITY.md.
-for metric in $(grep -hoE '"(server_sched|server_queue|server_inflight)[a-z_]*"' internal/server/*.go | tr -d '"' | sort -u); do
+# 4. Server daemon metrics must be cataloged in docs/OBSERVABILITY.md.
+for metric in $(grep -hoE '"(server_sched|server_queue|server_inflight|server_tenant|server_trace|server_uptime|wasabi_build)[a-z_]*"' internal/server/*.go | tr -d '"' | sort -u); do
 	grep -q "$metric" docs/OBSERVABILITY.md ||
 		err "metric $metric (internal/server) is not cataloged in docs/OBSERVABILITY.md"
+done
+
+# 5. Every registered HTTP endpoint must appear in docs/SERVICE.md
+# (pprof endpoints are documented as a family via /debug/pprof/).
+for pattern in $(grep -hoE 'HandleFunc\("(GET|POST|PUT|DELETE) [^"]+"' internal/server/*.go | sed -e 's/^HandleFunc("//' -e 's/"$//' -e 's/ /|/' | sort -u); do
+	method=${pattern%%|*}
+	path=${pattern#*|}
+	grep -qF "$path" docs/SERVICE.md ||
+		err "endpoint $method $path (internal/server) is not documented in docs/SERVICE.md"
+done
+
+# 6. Every structured-log event name must be cataloged in
+# docs/OBSERVABILITY.md.
+for ev in $(grep -hoE 'ev[A-Za-z]+ += +"[a-z_.]+"' internal/server/log.go | grep -oE '"[a-z_.]+"' | tr -d '"' | sort -u); do
+	grep -qF "$ev" docs/OBSERVABILITY.md ||
+		err "log event $ev (internal/server/log.go) is not cataloged in docs/OBSERVABILITY.md"
 done
 
 if [ "$fail" -ne 0 ]; then
