@@ -35,10 +35,12 @@ bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/source/
 
 ## chaos: sweep LLM fault profiles under the race detector — the
-## determinism-under-chaos and graceful-degradation gate
-## (docs/RESILIENCE.md).
+## determinism-under-chaos and graceful-degradation gate — plus the
+## multi-backend failover drill: a hard primary outage must complete
+## the full corpus through the secondary with zero degraded files and
+## byte-identical output (docs/RESILIENCE.md).
 chaos:
-	$(GO) test -race -run 'Chaos|ZeroFaultProfile|HardOutage|BudgetExhaustion' ./internal/core/
+	$(GO) test -race -run 'Chaos|ZeroFaultProfile|HardOutage|BudgetExhaustion|Failover|PrimaryOutage|SingleHealthyBackend' ./internal/core/
 	$(GO) test -race ./internal/resilience/ ./internal/llm/
 
 ## serve-smoke: end-to-end service exercise — a real wasabid server on a

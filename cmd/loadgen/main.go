@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"flag"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"wasabi/internal/cache"
+	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 	"wasabi/internal/server"
 )
@@ -39,6 +41,8 @@ func main() {
 	quota := flag.Int("quota", 0, "in-process daemon: per-tenant in-flight quota (0 = slots)")
 	queue := flag.Int("queue", 4, "in-process daemon: per-tenant queue depth")
 	workers := flag.Int("workers", 1, "in-process daemon: pipeline workers per job")
+	backends := flag.String("llm-backends", "", "in-process daemon: multi-backend LLM topology (name=sim[:profile];... — see docs/RESILIENCE.md)")
+	hedgeAfter := flag.Duration("llm-hedge-after", 0, "in-process daemon: hedge onto the next healthy backend after this much silence")
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	flag.Parse()
 
@@ -56,7 +60,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv := server.New(server.Config{
+		scfg := server.Config{
 			Addr:            "127.0.0.1:0",
 			QueueDepth:      *queue,
 			SchedulerSlots:  *slots,
@@ -64,7 +68,16 @@ func main() {
 			PipelineWorkers: *workers,
 			Cache:           ca,
 			Obs:             observer,
-		})
+		}
+		if *backends != "" {
+			specs, err := llm.ParseBackends(*backends)
+			if err != nil {
+				fatal(err)
+			}
+			scfg.LLMBackends = specs
+			scfg.LLMHedgeAfter = *hedgeAfter
+		}
+		srv := server.New(scfg)
 		if err := srv.Start(); err != nil {
 			fatal(err)
 		}
@@ -85,6 +98,7 @@ func main() {
 		server.AttachSchedStats(sb, observer.Reg().Snapshot())
 	}
 	sampleTrace(base)
+	sampleBackends(base)
 	data, err := json.MarshalIndent(sb, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -125,6 +139,36 @@ func sampleTrace(base string) {
 	newest := idx.Traces[0]
 	fmt.Fprintf(os.Stderr, "loadgen: %d traces retained; newest %s (tenant %s): %d spans, %d bytes, %.1f ms; GET %s/v1/jobs/%s/trace\n",
 		len(idx.Traces), newest.JobID, newest.Tenant, newest.Spans, newest.Bytes, newest.DurationMS, base, newest.JobID)
+}
+
+// sampleBackends reports the daemon's multi-backend routing counters
+// (llm_backend_* — failovers, hedges, coalesced reviews) after the run.
+// Diagnostics only, stderr only, best-effort: a single-backend daemon
+// has no such series and prints nothing.
+func sampleBackends(base string) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "llm_backend_") {
+			lines = append(lines, line)
+		}
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: multi-backend routing under this load:\n")
+	for _, line := range lines {
+		fmt.Fprintf(os.Stderr, "loadgen:   %s\n", line)
+	}
 }
 
 func fatal(err error) {

@@ -8,6 +8,8 @@
 //	       [-cache-dir DIR] [-cache-bytes N]
 //	       [-llm-fault-profile none|light|heavy|outage|k=v,...]
 //	       [-llm-outage-after N]
+//	       [-llm-backends name=sim[:profile];name=http:URL;...]
+//	       [-llm-hedge-after DUR]
 //	       [-metrics-out m.json] [-trace-out t.json]
 //
 // With no -app, every corpus application is processed. -workers bounds the
@@ -32,6 +34,13 @@
 // static-only analysis, and stdout stays byte-identical for a fixed
 // (seed, profile) at every -workers setting. -llm-outage-after N takes
 // the backend hard-down from the Nth review onward.
+//
+// -llm-backends routes reviews across an ordered multi-backend topology
+// with per-backend circuit breakers and health-gated failover
+// (docs/RESILIENCE.md "Backend topology"); -llm-hedge-after additionally
+// hedges slow calls onto the next healthy backend. Mutually exclusive
+// with -llm-fault-profile — give failing backends their own profiles in
+// the topology (for example "primary=sim:outage;secondary=sim").
 //
 // -metrics-out and -trace-out instrument the run (docs/OBSERVABILITY.md):
 // the former writes the metrics snapshot as JSON (its counters section is
@@ -67,6 +76,10 @@ func main() {
 	faultProfile := flag.String("llm-fault-profile", "",
 		fmt.Sprintf("simulate an unreliable LLM backend: %v or key=value list (see docs/RESILIENCE.md); empty = perfect backend", llm.ProfileNames()))
 	outageAfter := flag.Int("llm-outage-after", 0, "take the LLM backend hard-down from the Nth review onward (0 = never)")
+	backends := flag.String("llm-backends", "",
+		"route reviews across an ordered multi-backend topology: \"name=sim[:profile];name=http:URL;...\" (see docs/RESILIENCE.md); mutually exclusive with -llm-fault-profile")
+	hedgeAfter := flag.Duration("llm-hedge-after", 0,
+		"launch a hedged attempt on the next healthy backend after this much silence (0 = no hedging; needs -llm-backends)")
 	metricsOut := flag.String("metrics-out", "", "write the run's metrics snapshot (JSON) to this file")
 	traceOut := flag.String("trace-out", "", "write the run's spans (Chrome trace-event JSON) to this file")
 	flag.Parse()
@@ -106,6 +119,22 @@ func main() {
 			profile.OutageAfterFiles = *outageAfter
 		}
 		opts.LLM.Fault = &profile
+	}
+	if *backends != "" {
+		if opts.LLM.Fault != nil {
+			fmt.Fprintln(os.Stderr, "wasabi: -llm-backends and -llm-fault-profile/-llm-outage-after are mutually exclusive; put per-backend fault profiles in the topology (name=sim:profile)")
+			os.Exit(2)
+		}
+		specs, err := llm.ParseBackends(*backends)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.LLM.Backends = specs
+		opts.LLM.HedgeAfter = *hedgeAfter
+	} else if *hedgeAfter > 0 {
+		fmt.Fprintln(os.Stderr, "wasabi: -llm-hedge-after needs -llm-backends (hedging routes across a topology)")
+		os.Exit(2)
 	}
 	observed := *metricsOut != "" || *traceOut != ""
 	if observed {

@@ -10,6 +10,8 @@
 //	        [-cache-dir DIR] [-cache-bytes N] [-pprof]
 //	        [-llm-fault-profile none|light|heavy|outage|k=v,...]
 //	        [-llm-outage-after N]
+//	        [-llm-backends name=sim[:profile];name=http:URL;...]
+//	        [-llm-hedge-after DUR]
 //	        [-log-format text|json] [-log-level LEVEL] [-trace-ring N]
 //	        [-version]
 //
@@ -61,6 +63,10 @@ func main() {
 	faultProfile := flag.String("llm-fault-profile", "",
 		fmt.Sprintf("simulate an unreliable LLM backend for every job: %v or key=value list (see docs/RESILIENCE.md)", llm.ProfileNames()))
 	outageAfter := flag.Int("llm-outage-after", 0, "take the LLM backend hard-down from the Nth review of each job (0 = never)")
+	backends := flag.String("llm-backends", "",
+		"route reviews across an ordered multi-backend topology: \"name=sim[:profile];name=http:URL;...\" (see docs/RESILIENCE.md); mutually exclusive with -llm-fault-profile")
+	hedgeAfter := flag.Duration("llm-hedge-after", 0,
+		"launch a hedged attempt on the next healthy backend after this much silence (0 = no hedging; needs -llm-backends)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for accepted jobs to finish")
 	pprofOn := flag.Bool("pprof", false, "expose the Go runtime profiler under /debug/pprof/ (see docs/PERFORMANCE.md)")
 	logFormat := flag.String("log-format", "text", "structured log encoding on stderr: text or json")
@@ -112,6 +118,22 @@ func main() {
 			profile.OutageAfterFiles = *outageAfter
 		}
 		cfg.Fault = &profile
+	}
+	if *backends != "" {
+		if cfg.Fault != nil {
+			fmt.Fprintln(os.Stderr, "wasabid: -llm-backends and -llm-fault-profile/-llm-outage-after are mutually exclusive; put per-backend fault profiles in the topology (name=sim:profile)")
+			os.Exit(2)
+		}
+		specs, err := llm.ParseBackends(*backends)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.LLMBackends = specs
+		cfg.LLMHedgeAfter = *hedgeAfter
+	} else if *hedgeAfter > 0 {
+		fmt.Fprintln(os.Stderr, "wasabid: -llm-hedge-after needs -llm-backends (hedging routes across a topology)")
+		os.Exit(2)
 	}
 
 	srv := server.New(cfg)

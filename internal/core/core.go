@@ -127,7 +127,10 @@ func New(opts Options) *Wasabi {
 		llm:         llm.NewClient(opts.LLM).Instrument(opts.Obs.Reg()),
 		obs:         opts.Obs,
 		cache:       opts.Cache,
-		reviewCache: opts.Cache != nil && opts.LLM.Fault == nil,
+		// Multi-backend runs are excluded like fault-profile runs: their
+		// admissions (failover, hedging, singleflight) are arrival-order
+		// facts that per-file memoization cannot reproduce.
+		reviewCache: opts.Cache != nil && opts.LLM.Fault == nil && !opts.LLM.MultiBackend(),
 		src:         opts.Source,
 		// The calling goroutine always participates in parallel loops, so
 		// the pool itself holds Workers-1 extra slots.
@@ -324,11 +327,19 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 		defer func() {
 			rev := reviews[i]
 			fresh := int64(0)
-			if !cached[i] {
+			// Singleflight followers, like cache hits, carry attributed
+			// Spent without having moved fresh tokens upstream.
+			if !cached[i] && !rev.Shared {
 				fresh = rev.Spent.TokensIn
 			}
 			sp.SetArg("cached", strconv.FormatBool(cached[i]))
 			sp.SetArg("fresh_tokens", strconv.FormatInt(fresh, 10))
+			if rev.Backend != "" {
+				sp.SetArg("backend", rev.Backend)
+			}
+			if rev.Shared {
+				sp.SetArg("coalesced", "true")
+			}
 			if rev.Retries > 0 {
 				sp.SetArg("retries", strconv.Itoa(rev.Retries))
 			}
@@ -362,7 +373,7 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 		// tokens actually moved for them this run.
 		var tokens int64
 		for i, rev := range reviews {
-			if !cached[i] {
+			if !cached[i] && !rev.Shared {
 				tokens += rev.Spent.TokensIn
 			}
 		}

@@ -31,6 +31,7 @@ import (
 	"go/parser"
 	"go/token"
 	"hash/fnv"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
@@ -69,6 +70,35 @@ type Config struct {
 	// breaker used when Fault is set; zero fields take the
 	// DefaultResilienceConfig values.
 	Resilience ResilienceConfig
+
+	// Backends, when non-empty, routes reviews across an ordered
+	// multi-backend topology (backends.go): per-backend circuit breakers,
+	// health-gated failover, and optional hedging. Mutually exclusive
+	// with Fault — a topology models per-backend fault profiles on its
+	// own specs. Empty keeps the single-backend behaviour byte-identical.
+	Backends []BackendSpec
+	// HedgeAfter, when > 0 and more than one backend is healthy, launches
+	// a hedged attempt on the next backend after this much wall time
+	// without an answer. Hedges draw from the shared retry budget.
+	HedgeAfter time.Duration
+	// Multi, when non-nil, is a pre-built shared transport (e.g. one per
+	// daemon process, so backend health and the shared budget span jobs).
+	// Callers setting Multi should set Backends to the same topology so
+	// Fingerprint stays truthful.
+	Multi *MultiTransport
+	// Flight, when non-nil, coalesces identical in-flight reviews across
+	// every client sharing it (singleflight).
+	Flight *Flight
+	// Log receives structured failover/hedge/breaker decision events;
+	// nil discards them.
+	Log *slog.Logger
+}
+
+// MultiBackend reports whether reviews route through the multi-backend
+// layer (which trades canonical-order admission for availability, so
+// e.g. the review cache must stay off).
+func (c Config) MultiBackend() bool {
+	return c.Multi != nil || len(c.Backends) > 0
 }
 
 // PromptVersion identifies the revision of the Q1–Q4 prompt chain baked
@@ -91,6 +121,12 @@ func (c Config) Fingerprint() string {
 		c.HallucinateRetryDenom, c.Q4MissDenom, c.CapMisreadDenom, c.DelayMisreadDenom)
 	if c.Fault != nil {
 		fp += "|fault=" + c.Fault.String()
+	}
+	if len(c.Backends) > 0 {
+		fp += "|backends=" + backendsString(c.Backends)
+		if c.HedgeAfter > 0 {
+			fp += "|hedge=" + c.HedgeAfter.String()
+		}
 	}
 	return fp
 }
@@ -117,6 +153,10 @@ type Client struct {
 	// chaos is the resilience stack (resilient.go); nil without a fault
 	// profile, in which case reviews hit the model directly.
 	chaos *chaosState
+	// multi is the multi-backend routing state (backends.go); nil unless
+	// Config.Backends or Config.Multi is set. multi and chaos are
+	// mutually exclusive (multi wins).
+	multi *multiState
 
 	mu       sync.Mutex
 	calls    int
@@ -132,7 +172,10 @@ func NewClient(cfg Config) *Client {
 		cfg.PricePerMTokens = DefaultConfig().PricePerMTokens
 	}
 	c := &Client{cfg: cfg}
-	if cfg.Fault != nil {
+	switch {
+	case cfg.MultiBackend():
+		c.multi = c.newMultiState()
+	case cfg.Fault != nil:
 		c.chaos = c.newChaosState(*cfg.Fault)
 	}
 	return c
@@ -148,6 +191,11 @@ func (c *Client) Instrument(reg *obs.Registry) *Client {
 	c.reg = reg
 	if c.chaos != nil {
 		c.chaos.instrument(c)
+	}
+	if c.multi != nil {
+		// First registry wins on a shared transport; per-job clients in
+		// the daemon all pass the same one.
+		c.multi.mt.Instrument(reg)
 	}
 	return c
 }
@@ -239,6 +287,14 @@ type FileReview struct {
 	// it is excluded from JSON: cached review envelopes and reports must
 	// stay byte-identical between cold and warm runs.
 	Retries int `json:"-"`
+	// Backend names the backend that answered a multi-backend review
+	// ("" outside multi-backend mode). A routing fact, not a property of
+	// the contents — excluded from JSON like Retries.
+	Backend string `json:"-"`
+	// Shared marks a review whose answer was coalesced from another
+	// in-flight review (singleflight follower). Followers resend nothing,
+	// so callers must not re-charge their Spent as fresh upstream spend.
+	Shared bool `json:"-"`
 }
 
 // ReviewFile runs the prompt chain over the file at path. With a fault
@@ -265,10 +321,13 @@ func (c *Client) ReviewFileAt(path string, lane, idx int) (FileReview, error) {
 		}
 		return FileReview{}, fmt.Errorf("llm: read %s for review: %w", path, err)
 	}
-	if c.chaos == nil {
-		return c.Review(path, src), nil
+	switch {
+	case c.multi != nil:
+		return c.reviewMulti(path, src, nil), nil
+	case c.chaos != nil:
+		return c.reviewChaos(path, src, nil, lane, idx), nil
 	}
-	return c.reviewChaos(path, src, nil, lane, idx), nil
+	return c.Review(path, src), nil
 }
 
 // ReviewSnapshotAt is ReviewFileAt over a pre-loaded snapshot file: no
@@ -278,10 +337,13 @@ func (c *Client) ReviewFileAt(path string, lane, idx int) (FileReview, error) {
 // chaos/budget admission path — is byte-identical to reviewing the same
 // (path, contents) from disk.
 func (c *Client) ReviewSnapshotAt(f *source.File, lane, idx int) FileReview {
-	if c.chaos == nil {
-		return c.review(f.Path, f.Bytes, f)
+	switch {
+	case c.multi != nil:
+		return c.reviewMulti(f.Path, f.Bytes, f)
+	case c.chaos != nil:
+		return c.reviewChaos(f.Path, f.Bytes, f, lane, idx)
 	}
-	return c.reviewChaos(f.Path, f.Bytes, f, lane, idx)
+	return c.review(f.Path, f.Bytes, f)
 }
 
 // ReviewSnapshot is ReviewSnapshotAt outside a sequenced corpus run.
@@ -296,6 +358,9 @@ func (c *Client) ReviewSnapshot(f *source.File) FileReview {
 // different files are independent; the client's cumulative Usage is the
 // only shared state, and it is only ever added to.
 func (c *Client) Review(path string, src []byte) FileReview {
+	if c.multi != nil {
+		return c.reviewMulti(path, src, nil)
+	}
 	return c.review(path, src, nil)
 }
 

@@ -201,11 +201,13 @@ func ProfileNames() []string {
 
 // IsTransient reports whether a transport error is worth retrying:
 // timeouts, rate limits and server errors clear on re-send; outages and
-// malformed completions do not.
+// malformed completions do not. The cause chain is searched so
+// transparent wrappers (e.g. a Retry-After hint from the HTTP adapter)
+// don't hide the class.
 func IsTransient(err error) bool {
-	return errmodel.IsClass(err, "SocketTimeoutException") ||
-		errmodel.IsClass(err, "RateLimitedException") ||
-		errmodel.IsClass(err, "ServiceUnavailableException")
+	return errmodel.CauseIsClass(err, "SocketTimeoutException") ||
+		errmodel.CauseIsClass(err, "RateLimitedException") ||
+		errmodel.CauseIsClass(err, "ServiceUnavailableException")
 }
 
 // FaultyTransport decorates a transport with a seeded fault model.

@@ -207,10 +207,9 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 }
 
 // RemoveGauge deletes the gauge with the given identity, if registered.
-// Counters and histograms are intentionally not removable — they are
-// monotonic facts a scrape may still want — but gauges describe current
-// state, and keeping one alive for an evicted tenant would report state
-// that no longer exists. No-op on a nil registry.
+// Gauges describe current state, and keeping one alive for an evicted
+// tenant would report state that no longer exists. No-op on a nil
+// registry.
 func (r *Registry) RemoveGauge(name string, labels ...string) {
 	if r == nil {
 		return
@@ -219,6 +218,44 @@ func (r *Registry) RemoveGauge(name string, labels ...string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.gauges, id)
+}
+
+// RemoveCounter deletes the counter with the given identity and returns
+// its final value (0 when absent or on a nil registry). Counters are
+// monotonic facts, so a caller retiring one is expected to fold the
+// returned value into a surviving aggregate series — dropping it
+// silently would make sums over the family go backwards between
+// scrapes. The scheduler does exactly this when it evicts an idle
+// tenant's cost series.
+func (r *Registry) RemoveCounter(name string, labels ...string) int64 {
+	if r == nil {
+		return 0
+	}
+	id := makeLabels(labels).id(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.counters[id]
+	if !ok {
+		return 0
+	}
+	delete(r.counters, id)
+	return e.c.Value()
+}
+
+// RemoveHistogram deletes the histogram with the given identity, if
+// registered. Unlike counters, a retired distribution has no meaningful
+// fold into a survivor (mixed-tenant latency quantiles would answer a
+// question nobody asked), so the observations are simply dropped; the
+// caller should count the retirement if the history matters. No-op on a
+// nil registry.
+func (r *Registry) RemoveHistogram(name string, labels ...string) {
+	if r == nil {
+		return
+	}
+	id := makeLabels(labels).id(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.hists, id)
 }
 
 // Histogram returns the histogram registered under name and labels,

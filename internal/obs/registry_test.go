@@ -264,3 +264,63 @@ func TestSnapshotAddGauge(t *testing.T) {
 		t.Fatal("exposition of an augmented snapshot is not deterministic")
 	}
 }
+
+// TestRemoveCounterReturnsFinalValue: retiring a counter hands back its
+// final value so the caller can fold it into a surviving aggregate —
+// the eviction contract the scheduler's _retired tenant relies on.
+func TestRemoveCounterReturnsFinalValue(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server_sched_jobs_total", "tenant", "acme").Add(5)
+	r.Counter("server_sched_jobs_total", "tenant", "other").Add(2)
+	if v := r.RemoveCounter("server_sched_jobs_total", "tenant", "acme"); v != 5 {
+		t.Fatalf("RemoveCounter = %d, want 5", v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 1 || snap.Counters[0].Labels[0].Value != "other" {
+		t.Fatalf("counters after removal = %+v, want only tenant=other", snap.Counters)
+	}
+	// Fold into a survivor: family sum is conserved.
+	r.Counter("server_sched_jobs_total", "tenant", "_retired").Add(5)
+	sum := int64(0)
+	for _, c := range r.Snapshot().Counters {
+		sum += c.Value
+	}
+	if sum != 7 {
+		t.Fatalf("family sum after fold = %d, want 7", sum)
+	}
+	// Absent identity and nil registry report 0.
+	if v := r.RemoveCounter("never_registered"); v != 0 {
+		t.Fatalf("absent RemoveCounter = %d, want 0", v)
+	}
+	if v := (*Registry)(nil).RemoveCounter("x"); v != 0 {
+		t.Fatalf("nil RemoveCounter = %d, want 0", v)
+	}
+	// A re-created counter is a fresh instrument.
+	if v := r.Counter("server_sched_jobs_total", "tenant", "acme").Value(); v != 0 {
+		t.Fatalf("re-created counter = %d, want 0", v)
+	}
+}
+
+// TestRemoveHistogram: retired distributions are dropped outright (no
+// meaningful fold), and removal honors canonical label identity.
+func TestRemoveHistogram(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{1, 10}
+	r.Histogram("server_tenant_job_ms", bounds, "tenant", "acme").Observe(3)
+	r.Histogram("server_tenant_job_ms", bounds, "tenant", "other").Observe(4)
+	r.RemoveHistogram("server_tenant_job_ms", "tenant", "acme")
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 || snap.Histograms[0].Labels[0].Value != "other" {
+		t.Fatalf("hists after removal = %+v, want only tenant=other", snap.Histograms)
+	}
+	// Nil registry and absent identities are no-ops.
+	(*Registry)(nil).RemoveHistogram("x")
+	r.RemoveHistogram("never_registered")
+	// A re-created histogram starts empty.
+	r.Histogram("server_tenant_job_ms", bounds, "tenant", "acme").Observe(1)
+	for _, h := range r.Snapshot().Histograms {
+		if h.Labels[0].Value == "acme" && h.Count != 1 {
+			t.Fatalf("re-created histogram count = %d, want 1 (fresh instrument)", h.Count)
+		}
+	}
+}

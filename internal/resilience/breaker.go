@@ -49,6 +49,7 @@ type Breaker struct {
 	state       BreakerState
 	consecutive int
 	openedAt    time.Duration
+	probing     bool // a half-open probe is in flight and undecided
 	onChange    func(to BreakerState)
 }
 
@@ -72,13 +73,27 @@ func (b *Breaker) State() BreakerState { return b.state }
 
 // Allow reports whether a call may proceed at virtual time now. In the
 // open state it returns false until the cooldown has elapsed, at which
-// point the breaker moves to half-open and admits a probe.
+// point the breaker moves to half-open and admits exactly one probe:
+// until that probe's outcome is recorded, further Allow calls are
+// rejected. Without the single-probe latch, two callers racing the same
+// cooldown expiry would both be admitted against a backend the breaker
+// has only agreed to *test* — exactly the thundering-probe failure mode
+// hedged requests make likely.
 func (b *Breaker) Allow(now time.Duration) bool {
-	if b.state == Open {
+	switch b.state {
+	case Open:
 		if now-b.openedAt < b.cooldown {
 			return false
 		}
 		b.transition(HalfOpen)
+		b.probing = true
+		return true
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
 	}
 	return true
 }
@@ -87,6 +102,7 @@ func (b *Breaker) Allow(now time.Duration) bool {
 // a half-open probe closes the circuit.
 func (b *Breaker) RecordSuccess() {
 	b.consecutive = 0
+	b.probing = false
 	if b.state != Closed {
 		b.transition(Closed)
 	}
@@ -97,6 +113,7 @@ func (b *Breaker) RecordSuccess() {
 // consecutive failure opens a closed circuit.
 func (b *Breaker) RecordFailure(now time.Duration) {
 	b.consecutive++
+	b.probing = false
 	switch b.state {
 	case HalfOpen:
 		b.openedAt = now
@@ -108,6 +125,13 @@ func (b *Breaker) RecordFailure(now time.Duration) {
 		}
 	}
 }
+
+// CancelProbe releases the half-open probe slot without recording an
+// outcome. Callers use it when a probe was abandoned rather than
+// answered — e.g. a hedged rival won and the probe's context was
+// cancelled — since a cancellation says nothing about the backend's
+// health, but leaving the latch set would block probing forever.
+func (b *Breaker) CancelProbe() { b.probing = false }
 
 func (b *Breaker) transition(to BreakerState) {
 	b.state = to

@@ -1,0 +1,80 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenSingleProbe: when the cooldown expires, the breaker
+// admits exactly ONE probe; further Allow calls are rejected until that
+// probe's outcome is recorded. This is the latch that keeps hedged
+// requests from stampeding a recovering backend with concurrent probes.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := NewBreaker(1, 5*time.Second)
+	b.RecordFailure(0)
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold failure, want open", b.State())
+	}
+	if b.Allow(time.Second) {
+		t.Fatal("admitted during cooldown")
+	}
+	if !b.Allow(6 * time.Second) {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	// The probe slot is claimed: a second caller racing the same expiry
+	// must be rejected.
+	if b.Allow(6 * time.Second) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.RecordSuccess()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after successful probe, want closed", b.State())
+	}
+	if !b.Allow(6 * time.Second) {
+		t.Fatal("closed breaker must admit")
+	}
+}
+
+// TestBreakerProbeFailureReopens: a failed probe re-opens the circuit
+// and a fresh cooldown admits exactly one new probe.
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(1, 5*time.Second)
+	b.RecordFailure(0)
+	if !b.Allow(6 * time.Second) {
+		t.Fatal("probe not admitted")
+	}
+	b.RecordFailure(6 * time.Second)
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	if b.Allow(7 * time.Second) {
+		t.Fatal("admitted during the new cooldown")
+	}
+	if !b.Allow(12 * time.Second) {
+		t.Fatal("new probe not admitted after the new cooldown")
+	}
+	if b.Allow(12 * time.Second) {
+		t.Fatal("second probe admitted after re-open")
+	}
+}
+
+// TestBreakerCancelProbe: abandoning a probe (hedge rival won, context
+// cancelled) releases the slot without recording a verdict — the next
+// caller may probe, and the breaker state is unchanged.
+func TestBreakerCancelProbe(t *testing.T) {
+	b := NewBreaker(1, 5*time.Second)
+	b.RecordFailure(0)
+	if !b.Allow(6 * time.Second) {
+		t.Fatal("probe not admitted")
+	}
+	b.CancelProbe()
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after cancelled probe, want half-open (no verdict)", b.State())
+	}
+	if !b.Allow(6 * time.Second) {
+		t.Fatal("probe slot not released by CancelProbe")
+	}
+	if b.Allow(6 * time.Second) {
+		t.Fatal("released slot admitted two probes")
+	}
+}

@@ -98,6 +98,40 @@ func WithRetryOn(c Classifier) Option {
 // MaxAttempts returns the configured attempt bound.
 func (p *Policy) MaxAttempts() int { return p.maxAttempts }
 
+// retryAfterError annotates an error with a server-provided Retry-After
+// hint. It wraps transparently: errors.Is/As and chain-walking class
+// checks (errmodel.CauseIsClass) on the underlying error keep working;
+// outermost-only checks (errmodel.IsClass) deliberately see the wrapper.
+type retryAfterError struct {
+	err  error
+	hint time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// WithRetryAfterHint annotates err with a server-provided Retry-After
+// hint (e.g. parsed from an HTTP 429 response header). A nil error or a
+// non-positive hint is returned unchanged.
+func WithRetryAfterHint(err error, hint time.Duration) error {
+	if err == nil || hint <= 0 {
+		return err
+	}
+	return &retryAfterError{err: err, hint: hint}
+}
+
+// RetryAfterHint extracts the outermost Retry-After hint from err's
+// wrap chain, reporting whether one was present.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	for err != nil {
+		if ra, ok := err.(*retryAfterError); ok {
+			return ra.hint, true
+		}
+		err = errors.Unwrap(err)
+	}
+	return 0, false
+}
+
 // ErrAttemptsExhausted wraps the last error when the attempt cap is hit.
 var ErrAttemptsExhausted = errors.New("resilience: retry attempts exhausted")
 
@@ -143,6 +177,15 @@ func (p *Policy) DoSeeded(ctx context.Context, seed uint64, fn func(context.Cont
 	for attempt := 0; attempt < p.maxAttempts; attempt++ {
 		if attempt > 0 {
 			d := p.delay(attempt, &prev, &rng)
+			// A server-provided Retry-After hint floors the sleep: the
+			// server told us when it will be ready, and retrying earlier
+			// both wastes an attempt and worsens the congestion the 429
+			// signaled. The hint is deliberately not capped by maxDelay —
+			// it overrides local policy — but the elapsed-time cap below
+			// still applies, so a hostile hint cannot pin the caller.
+			if hint, ok := RetryAfterHint(last); ok && hint > d {
+				d = hint
+			}
 			if p.maxElapsed > 0 && vclock.Now(ctx)-start+d > p.maxElapsed {
 				return &exhaustedError{sentinel: ErrDeadlineExhausted, last: last}
 			}

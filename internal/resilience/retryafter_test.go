@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"wasabi/internal/errmodel"
+	"wasabi/internal/trace"
+)
+
+// sleeps extracts the virtual backoff sleeps a run recorded.
+func sleeps(run *trace.Run) []time.Duration {
+	var ds []time.Duration
+	for _, e := range run.Events() {
+		if e.Kind == trace.KindSleep {
+			ds = append(ds, e.Duration)
+		}
+	}
+	return ds
+}
+
+// TestRetryAfterHintFloorsBackoff: a server-provided Retry-After hint
+// floors the next sleep — a hint above the policy delay stretches it to
+// the server's number, a hint below it changes nothing (the local
+// backoff already waits longer). Deterministic: fixed delay, virtual
+// clock.
+func TestRetryAfterHintFloorsBackoff(t *testing.T) {
+	ctx, run := ctxWithRun()
+	p := NewPolicy(3, WithFixedDelay(time.Second))
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		switch calls {
+		case 1:
+			// 429 with "Retry-After: 5" — the server knows best.
+			return WithRetryAfterHint(errmodel.New("ConnectException", "429"), 5*time.Second)
+		case 2:
+			// A hint shorter than the policy delay must not shrink it.
+			return WithRetryAfterHint(errmodel.New("ConnectException", "429"), 100*time.Millisecond)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{5 * time.Second, time.Second}
+	got := sleeps(run)
+	if len(got) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRetryAfterHintElapsedCapStillApplies: the hint overrides maxDelay
+// but not the elapsed-time cap — a hostile hint cannot pin the caller.
+func TestRetryAfterHintElapsedCapStillApplies(t *testing.T) {
+	ctx, _ := ctxWithRun()
+	p := NewPolicy(10, WithFixedDelay(time.Second), WithMaxElapsed(30*time.Second))
+	err := p.Do(ctx, func(context.Context) error {
+		return WithRetryAfterHint(errmodel.New("ConnectException", "429"), time.Hour)
+	})
+	if !errors.Is(err, ErrDeadlineExhausted) {
+		t.Fatalf("err = %v, want deadline exhaustion (the 1h hint overshoots the 30s cap)", err)
+	}
+}
+
+// TestRetryAfterHintExtraction: the hint survives error wrapping in both
+// directions — a wrapped hint is found, and hint-wrapping stays
+// transparent to errors.Is / class checks on the cause.
+func TestRetryAfterHintExtraction(t *testing.T) {
+	base := errmodel.New("ConnectException", "429")
+	hinted := WithRetryAfterHint(base, 7*time.Second)
+	if hint, ok := RetryAfterHint(hinted); !ok || hint != 7*time.Second {
+		t.Fatalf("RetryAfterHint = %v, %v", hint, ok)
+	}
+	if !errmodel.CauseIsClass(hinted, "ConnectException") {
+		t.Error("hint wrapper hides the exception class from the cause chain")
+	}
+	wrapped := &exhaustedError{sentinel: ErrAttemptsExhausted, last: hinted}
+	if hint, ok := RetryAfterHint(wrapped); !ok || hint != 7*time.Second {
+		t.Fatalf("RetryAfterHint through exhaustedError = %v, %v", hint, ok)
+	}
+	if _, ok := RetryAfterHint(base); ok {
+		t.Error("unhinted error reported a hint")
+	}
+	if got := WithRetryAfterHint(nil, time.Second); got != nil {
+		t.Errorf("WithRetryAfterHint(nil) = %v", got)
+	}
+	if got := WithRetryAfterHint(base, 0); got != base {
+		t.Errorf("non-positive hint must return err unchanged, got %v", got)
+	}
+}

@@ -270,16 +270,26 @@ func (s *scheduler) finish(j *job) {
 	s.cond.Broadcast()
 }
 
-// evictLocked reclaims an idle tenant's scheduling state — the
-// KNOWN_ISSUES "tenant state never reclaimed" fix: a daemon serving a
-// long tail of one-shot tenants no longer accumulates a queue struct,
-// a sorted-order slot and two gauges per tenant forever. The tenant's
-// monotonic counters (jobs, rejections, token spend) survive — history
-// should — but its *state* gauges are removed: a depth/in-flight gauge
-// for a tenant that no longer exists would report state that isn't
-// there. A returning tenant is simply re-created with fresh round-robin
-// credit, which is exactly what a brand-new tenant gets. s.mu must be
-// held.
+// RetiredTenant is the reserved label value eviction folds a leaving
+// tenant's monotonic counters into. handleAnalyze rejects "_"-prefixed
+// tenant names, so no real tenant can collide with it.
+const RetiredTenant = "_retired"
+
+// evictLocked reclaims an idle tenant's observability state — the
+// KNOWN_ISSUES "tenant state never reclaimed" fix, completed by the
+// "counters outlive tenant eviction" follow-up: a daemon serving a long
+// tail of one-shot tenants no longer accumulates a queue struct, a
+// sorted-order slot, two gauges, three counter series and a histogram
+// per tenant forever. State gauges are simply removed (a depth gauge
+// for a tenant that isn't there would be a lie). Monotonic counters
+// cannot just vanish — Prometheus-style sums must never go backwards —
+// so they fold into the RetiredTenant series: sum-across-tenants
+// invariants (e.g. tenant token spend vs the fleet's
+// llm_tokens_in_total) keep holding over live tenants + "_retired".
+// The per-tenant latency histogram is dropped outright; distributions
+// have no meaningful fold. A returning tenant is re-created with fresh
+// round-robin credit and restarts its series from zero, which is
+// exactly what a brand-new tenant gets. s.mu must be held.
 func (s *scheduler) evictLocked(t *tenantQueue) {
 	delete(s.tenants, t.name)
 	i := sort.SearchStrings(s.order, t.name)
@@ -295,6 +305,16 @@ func (s *scheduler) evictLocked(t *tenantQueue) {
 	s.reg.Counter("server_sched_tenant_evictions_total").Inc()
 	s.reg.RemoveGauge("server_sched_queue_depth", "tenant", t.name)
 	s.reg.RemoveGauge("server_sched_tenant_inflight", "tenant", t.name)
+	for _, name := range []string{
+		"server_sched_jobs_total",
+		"server_sched_rejections_total",
+		"server_tenant_llm_tokens_total",
+	} {
+		if v := s.reg.RemoveCounter(name, "tenant", t.name); v > 0 {
+			s.reg.Counter(name, "tenant", RetiredTenant).Add(v)
+		}
+	}
+	s.reg.RemoveHistogram("server_tenant_job_ms", "tenant", t.name)
 	s.log.Info(evTenantEvicted, "tenant", t.name)
 }
 

@@ -99,6 +99,16 @@ type Config struct {
 	// Fault, when non-nil, runs every job against an unreliable
 	// simulated LLM backend (chaos drills; see docs/RESILIENCE.md).
 	Fault *llm.FaultProfile
+	// LLMBackends, when non-empty, routes every job's reviews across a
+	// multi-backend topology (docs/RESILIENCE.md "Backend topology").
+	// The daemon builds ONE shared llm.MultiTransport, so breaker state,
+	// the shared retry/hedge budget, and singleflight coalescing span
+	// jobs and tenants. Mutually exclusive with Fault.
+	LLMBackends []llm.BackendSpec
+	// LLMHedgeAfter launches a hedged attempt on the next healthy
+	// backend after this much silence from the preferred one (0 disables
+	// hedging). Only meaningful with LLMBackends.
+	LLMHedgeAfter time.Duration
 	// Obs observes the daemon: job, queue and scheduler metrics, plus
 	// every pipeline metric of every job, accumulate in its registry,
 	// which /metrics serves. Nil disables observability (including
@@ -141,6 +151,12 @@ type Server struct {
 	runJob func(*job)
 	// log receives structured events (never nil; defaults to discard).
 	log *slog.Logger
+	// llmMulti and llmFlight are the daemon-lifetime multi-backend
+	// transport and singleflight group (nil without LLMBackends): one of
+	// each per process, shared by every job, so backend health outlives
+	// jobs and identical concurrent reviews coalesce across tenants.
+	llmMulti  *llm.MultiTransport
+	llmFlight *llm.Flight
 	// traces retains completed jobs' span trees (tracering.go).
 	traces *traceRing
 	// started is stamped by Start; server_uptime_seconds derives from it.
@@ -214,6 +230,20 @@ func New(cfg Config) *Server {
 		sched:      newScheduler(cfg.SchedulerSlots, cfg.TenantQuota, cfg.QueueDepth, cfg.TenantPriority, cfg.Obs.Reg(), log),
 	}
 	s.runJob = s.run
+	if len(cfg.LLMBackends) > 0 {
+		lcfg := llm.DefaultConfig()
+		lcfg.Backends = cfg.LLMBackends
+		lcfg.HedgeAfter = cfg.LLMHedgeAfter
+		lcfg.Log = log
+		mt, err := llm.NewMultiTransport(lcfg)
+		if err != nil {
+			// Specs come from ParseBackends (cmd/wasabid validates the
+			// flag); reaching here is programmer error.
+			panic(err)
+		}
+		s.llmMulti = mt.Instrument(cfg.Obs.Reg())
+		s.llmFlight = llm.NewFlight()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
@@ -317,7 +347,17 @@ func (s *Server) run(j *job) {
 	opts.Obs = s.obs.WithTracer(tr)
 	opts.Cache = s.cfg.Cache
 	opts.Source = s.source
-	if s.cfg.Fault != nil {
+	switch {
+	case s.llmMulti != nil:
+		// Backends is set alongside Multi so the per-job client's
+		// fingerprint reflects the topology; the shared transport and
+		// flight group carry the cross-job state.
+		opts.LLM.Backends = s.cfg.LLMBackends
+		opts.LLM.HedgeAfter = s.cfg.LLMHedgeAfter
+		opts.LLM.Multi = s.llmMulti
+		opts.LLM.Flight = s.llmFlight
+		opts.LLM.Log = s.log
+	case s.cfg.Fault != nil:
 		opts.LLM.Fault = s.cfg.Fault
 	}
 	w := core.New(opts)
@@ -361,7 +401,11 @@ func (s *Server) run(j *job) {
 	// Tenant cost attribution. server_tenant_llm_tokens_total counts the
 	// same event as llm_tokens_in_total — a fresh (uncached, undegraded)
 	// review charging the backend — just keyed by who asked, so summing
-	// it across tenants equals the fleet counter's growth exactly.
+	// it across live tenants plus the "_retired" fold (eviction moves a
+	// leaving tenant's counts there; scheduler.go) equals the fleet
+	// counter's growth exactly. Singleflight followers preserve the
+	// invariant for free: a coalesced review never runs the charging
+	// path, so the leader's tenant pays and the follower adds zero.
 	reg := s.obs.Reg()
 	reg.Counter("server_tenant_llm_tokens_total", "tenant", j.tenant).Add(fresh.TokensIn)
 	reg.Histogram("server_tenant_job_ms", obs.LatencyBuckets, "tenant", j.tenant).Observe(durMS(end.Sub(start)))
@@ -450,6 +494,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(tenant) > maxTenantLen {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("tenant name longer than %d bytes", maxTenantLen))
+		return
+	}
+	if strings.HasPrefix(tenant, "_") {
+		// "_"-prefixed names are reserved for server-side aggregates (the
+		// "_retired" eviction fold); a tenant squatting one would corrupt
+		// the cost-attribution series.
+		httpError(w, http.StatusBadRequest, "tenant names starting with _ are reserved")
 		return
 	}
 	apps := corpus.Apps()

@@ -32,6 +32,12 @@ func TestAnalyzeValidation(t *testing.T) {
 	if rec := do(s, "POST", "/v1/analyze", `{"apps":`); rec.Code != 400 {
 		t.Fatalf("malformed body: status = %d, want 400", rec.Code)
 	}
+	if rec := do(s, "POST", "/v1/analyze", `{"tenant":"_retired"}`); rec.Code != 400 {
+		t.Fatalf("reserved tenant: status = %d, want 400 (underscore names are aggregates)", rec.Code)
+	}
+	if rec := do(s, "POST", "/v1/analyze", `{"tenant":"_anything"}`); rec.Code != 400 {
+		t.Fatalf("underscore tenant: status = %d, want 400", rec.Code)
+	}
 	rec := do(s, "POST", "/v1/analyze", `{"apps":["HD"]}`)
 	if rec.Code != 202 {
 		t.Fatalf("valid submit: status = %d, want 202", rec.Code)

@@ -396,9 +396,15 @@ func TestTenantEvictionReclaimsState(t *testing.T) {
 			t.Fatalf("stale per-tenant gauge survived: %+v", g)
 		}
 	}
-	// Monotonic history survives eviction.
-	if got := snap.Counter("server_sched_jobs_total", "tenant", "a"); got != 2 {
-		t.Fatalf("jobs_total{a} = %d, want 2", got)
+	// Monotonic history survives eviction — folded into the reserved
+	// "_retired" tenant (a's 2 jobs + b's 1), with the per-tenant series
+	// themselves removed so sums never go backwards yet labels don't
+	// accumulate forever.
+	if got := snap.Counter("server_sched_jobs_total", "tenant", "a"); got != 0 {
+		t.Fatalf("jobs_total{a} = %d after eviction, want 0 (folded)", got)
+	}
+	if got := snap.Counter("server_sched_jobs_total", "tenant", RetiredTenant); got != 3 {
+		t.Fatalf("jobs_total{_retired} = %d, want 3", got)
 	}
 
 	// A returning tenant is re-created from scratch with fresh credit.
@@ -410,5 +416,8 @@ func TestTenantEvictionReclaimsState(t *testing.T) {
 	sc.finish(j)
 	if got := reg.Snapshot().Counter("server_sched_tenant_evictions_total"); got != 3 {
 		t.Fatalf("evictions after return = %d, want 3", got)
+	}
+	if got := reg.Snapshot().Counter("server_sched_jobs_total", "tenant", RetiredTenant); got != 4 {
+		t.Fatalf("jobs_total{_retired} after return = %d, want 4", got)
 	}
 }

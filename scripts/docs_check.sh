@@ -17,7 +17,12 @@
 #      patterns) is documented in docs/SERVICE.md.
 #   6. Every structured-log event name the server defines (the ev*
 #      constants in internal/server/log.go) is cataloged in
-#      docs/OBSERVABILITY.md.
+#      docs/OBSERVABILITY.md — likewise the routing-layer events in
+#      internal/llm/backends.go.
+#   7. Every multi-backend routing metric (llm_backend_*) emitted by
+#      internal/llm is cataloged in docs/OBSERVABILITY.md, and the
+#      -llm-backends / -llm-hedge-after flags are documented in
+#      docs/RESILIENCE.md.
 #
 # Exits non-zero listing every violation; run via `make docs-check`.
 set -u
@@ -75,9 +80,19 @@ done
 
 # 6. Every structured-log event name must be cataloged in
 # docs/OBSERVABILITY.md.
-for ev in $(grep -hoE 'ev[A-Za-z]+ += +"[a-z_.]+"' internal/server/log.go | grep -oE '"[a-z_.]+"' | tr -d '"' | sort -u); do
+for ev in $(grep -hoE 'ev[A-Za-z]+ += +"[a-z_.]+"' internal/server/log.go internal/llm/backends.go | grep -oE '"[a-z_.]+"' | tr -d '"' | sort -u); do
 	grep -qF "$ev" docs/OBSERVABILITY.md ||
-		err "log event $ev (internal/server/log.go) is not cataloged in docs/OBSERVABILITY.md"
+		err "log event $ev is not cataloged in docs/OBSERVABILITY.md"
+done
+
+# 7. Multi-backend routing metrics and flags must be documented.
+for metric in $(grep -hoE '"llm_backend[a-z_]*"' internal/llm/*.go | tr -d '"' | sort -u); do
+	grep -q "$metric" docs/OBSERVABILITY.md ||
+		err "metric $metric (internal/llm) is not cataloged in docs/OBSERVABILITY.md"
+done
+for flag in llm-backends llm-hedge-after; do
+	grep -q -- "-$flag" docs/RESILIENCE.md ||
+		err "flag -$flag is not documented in docs/RESILIENCE.md"
 done
 
 if [ "$fail" -ne 0 ]; then
