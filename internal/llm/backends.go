@@ -363,6 +363,17 @@ func (mt *MultiTransport) nextAdmitted(from int) (*backend, int) {
 	return nil, len(mt.backends)
 }
 
+// releaseAdmission hands back an admission nextAdmitted granted for a
+// call that will never launch. Admitting a half-open backend latches
+// its single probe slot, and only a settled outcome (or this release)
+// clears the latch — a suppressed hedge that kept the slot would leave
+// the backend unroutable forever.
+func (mt *MultiTransport) releaseAdmission(b *backend) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	b.breaker.CancelProbe()
+}
+
 // recordOutcome settles one finished call against its backend's
 // breaker. A context-cancellation is no verdict on the backend (we
 // abandoned the call, usually because a hedged rival answered first):
@@ -439,7 +450,10 @@ func (mt *MultiTransport) Route(ctx context.Context, call Call) (string, error) 
 			if !mt.takeToken() {
 				// The hedge competes with retries for the same tokens;
 				// an empty bucket means the fleet is already spending
-				// enough on second chances.
+				// enough on second chances. nextAdmitted may have
+				// latched hb's half-open probe slot — no call will
+				// launch to settle it, so hand it back.
+				mt.releaseAdmission(hb)
 				reg.Counter("llm_backend_hedges_total", "outcome", "suppressed").Inc()
 				reg.Counter("llm_retry_budget_exhausted_total").Inc()
 				continue
@@ -689,6 +703,11 @@ func multiDegradeReason(err error, budgetDenied bool) string {
 		return DegradedMalformed
 	case errmodel.CauseIsClass(err, "BackendOutageException"):
 		return DegradedOutage
+	// A cancellation terminal error means every launched attempt was
+	// abandoned (the caller's context died mid-route); calling that
+	// "retries-exhausted" would blame a backend nobody waited on.
+	case isCancellation(err):
+		return DegradedCancelled
 	case budgetDenied:
 		return DegradedBudget
 	default:

@@ -345,6 +345,77 @@ func TestHalfOpenSingleProbeUnderConcurrency(t *testing.T) {
 	}
 }
 
+// TestHedgeSuppressionReleasesProbeSlot: a hedge target in half-open
+// state has its single probe slot claimed by admission; when the empty
+// budget then suppresses the hedge, the slot must be handed back —
+// otherwise no call ever settles it and the backend is unroutable for
+// the rest of the transport's (daemon-long) life.
+func TestHedgeSuppressionReleasesProbeSlot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HedgeAfter = time.Millisecond
+	cfg.Resilience = ResilienceConfig{BreakerThreshold: 1, BreakerCooldown: 5 * time.Second, BudgetCapacity: 1, BudgetRefillEvery: -1}
+	healthy := false
+	var mu sync.Mutex
+	secondary := fnTransport{fn: func(context.Context, Call) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if !healthy {
+			return errmodel.New("ServiceUnavailableException", "warming up")
+		}
+		return nil
+	}}
+	cfg.Backends = []BackendSpec{
+		{Name: "primary", Kind: "sim", Transport: slowTransport(30 * time.Millisecond)},
+		{Name: "secondary", Kind: "sim", Transport: secondary},
+	}
+	mt, err := NewMultiTransport(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mt.Instrument(reg)
+	clock := time.Duration(0)
+	mt.SetClock(func() time.Duration { return clock })
+
+	// Open the secondary's breaker directly (threshold 1), then recover
+	// the backend and expire the cooldown so it sits half-open with one
+	// probe slot available.
+	mt.recordOutcome(mt.backends[1], errmodel.New("ServiceUnavailableException", "down"))
+	mu.Lock()
+	healthy = true
+	mu.Unlock()
+	clock = 6 * time.Second
+	// Drain the one-token budget so the hedge finds the bucket empty
+	// (withDefaults treats capacity 0 as "use the default").
+	if !mt.takeToken() {
+		t.Fatal("draining the budget failed (test setup)")
+	}
+
+	// The slow primary trips the hedge timer; admission claims the
+	// secondary's probe slot, then the empty budget suppresses the
+	// hedge. The slot must come back with the suppression.
+	if _, err := mt.Route(context.Background(), Call{Path: "mem.go"}); err != nil {
+		t.Fatalf("route with suppressed hedge: %v", err)
+	}
+	if got := reg.Counter("llm_backend_hedges_total", "outcome", "suppressed").Value(); got != 1 {
+		t.Fatalf("suppressed hedges = %d, want 1 (test setup)", got)
+	}
+
+	// The secondary must still be probe-able: a failing primary now
+	// fails over to it, and the probe succeeds.
+	mt.backends[0].t = failTransport("BackendOutageException")
+	name, err := mt.Route(context.Background(), Call{Path: "mem.go"})
+	if err != nil {
+		t.Fatalf("post-suppression route: %v (leaked probe latch keeps the secondary unroutable)", err)
+	}
+	if name != "secondary" {
+		t.Errorf("winner = %q, want secondary", name)
+	}
+	if got := reg.Gauge("llm_backend_breaker_state", "backend", "secondary").Value(); got != 0 {
+		t.Errorf("secondary breaker state = %v, want 0 (closed after successful probe)", got)
+	}
+}
+
 // TestFlightCoalesces: callers arriving while an identical review is in
 // flight share the leader's answer; late callers start fresh; shared
 // copies do not alias the leader's findings slice.

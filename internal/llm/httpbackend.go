@@ -112,7 +112,14 @@ func (h *HTTPBackend) Do(ctx context.Context, call Call) error {
 			return errmodel.Newf("BackendOutageException", "llm: endpoint %s unreachable: %v", h.base, err)
 		}
 	}
-	defer resp.Body.Close()
+	// Drain a bounded remainder before close so net/http can reuse the
+	// keep-alive connection: returning early on 429/5xx without reading
+	// the body would burn the connection — and pay reconnect latency —
+	// exactly when the endpoint is degraded.
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10)) //nolint:errcheck // best-effort drain
+		resp.Body.Close()
+	}()
 
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:

@@ -48,6 +48,10 @@ const (
 	// DegradedBreakerOpen: the circuit breaker was open, so the review
 	// was skipped without touching the backend.
 	DegradedBreakerOpen = "breaker-open"
+	// DegradedCancelled: the review's context was cancelled before any
+	// backend answered (shutdown or caller abandonment, multi-backend
+	// mode) — the abandonment says nothing about backend health.
+	DegradedCancelled = "cancelled"
 )
 
 // ResilienceConfig tunes the retry/budget/breaker stack used when a fault

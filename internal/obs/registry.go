@@ -225,8 +225,9 @@ func (r *Registry) RemoveGauge(name string, labels ...string) {
 // monotonic facts, so a caller retiring one is expected to fold the
 // returned value into a surviving aggregate series — dropping it
 // silently would make sums over the family go backwards between
-// scrapes. The scheduler does exactly this when it evicts an idle
-// tenant's cost series.
+// scrapes. Remove-then-fold as two registry calls leaves a window where
+// a concurrent snapshot sees neither series; callers that need the
+// family sum to hold at every instant use FoldCounter instead.
 func (r *Registry) RemoveCounter(name string, labels ...string) int64 {
 	if r == nil {
 		return 0
@@ -240,6 +241,41 @@ func (r *Registry) RemoveCounter(name string, labels ...string) int64 {
 	}
 	delete(r.counters, id)
 	return e.c.Value()
+}
+
+// FoldCounter retires the counter identified by (name, from) and adds
+// its final value to the (name, into) series of the same family, all
+// under a single registry lock acquisition: a concurrent Snapshot sees
+// either the source series or the grown destination, never the gap
+// between, so sums over the family never go backwards between scrapes.
+// The destination is created on demand (only when there is a non-zero
+// value to carry); an absent source is a no-op. Returns the folded
+// value; 0 when the source was absent or on a nil registry. The
+// scheduler uses this when it evicts an idle tenant's cost series.
+func (r *Registry) FoldCounter(name string, from, into []string) int64 {
+	if r == nil {
+		return 0
+	}
+	fromID := makeLabels(from).id(name)
+	intoLS := makeLabels(into)
+	intoID := intoLS.id(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.counters[fromID]
+	if !ok {
+		return 0
+	}
+	delete(r.counters, fromID)
+	v := e.c.Value()
+	if v > 0 {
+		dst, ok := r.counters[intoID]
+		if !ok {
+			dst = counterEntry{name: name, labels: intoLS, c: &Counter{}}
+			r.counters[intoID] = dst
+		}
+		dst.c.Add(v)
+	}
+	return v
 }
 
 // RemoveHistogram deletes the histogram with the given identity, if

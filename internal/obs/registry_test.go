@@ -301,6 +301,90 @@ func TestRemoveCounterReturnsFinalValue(t *testing.T) {
 	}
 }
 
+// TestFoldCounter: retire-and-fold as one registry operation — the
+// source vanishes, the destination grows by its value, and edge cases
+// (absent source, zero source, nil registry) stay quiet.
+func TestFoldCounter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server_sched_jobs_total", "tenant", "acme").Add(5)
+	r.Counter("server_sched_jobs_total", "tenant", "other").Add(2)
+	if v := r.FoldCounter("server_sched_jobs_total", []string{"tenant", "acme"}, []string{"tenant", "_retired"}); v != 5 {
+		t.Fatalf("FoldCounter = %d, want 5", v)
+	}
+	snap := r.Snapshot()
+	if got := snap.Counter("server_sched_jobs_total", "tenant", "_retired"); got != 5 {
+		t.Fatalf("_retired after fold = %d, want 5", got)
+	}
+	for _, c := range snap.Counters {
+		if c.Labels[0].Value == "acme" {
+			t.Fatalf("source series survived the fold: %+v", c)
+		}
+	}
+	// Folding again into the same destination accumulates.
+	r.Counter("server_sched_jobs_total", "tenant", "acme").Add(3)
+	r.FoldCounter("server_sched_jobs_total", []string{"tenant", "acme"}, []string{"tenant", "_retired"})
+	if got := r.Snapshot().Counter("server_sched_jobs_total", "tenant", "_retired"); got != 8 {
+		t.Fatalf("_retired after second fold = %d, want 8", got)
+	}
+	// A zero-valued source is removed without creating the destination.
+	r2 := NewRegistry()
+	r2.Counter("x", "tenant", "idle")
+	if v := r2.FoldCounter("x", []string{"tenant", "idle"}, []string{"tenant", "_retired"}); v != 0 {
+		t.Fatalf("zero-source fold = %d, want 0", v)
+	}
+	if n := len(r2.Snapshot().Counters); n != 0 {
+		t.Fatalf("counters after zero-source fold = %d, want 0", n)
+	}
+	// Absent source and nil registry report 0 and touch nothing.
+	if v := r.FoldCounter("never_registered", []string{"tenant", "a"}, []string{"tenant", "b"}); v != 0 {
+		t.Fatalf("absent fold = %d, want 0", v)
+	}
+	if v := (*Registry)(nil).FoldCounter("x", nil, nil); v != 0 {
+		t.Fatalf("nil fold = %d, want 0", v)
+	}
+}
+
+// TestFoldCounterAtomicUnderScrape: the fold happens under one lock
+// acquisition, so a concurrent scrape can never observe the family sum
+// dipping — the "sums never go backwards" invariant, proven under -race.
+func TestFoldCounterAtomicUnderScrape(t *testing.T) {
+	r := NewRegistry()
+	const tenants, per = 8, 3
+	for i := 0; i < tenants; i++ {
+		r.Counter("server_sched_jobs_total", "tenant", string(rune('a'+i))).Add(per)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < tenants; i++ {
+			r.FoldCounter("server_sched_jobs_total",
+				[]string{"tenant", string(rune('a' + i))},
+				[]string{"tenant", "_retired"})
+		}
+	}()
+	for {
+		sum := int64(0)
+		for _, c := range r.Snapshot().Counters {
+			sum += c.Value
+		}
+		if sum != tenants*per {
+			t.Fatalf("family sum mid-fold = %d, want invariant %d", sum, tenants*per)
+		}
+		select {
+		case <-done:
+			sum = 0
+			for _, c := range r.Snapshot().Counters {
+				sum += c.Value
+			}
+			if sum != tenants*per {
+				t.Fatalf("family sum after folds = %d, want %d", sum, tenants*per)
+			}
+			return
+		default:
+		}
+	}
+}
+
 // TestRemoveHistogram: retired distributions are dropped outright (no
 // meaningful fold), and removal honors canonical label identity.
 func TestRemoveHistogram(t *testing.T) {

@@ -149,9 +149,11 @@ func (e *exhaustedError) Unwrap() error   { return e.last }
 func (e *exhaustedError) Is(t error) bool { return t == e.sentinel }
 
 // Do executes fn until it succeeds, the classifier rejects its error, the
-// attempt cap is reached, or the elapsed-time cap is exceeded. Delays
-// between attempts go through the virtual clock, so instrumented runs
-// observe them as proper retry delays.
+// attempt cap is reached, or the elapsed-time cap is exceeded. The
+// classifier runs only between attempts — never after the final one —
+// so a stateful classifier pays exactly once per retry that can
+// actually execute. Delays between attempts go through the virtual
+// clock, so instrumented runs observe them as proper retry delays.
 //
 // The context is checked on entry (an already-cancelled context performs
 // zero attempts), and the elapsed-time cap is checked *before* each
@@ -194,6 +196,15 @@ func (p *Policy) DoSeeded(ctx context.Context, seed uint64, fn func(context.Cont
 		last = fn(ctx)
 		if last == nil {
 			return nil
+		}
+		// The classifier is consulted only while a retry could still run:
+		// its verdict on the final attempt cannot change the outcome, and
+		// classifiers may carry side effects per approved retry (the LLM
+		// client debits a shared budget token) that must not fire for a
+		// retry that never executes. A final-attempt failure therefore
+		// always surfaces as ErrAttemptsExhausted, wrapping the last error.
+		if attempt == p.maxAttempts-1 {
+			break
 		}
 		if !p.retryOn(last) {
 			return last

@@ -85,6 +85,26 @@ func TestDoClassifierStopsEarly(t *testing.T) {
 	}
 }
 
+// TestClassifierNotConsultedOnFinalAttempt: the classifier's verdict on
+// the final attempt cannot change the outcome, so it must not run —
+// stateful classifiers (the LLM client debits a shared budget token per
+// approved retry) would otherwise pay for a retry that never executes.
+func TestClassifierNotConsultedOnFinalAttempt(t *testing.T) {
+	ctx, _ := ctxWithRun()
+	consulted := 0
+	p := NewPolicy(3, WithFixedDelay(time.Millisecond), WithRetryOn(func(error) bool {
+		consulted++
+		return true
+	}))
+	err := p.Do(ctx, failN(100, "ConnectException"))
+	if !errors.Is(err, ErrAttemptsExhausted) {
+		t.Fatalf("err = %v, want ErrAttemptsExhausted", err)
+	}
+	if consulted != 2 {
+		t.Errorf("classifier consulted %d times, want 2 (once per retry that ran)", consulted)
+	}
+}
+
 func TestDoDeadline(t *testing.T) {
 	ctx, _ := ctxWithRun()
 	p := NewPolicy(1000, WithFixedDelay(time.Second), WithMaxElapsed(3*time.Second))

@@ -310,9 +310,10 @@ func (s *scheduler) evictLocked(t *tenantQueue) {
 		"server_sched_rejections_total",
 		"server_tenant_llm_tokens_total",
 	} {
-		if v := s.reg.RemoveCounter(name, "tenant", t.name); v > 0 {
-			s.reg.Counter(name, "tenant", RetiredTenant).Add(v)
-		}
+		// One registry operation per family: a /metrics scrape landing
+		// mid-eviction must see the source series or the grown _retired
+		// aggregate, never the gap between.
+		s.reg.FoldCounter(name, []string{"tenant", t.name}, []string{"tenant", RetiredTenant})
 	}
 	s.reg.RemoveHistogram("server_tenant_job_ms", "tenant", t.name)
 	s.log.Info(evTenantEvicted, "tenant", t.name)
