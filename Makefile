@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke chaos serve-smoke docs-check ci all
+.PHONY: build test vet race bench bench-smoke gen-smoke chaos serve-smoke docs-check ci all
 
 all: ci
 
@@ -21,12 +21,23 @@ vet:
 race:
 	$(GO) test -race ./internal/core/... ./internal/testkit/... ./internal/fault/... ./internal/trace/... ./internal/obs/... ./internal/cache/... ./internal/server/... ./internal/source/...
 
-## bench: run the pipeline benchmarks (sequential vs parallel) and the
+## bench: run the pipeline benchmarks (sequential vs parallel), the
 ## snapshot-store microbenchmarks (parse-once vs the legacy triple
-## parse, docs/PERFORMANCE.md).
+## parse, docs/PERFORMANCE.md), and the generated-corpus scale sweep —
+## cold/warm pipeline cost over 1x and 10x synthetic corpora
+## (docs/CORPUSGEN.md), recorded in BENCH_pipeline.json's scale_sweep
+## section. The sweep runs here only, never in ci.
 bench:
 	$(GO) test -bench 'BenchmarkPipeline' -benchmem -run '^$$' .
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/source/
+	$(GO) run ./cmd/benchreport -scale-sweep -only cost
+
+## gen-smoke: generate a 10x synthetic corpus into a temp dir and push
+## it through the static-only pipeline — every emitted file must parse,
+## every app must identify structures, and the candidate ledger must
+## cover the manifest exactly (docs/CORPUSGEN.md).
+gen-smoke:
+	$(GO) test -run 'TestGenSmoke' -count=1 ./internal/corpusgen/
 
 ## bench-smoke: compile and run every benchmark for one iteration — a
 ## CI gate that keeps the benchmarks building and executable without
@@ -61,4 +72,4 @@ docs-check:
 	sh scripts/docs_check.sh
 
 ## ci: the local gate — everything the driver checks, in one target.
-ci: build test vet chaos serve-smoke bench-smoke docs-check
+ci: build test vet chaos serve-smoke bench-smoke gen-smoke docs-check

@@ -21,6 +21,12 @@
 // v4, the multi-tenant scheduler load benchmark (docs/SCHEDULING.md):
 // simulated tenants hammering an in-process wasabid, with throughput
 // and wait/run latency quantiles.
+//
+// -scale-sweep additionally generates synthetic corpora with
+// internal/corpusgen at 1× and 10× the seed scale and measures cold and
+// warm full runs over each (the v5 scale_sweep section, see
+// docs/CORPUSGEN.md). The sweep analyzes hundreds of generated apps, so
+// it is off by default and requested only by `make bench`.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"wasabi/internal/apps/corpus"
 	"wasabi/internal/cache"
 	"wasabi/internal/core"
+	"wasabi/internal/corpusgen"
 	"wasabi/internal/evaluation"
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
@@ -47,6 +54,7 @@ func main() {
 	only := flag.String("only", "", "render a single artifact")
 	workers := flag.Int("workers", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
 	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "write the per-stage pipeline report (JSON) here; empty disables")
+	scaleSweep := flag.Bool("scale-sweep", false, "also measure cold/warm runs over generated corpora at 1x and 10x scale (slow; `make bench` only)")
 	flag.Parse()
 
 	static := map[string]func() string{
@@ -89,6 +97,14 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Serve = sb
+		if *scaleSweep {
+			sw, err := measureScaleBench(*workers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Scale = sw
+		}
 		data, err := rep.MarshalIndent()
 		if err == nil {
 			err = os.WriteFile(*pipelineOut, append(data, '\n'), 0o644)
@@ -176,6 +192,68 @@ func measureCacheBench(workers int) (*obs.CacheBench, error) {
 		WarmHits:        hits,
 		WarmMisses:      misses,
 	}, nil
+}
+
+// measureScaleBench runs the generated-corpus scale sweep: for each
+// scale factor it generates a synthetic corpus (internal/corpusgen,
+// seed 1) into a scratch directory and runs the full pipeline over it
+// twice against a fresh per-scale cache — cold (populating) and warm
+// (replaying). Wall times are honest measurements; app/structure counts
+// and token rows are deterministic for the fixed seed, and the warm run
+// must cost zero fresh tokens at every scale.
+func measureScaleBench(workers int) ([]obs.ScaleBench, error) {
+	var out []obs.ScaleBench
+	for _, scale := range []int{1, 10} {
+		c, err := corpusgen.Generate(corpusgen.Config{Seed: 1, Scale: scale})
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "wasabi-scalebench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		if err := corpusgen.Write(c, dir, workers); err != nil {
+			return nil, err
+		}
+		apps, spec, err := corpusgen.LoadApps(dir)
+		if err != nil {
+			return nil, err
+		}
+		ca, err := cache.New(cache.Options{})
+		if err != nil {
+			return nil, err
+		}
+		store := source.NewStore(nil)
+		run := func() (time.Duration, llm.Usage, error) {
+			opts := core.DefaultOptions()
+			opts.Workers = workers
+			opts.Cache = ca
+			opts.Source = store
+			w := core.New(opts)
+			start := time.Now()
+			_, err := w.RunCorpus(apps)
+			return time.Since(start), w.LLMUsage(), err
+		}
+		coldWall, coldFresh, err := run()
+		if err != nil {
+			return nil, err
+		}
+		warmWall, warmFresh, err := run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, obs.ScaleBench{
+			Scale:           scale,
+			Apps:            len(apps),
+			Structures:      len(spec.Manifests()),
+			ColdWallMS:      float64(coldWall) / float64(time.Millisecond),
+			WarmWallMS:      float64(warmWall) / float64(time.Millisecond),
+			ColdFreshTokens: coldFresh.TokensIn,
+			WarmFreshTokens: warmFresh.TokensIn,
+		})
+	}
+	return out, nil
 }
 
 // measureServeBench runs the multi-tenant scheduler load benchmark

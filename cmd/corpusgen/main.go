@@ -1,0 +1,178 @@
+// Command corpusgen generates, verifies, and inspects seeded synthetic
+// retry corpora (docs/CORPUSGEN.md).
+//
+// Usage:
+//
+//	corpusgen -out DIR [-seed N] [-scale N] [-buggy class=frac,...] [-workers N]
+//	corpusgen -verify -root DIR [-workers N]
+//	corpusgen -envelope -root DIR [-tolerance F]
+//	corpusgen -table -root DIR
+//
+// The default mode generates: it resolves the configuration into a
+// corpus plan and writes the tree under -out — one Go source directory
+// per app, corpusgen.json (the spec), and ledger.json (the all-candidate
+// ground-truth ledger). Generation is deterministic: the same seed and
+// knobs produce a byte-identical tree at any -workers setting.
+//
+// -verify runs the full pipeline (identification, fault-injection
+// workflow, static workflow, corpus-wide IF analysis) over the generated
+// corpus and rewrites ledger.json with candidates promoted to verified
+// wherever an end-to-end witness was recorded. Error-code structures
+// stay candidates by construction — they are outside the
+// exception-injection scope.
+//
+// -envelope profiles the generated population against the hand-written
+// seed corpus data card and prints any dimension outside the tolerance.
+//
+// -table prints the per-app composition table (the docs/CORPUS.md
+// format) computed from the generated manifests.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/apps/meta"
+	"wasabi/internal/core"
+	"wasabi/internal/corpusgen"
+)
+
+func main() {
+	out := flag.String("out", "", "generate: output directory for the corpus tree")
+	seed := flag.Uint64("seed", 1, "generate: random seed (same seed + knobs = byte-identical tree)")
+	scale := flag.Int("scale", corpusgen.DefaultScale,
+		fmt.Sprintf("generate: corpus size as a multiple of the 98-structure seed (1..%d)", corpusgen.MaxScale))
+	buggy := flag.String("buggy", "", "generate: per-bug-class fraction overrides, e.g. \"missing-cap=0.25,missing-delay=0.1\"")
+	workers := flag.Int("workers", 0, "worker pool size; 0 = one per CPU")
+	verify := flag.Bool("verify", false, "run the full pipeline over -root and promote ledger candidates to verified")
+	envelope := flag.Bool("envelope", false, "check -root's population against the seed corpus envelope")
+	table := flag.Bool("table", false, "print -root's per-app composition table")
+	root := flag.String("root", "", "corpus root for -verify / -envelope / -table")
+	tolerance := flag.Float64("tolerance", corpusgen.DefaultTolerance, "envelope: absolute tolerance on population fractions")
+	flag.Parse()
+
+	switch {
+	case *verify:
+		runVerify(*root, *workers)
+	case *envelope:
+		runEnvelope(*root, *tolerance)
+	case *table:
+		runTable(*root)
+	default:
+		runGenerate(*out, *seed, *scale, *buggy, *workers)
+	}
+}
+
+func fail(err error) {
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "corpusgen:") {
+		msg = "corpusgen: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}
+
+func runGenerate(out string, seed uint64, scale int, buggy string, workers int) {
+	if out == "" {
+		fmt.Fprintln(os.Stderr, "corpusgen: -out is required (or use -verify/-envelope/-table with -root)")
+		os.Exit(2)
+	}
+	cfg := corpusgen.Config{Seed: seed, Scale: scale}
+	if buggy != "" {
+		cfg.Buggy = make(map[string]float64)
+		for _, pair := range strings.Split(buggy, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				fail(fmt.Errorf("malformed -buggy entry %q (want class=fraction)", pair))
+			}
+			frac, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fail(fmt.Errorf("malformed -buggy fraction %q: %v", v, err))
+			}
+			cfg.Buggy[k] = frac
+		}
+	}
+	c, err := corpusgen.Generate(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if err := corpusgen.Write(c, out, workers); err != nil {
+		fail(err)
+	}
+	manifests := c.Manifests()
+	bugs := 0
+	for _, s := range manifests {
+		if s.HasBug() {
+			bugs++
+		}
+	}
+	fmt.Printf("corpusgen: wrote %d apps / %d structures (%d buggy) to %s (seed %d, scale %d)\n",
+		len(c.Apps), len(manifests), bugs, out, cfg.Seed, cfg.Scale)
+}
+
+func runVerify(root string, workers int) {
+	if root == "" {
+		fmt.Fprintln(os.Stderr, "corpusgen: -verify requires -root")
+		os.Exit(2)
+	}
+	apps, spec, err := corpusgen.LoadApps(root)
+	if err != nil {
+		fail(err)
+	}
+	opts := core.DefaultOptions()
+	opts.Workers = workers
+	run, err := core.New(opts).RunCorpus(apps)
+	if err != nil {
+		fail(err)
+	}
+	led := corpusgen.Verify(spec, run)
+	if err := corpusgen.WriteLedger(root, led); err != nil {
+		fail(err)
+	}
+	fmt.Printf("corpusgen: verified %d / %d structures (%d candidates remain) — ledger updated\n",
+		led.Verified, len(led.Entries), led.Candidates)
+	for _, e := range led.Entries {
+		if e.Status == corpusgen.StatusVerified && e.Bug != "" {
+			fmt.Printf("  %-44s %-22s %s\n", e.Key, e.Bug, e.Witness)
+		}
+	}
+}
+
+func runEnvelope(root string, tolerance float64) {
+	if root == "" {
+		fmt.Fprintln(os.Stderr, "corpusgen: -envelope requires -root")
+		os.Exit(2)
+	}
+	spec, err := corpusgen.Load(root)
+	if err != nil {
+		fail(err)
+	}
+	gen := corpusgen.EnvelopeOf(spec.Manifests())
+	ref := corpusgen.EnvelopeOf(corpus.Manifests())
+	devs := gen.Check(ref, tolerance)
+	fmt.Print(corpusgen.FormatDeviations(devs))
+	if len(devs) > 0 {
+		os.Exit(1)
+	}
+}
+
+func runTable(root string) {
+	if root == "" {
+		fmt.Fprintln(os.Stderr, "corpusgen: -table requires -root")
+		os.Exit(2)
+	}
+	spec, err := corpusgen.Load(root)
+	if err != nil {
+		fail(err)
+	}
+	manifests := spec.Manifests()
+	var rows []meta.AppCount
+	for _, a := range spec.Apps {
+		rows = append(rows, meta.CountApp(a.Code, manifests))
+	}
+	fmt.Print(meta.CompositionTable(rows))
+}

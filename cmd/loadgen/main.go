@@ -6,6 +6,7 @@
 //
 //	loadgen -tenants 100 -jobs 2 -apps HD             # self-hosted daemon
 //	loadgen -addr http://localhost:8788 -tenants 100  # running daemon
+//	loadgen -corpus DIR -gen-apps 8 -tenants 50       # generated corpus
 //
 // With -addr empty, loadgen starts an in-process wasabid (flags -slots,
 // -quota, -queue, -workers shape it) so the bench also captures the
@@ -13,6 +14,13 @@
 // quantiles); against a remote daemon those fields read zero and the
 // client-side numbers stand alone. The result is the `serve` section of
 // the BENCH_pipeline.json schema, printed as JSON on stdout.
+//
+// -corpus points the in-process daemon at a generated corpus root
+// (cmd/corpusgen, docs/CORPUSGEN.md) instead of the built-in seed
+// corpus, and -gen-apps N makes each job analyze the first N generated
+// applications — the knob for driving the scheduler with synthetic
+// populations much larger than the seed. An explicit -apps list of
+// generated codes ("G001,G002") overrides -gen-apps.
 package main
 
 import (
@@ -26,7 +34,9 @@ import (
 	"strings"
 	"time"
 
+	"wasabi/internal/apps/corpus"
 	"wasabi/internal/cache"
+	"wasabi/internal/corpusgen"
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 	"wasabi/internal/server"
@@ -37,6 +47,8 @@ func main() {
 	tenants := flag.Int("tenants", 100, "simulated tenants")
 	jobs := flag.Int("jobs", 2, "jobs submitted per tenant")
 	appsFlag := flag.String("apps", "HD", "comma-separated corpus codes per job; empty = full corpus")
+	corpusRoot := flag.String("corpus", "", "in-process daemon: generated corpus root (cmd/corpusgen); empty = built-in seed corpus")
+	genApps := flag.Int("gen-apps", 1, "with -corpus: analyze the first N generated apps per job (ignored when -apps is set explicitly)")
 	slots := flag.Int("slots", 0, "in-process daemon: scheduler worker slots (0 = auto)")
 	quota := flag.Int("quota", 0, "in-process daemon: per-tenant in-flight quota (0 = slots)")
 	queue := flag.Int("queue", 4, "in-process daemon: per-tenant queue depth")
@@ -46,8 +58,36 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "overall deadline")
 	flag.Parse()
 
+	var genCorpus []corpus.App
+	if *corpusRoot != "" {
+		if *addr != "" {
+			fatal(fmt.Errorf("-corpus shapes the in-process daemon and cannot be combined with -addr"))
+		}
+		var err error
+		genCorpus, _, err = corpusgen.LoadApps(*corpusRoot)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	var codes []string
-	if *appsFlag != "" {
+	appsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "apps" {
+			appsSet = true
+		}
+	})
+	switch {
+	case genCorpus != nil && !appsSet:
+		// Drive the daemon with the first -gen-apps generated apps.
+		n := *genApps
+		if n <= 0 || n > len(genCorpus) {
+			n = len(genCorpus)
+		}
+		for _, app := range genCorpus[:n] {
+			codes = append(codes, app.Code)
+		}
+	case *appsFlag != "":
 		codes = strings.Split(*appsFlag, ",")
 	}
 	opt := server.LoadOptions{Tenants: *tenants, Jobs: *jobs, Apps: codes, Timeout: *timeout}
@@ -68,6 +108,7 @@ func main() {
 			PipelineWorkers: *workers,
 			Cache:           ca,
 			Obs:             observer,
+			Corpus:          genCorpus,
 		}
 		if *backends != "" {
 			specs, err := llm.ParseBackends(*backends)

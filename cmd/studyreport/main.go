@@ -1,18 +1,36 @@
 // Command studyreport regenerates the empirical-study artifacts: Table 1
 // (applications), Table 2 (root causes), and the §2.5 statistics.
+//
+// -corpus-table instead prints the per-application composition table
+// computed from the corpus ground-truth manifests — the exact markdown
+// of docs/CORPUS.md, so `make docs-check` can fail when the documented
+// table drifts from the manifests.
 package main
 
 import (
 	"flag"
 	"fmt"
 
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/apps/meta"
 	"wasabi/internal/evaluation"
 	"wasabi/internal/study"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "also list every studied issue")
+	corpusTable := flag.Bool("corpus-table", false, "print the per-app composition table computed from the corpus manifests (docs/CORPUS.md format)")
 	flag.Parse()
+
+	if *corpusTable {
+		list := corpus.Manifests()
+		var rows []meta.AppCount
+		for _, a := range corpus.Apps() {
+			rows = append(rows, meta.CountApp(a.Code, list))
+		}
+		fmt.Print(meta.CompositionTable(rows))
+		return
+	}
 
 	fmt.Println(evaluation.Table1())
 	fmt.Println(evaluation.Table2())

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	wasabi [-app HD] [-workflow all|dynamic|static|if] [-workers N] [-v]
-//	       [-json]
+//	       [-json] [-corpus DIR]
 //	       [-cache-dir DIR] [-cache-bytes N]
 //	       [-llm-fault-profile none|light|heavy|outage|k=v,...]
 //	       [-llm-outage-after N]
@@ -16,6 +16,10 @@
 // pipeline's worker pool (0 = one per CPU); output is byte-identical at
 // every setting, so -workers 1 merely reproduces the original sequential
 // timing.
+//
+// -corpus points the run at a generated corpus root (cmd/corpusgen,
+// docs/CORPUSGEN.md) instead of the built-in seed corpus; -app then
+// selects generated codes ("G001", ...).
 //
 // -json replaces the text report with the canonical schema-versioned JSON
 // document (internal/report — the same encoder the wasabid service
@@ -59,6 +63,7 @@ import (
 	"wasabi/internal/apps/corpus"
 	"wasabi/internal/cache"
 	"wasabi/internal/core"
+	"wasabi/internal/corpusgen"
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 	"wasabi/internal/oracle"
@@ -67,6 +72,7 @@ import (
 
 func main() {
 	appCode := flag.String("app", "", "application short code (HD, HB, ...); empty = all")
+	corpusRoot := flag.String("corpus", "", "generated corpus root (cmd/corpusgen); empty = built-in seed corpus")
 	workflow := flag.String("workflow", "all", "workflow: all, dynamic, static, or if")
 	workers := flag.Int("workers", 0, "worker pool size; 0 = one per CPU, 1 = sequential")
 	verbose := flag.Bool("v", false, "print per-structure identification details")
@@ -92,13 +98,26 @@ func main() {
 	}
 
 	apps := corpus.Apps()
-	if *appCode != "" {
-		app, err := corpus.ByCode(*appCode)
+	if *corpusRoot != "" {
+		var err error
+		apps, _, err = corpusgen.LoadApps(*corpusRoot)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		apps = []corpus.App{app}
+	}
+	if *appCode != "" {
+		selected := apps[:0:0]
+		for _, app := range apps {
+			if app.Code == *appCode {
+				selected = append(selected, app)
+			}
+		}
+		if len(selected) != 1 {
+			fmt.Fprintf(os.Stderr, "wasabi: unknown app code %q\n", *appCode)
+			os.Exit(2)
+		}
+		apps = selected
 	}
 	for _, app := range apps {
 		if err := core.VerifySources(app); err != nil {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wasabid [-addr :8788] [-queue 8] [-workers N]
+//	wasabid [-addr :8788] [-queue 8] [-workers N] [-corpus DIR]
 //	        [-slots N] [-tenant-quota N] [-tenant-priority name=w,...]
 //	        [-cache-dir DIR] [-cache-bytes N] [-pprof]
 //	        [-llm-fault-profile none|light|heavy|outage|k=v,...]
@@ -14,6 +14,10 @@
 //	        [-llm-hedge-after DUR]
 //	        [-log-format text|json] [-log-level LEVEL] [-trace-ring N]
 //	        [-version]
+//
+// -corpus points the daemon at a generated corpus root (cmd/corpusgen,
+// docs/CORPUSGEN.md) instead of the built-in seed corpus: every job's
+// app codes resolve against the generated population.
 //
 // Jobs run concurrently on -slots worker slots fed by per-tenant fair
 // queues (docs/SCHEDULING.md): -queue bounds each tenant's backlog,
@@ -46,6 +50,7 @@ import (
 	"time"
 
 	"wasabi/internal/cache"
+	"wasabi/internal/corpusgen"
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 	"wasabi/internal/server"
@@ -58,6 +63,7 @@ func main() {
 	tenantQuota := flag.Int("tenant-quota", 0, "max concurrent jobs per tenant; 0 = slots")
 	tenantPriority := flag.String("tenant-priority", "", "round-robin weights as name=w,... (unlisted tenants weigh 1)")
 	workers := flag.Int("workers", 0, "pipeline worker pool size per job; 0 = one per CPU")
+	corpusRoot := flag.String("corpus", "", "generated corpus root (cmd/corpusgen); empty = built-in seed corpus")
 	cacheDir := flag.String("cache-dir", "", "persist the analysis cache in this directory (empty = memory only)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache byte budget (0 = default)")
 	faultProfile := flag.String("llm-fault-profile", "",
@@ -108,6 +114,14 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.Cache = ca
+	if *corpusRoot != "" {
+		apps, _, err := corpusgen.LoadApps(*corpusRoot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Corpus = apps
+	}
 	if *faultProfile != "" || *outageAfter > 0 {
 		profile, err := llm.ParseFaultProfile(*faultProfile)
 		if err != nil {

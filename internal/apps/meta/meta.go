@@ -10,6 +10,11 @@
 // the true-bug and false-positive counts of Tables 3, 4 and Figure 3.
 package meta
 
+import (
+	"fmt"
+	"strings"
+)
+
 // Mechanism classifies how a retry structure re-executes work (§2.5).
 type Mechanism string
 
@@ -111,6 +116,124 @@ func CountByMechanism(list []Structure) map[Mechanism]int {
 		out[s.Mechanism]++
 	}
 	return out
+}
+
+// CountByTrigger tallies structures per trigger encoding.
+func CountByTrigger(list []Structure) map[Trigger]int {
+	out := make(map[Trigger]int)
+	for _, s := range list {
+		out[s.Trigger]++
+	}
+	return out
+}
+
+// CountByBug tallies structures per ground-truth bug class; correct
+// structures count under None.
+func CountByBug(list []Structure) map[Bug]int {
+	out := make(map[Bug]int)
+	for _, s := range list {
+		out[s.Bug]++
+	}
+	return out
+}
+
+// CountKeyworded returns how many structures carry a retry keyword.
+func CountKeyworded(list []Structure) int {
+	n := 0
+	for _, s := range list {
+		if s.Keyworded {
+			n++
+		}
+	}
+	return n
+}
+
+// CountFlags returns the false-positive-source flag tallies.
+func CountFlags(list []Structure) (harnessRetried, delayUnneeded, wrapsErrors int) {
+	for _, s := range list {
+		if s.HarnessRetried {
+			harnessRetried++
+		}
+		if s.DelayUnneeded {
+			delayUnneeded++
+		}
+		if s.WrapsErrors {
+			wrapsErrors++
+		}
+	}
+	return harnessRetried, delayUnneeded, wrapsErrors
+}
+
+// AppCount is one application's manifest tallies — a row of the
+// per-application composition table in docs/CORPUS.md.
+type AppCount struct {
+	Code       string
+	Structures int
+	Loop       int
+	Queue      int
+	SM         int
+	Exception  int
+	ErrCode    int
+	Keyworded  int
+	Buggy      int
+}
+
+// CountApp tallies one application's structures (matched by App code,
+// so the full corpus manifest can be passed) into a table row.
+func CountApp(code string, list []Structure) AppCount {
+	row := AppCount{Code: code}
+	for _, s := range list {
+		if s.App != code {
+			continue
+		}
+		row.Structures++
+		switch s.Mechanism {
+		case Loop:
+			row.Loop++
+		case Queue:
+			row.Queue++
+		case StateMachine:
+			row.SM++
+		}
+		switch s.Trigger {
+		case Exception:
+			row.Exception++
+		case ErrorCode:
+			row.ErrCode++
+		}
+		if s.Keyworded {
+			row.Keyworded++
+		}
+		if s.HasBug() {
+			row.Buggy++
+		}
+	}
+	return row
+}
+
+// CompositionTable renders rows as the markdown composition table of
+// docs/CORPUS.md, byte-for-byte (so the docs-check drift gate can verify
+// the documented table is computed from the manifests themselves).
+func CompositionTable(rows []AppCount) string {
+	var b strings.Builder
+	b.WriteString("| App | Structures | Loop | Queue | SM | Exception | ErrCode | Keyworded | Buggy |\n")
+	b.WriteString("|-----|-----------:|-----:|------:|---:|----------:|--------:|----------:|------:|\n")
+	var sum AppCount
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| %-3s | %2d | %2d | %2d | %d | %2d | %2d | %2d | %2d |\n",
+			r.Code, r.Structures, r.Loop, r.Queue, r.SM, r.Exception, r.ErrCode, r.Keyworded, r.Buggy)
+		sum.Structures += r.Structures
+		sum.Loop += r.Loop
+		sum.Queue += r.Queue
+		sum.SM += r.SM
+		sum.Exception += r.Exception
+		sum.ErrCode += r.ErrCode
+		sum.Keyworded += r.Keyworded
+		sum.Buggy += r.Buggy
+	}
+	fmt.Fprintf(&b, "| **Σ** | **%d** | **%d** | **%d** | **%d** | **%d** | **%d** | **%d** | **%d** |\n",
+		sum.Structures, sum.Loop, sum.Queue, sum.SM, sum.Exception, sum.ErrCode, sum.Keyworded, sum.Buggy)
+	return b.String()
 }
 
 // Filter returns the structures for which keep returns true.

@@ -1,0 +1,361 @@
+// Package corpusgen is the seeded procedural corpus generator: it emits
+// synthetic application miniatures — Go source files, a testkit-based
+// suite, and a []meta.Structure ground-truth manifest per app — at a
+// configurable multiple of the hand-written seed corpus, so the pipeline
+// and the service stack can be exercised beyond toy scale (§4's eight
+// applications, scaled 10–100×).
+//
+// Generation is a pure function of (seed, scale, bug-ratio overrides):
+// the same configuration always produces a byte-identical tree, manifest,
+// and ledger, at any writer worker count, with no wall-clock or Date
+// dependence. The generated population reproduces the seed data card's
+// statistical envelope (mechanism / trigger / keyworded / bug-class
+// proportions, docs/CORPUS.md) and extends it with retry idioms the
+// hand-written corpus lacks: backoff-with-jitter, hedged requests,
+// idempotency-token replay, saga/compensation loops, and
+// retry-across-RPC-boundary.
+//
+// Ground truth follows a candidate/verified promotion model: every
+// generated structure enters the ledger as a candidate, and only a
+// corpusgen verify pass — which runs the real static + dynamic pipeline
+// and records the oracle (or retry-ratio) witness — promotes it to
+// verified. Error-code structures stay candidates by construction: they
+// are outside WASABI's exception-injection scope (§4.2), so no oracle
+// can witness them. See docs/CORPUSGEN.md.
+package corpusgen
+
+import (
+	"fmt"
+	"sort"
+
+	"wasabi/internal/apps/meta"
+)
+
+// Spec schema identifier written to corpusgen.json.
+const SpecSchema = "corpusgen-spec/v1"
+
+// DefaultScale is the scale knob's default: 1× the 98-structure seed.
+const DefaultScale = 1
+
+// MaxScale bounds the scale knob (100× ≈ 9800 structures, 800 apps).
+const MaxScale = 100
+
+// structuresPerScale and appsPerScale mirror the seed corpus shape.
+const (
+	structuresPerScale = 98
+	appsPerScale       = 8
+)
+
+// Config parameterizes one generation run.
+type Config struct {
+	// Seed drives every random choice; same seed + same knobs → same tree.
+	Seed uint64 `json:"seed"`
+	// Scale multiplies the seed corpus: Scale×98 structures over Scale×8
+	// apps.
+	Scale int `json:"scale"`
+	// Buggy optionally overrides the per-bug-class fraction of the total
+	// population (e.g. {"missing-cap": 0.25}). Classes not present keep
+	// the seed corpus proportions. Fractions apply to eligible idioms
+	// only; they are rounded to counts by largest remainder.
+	Buggy map[string]float64 `json:"buggy,omitempty"`
+}
+
+// Normalize fills defaults and validates the knobs.
+func (c *Config) Normalize() error {
+	if c.Scale == 0 {
+		c.Scale = DefaultScale
+	}
+	if c.Scale < 1 || c.Scale > MaxScale {
+		return fmt.Errorf("corpusgen: scale %d out of range [1, %d]", c.Scale, MaxScale)
+	}
+	for class, frac := range c.Buggy {
+		if frac < 0 || frac > 1 {
+			return fmt.Errorf("corpusgen: buggy fraction %q=%v out of [0,1]", class, frac)
+		}
+		if !knownBugClass(class) {
+			return fmt.Errorf("corpusgen: unknown bug class %q", class)
+		}
+	}
+	return nil
+}
+
+func knownBugClass(class string) bool {
+	switch meta.Bug(class) {
+	case meta.MissingCap, meta.MissingDelay, meta.How,
+		meta.WrongPolicyNotRetried, meta.WrongPolicyRetried:
+		return true
+	}
+	return false
+}
+
+// Corpus is a fully resolved generation plan: everything needed to emit
+// the tree, rebuild the suites, and derive the manifests.
+type Corpus struct {
+	Schema string    `json:"schema"`
+	Config Config    `json:"config"`
+	Apps   []AppSpec `json:"apps"`
+}
+
+// AppSpec is one generated application.
+type AppSpec struct {
+	// Code is the corpus short code ("G001"…), Pkg the Go package name
+	// ("gen001"…), Name the human-readable name.
+	Code string `json:"code"`
+	Name string `json:"name"`
+	Pkg  string `json:"pkg"`
+	// Structures are the app's retry structures in emission order.
+	Structures []StructureSpec `json:"structures"`
+}
+
+// StructureSpec is one generated retry structure: the taxonomy labels
+// plus the runtime knobs its interpreter-backed suite test executes.
+type StructureSpec struct {
+	Idiom    string `json:"idiom"`
+	Ordinal  int    `json:"ordinal"` // 1-based position within the app
+	TypeName string `json:"type"`    // emitted Go type, e.g. "BlockFetcher3"
+	File     string `json:"file"`    // emitted source basename
+
+	// Coordinator / Retried use the corpus "pkg.Type.method" convention.
+	Coordinator string   `json:"coordinator"`
+	Retried     []string `json:"retried,omitempty"`
+
+	Mechanism meta.Mechanism `json:"mechanism"`
+	Trigger   meta.Trigger   `json:"trigger"`
+	Keyworded bool           `json:"keyworded"`
+	Bug       meta.Bug       `json:"bug,omitempty"`
+
+	DelayUnneeded  bool `json:"delay_unneeded,omitempty"`
+	HarnessRetried bool `json:"harness_retried,omitempty"`
+	WrapsErrors    bool `json:"wraps_errors,omitempty"`
+
+	// Runtime knobs the suite interpreter executes (and the emitted
+	// source mirrors textually).
+	Cap     int      `json:"cap"`               // 0 = unbounded
+	DelayMS int      `json:"delay_ms"`          // 0 = no pause between attempts
+	Throws  []string `json:"throws,omitempty"`  // classes the retried method declares
+	Aborts  []string `json:"aborts,omitempty"`  // classes the coordinator gives up on
+	Wrap    string   `json:"wrap,omitempty"`    // class the give-up path wraps errors in
+	Steps   int      `json:"steps,omitempty"`   // saga / state-machine step count
+	Drives  int      `json:"drives,omitempty"`  // harness re-drives (HarnessRetried)
+	HowCls  string   `json:"how_cls,omitempty"` // class the HOW defect crashes with
+}
+
+// Key returns the ledger key "CODE/coordinator" — unique corpus-wide.
+func (s StructureSpec) Key(appCode string) string { return appCode + "/" + s.Coordinator }
+
+// Manifest derives the app's ground-truth manifest from its specs.
+func (a AppSpec) Manifest() []meta.Structure {
+	out := make([]meta.Structure, 0, len(a.Structures))
+	for _, s := range a.Structures {
+		out = append(out, meta.Structure{
+			App:            a.Code,
+			Coordinator:    s.Coordinator,
+			Retried:        append([]string(nil), s.Retried...),
+			File:           s.File,
+			Mechanism:      s.Mechanism,
+			Trigger:        s.Trigger,
+			Keyworded:      s.Keyworded,
+			Bug:            s.Bug,
+			DelayUnneeded:  s.DelayUnneeded,
+			HarnessRetried: s.HarnessRetried,
+			WrapsErrors:    s.WrapsErrors,
+			Note:           "generated: idiom " + s.Idiom,
+		})
+	}
+	return out
+}
+
+// Generate resolves a configuration into a full corpus plan. It is pure:
+// no I/O, no clock, no global randomness — only the seeded generator.
+func Generate(cfg Config) (*Corpus, error) {
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	total := structuresPerScale * cfg.Scale
+	numApps := appsPerScale * cfg.Scale
+
+	// 1. Instantiate idiom quotas (exact multiples of the per-98 table).
+	type instance struct {
+		idiom *idiomInfo
+		// role assignment results:
+		bug            meta.Bug
+		delayUnneeded  bool
+		harnessRetried bool
+		wrapsErrors    bool
+	}
+	var instances []instance
+	for i := range idiomTable {
+		info := &idiomTable[i]
+		for k := 0; k < info.Per98*cfg.Scale; k++ {
+			instances = append(instances, instance{idiom: info})
+		}
+	}
+	if len(instances) != total {
+		return nil, fmt.Errorf("corpusgen: idiom quotas sum to %d, want %d", len(instances), total)
+	}
+
+	// 2. Assign bug classes and FP flags over eligible idioms, in a fixed
+	// order, each instance taking at most one role. Pools are shuffled
+	// with the seeded generator so roles spread across apps and idioms.
+	rng := newRNG(cfg.Seed)
+	counts := bugCounts(cfg, total)
+	poolOf := func(eligible func(*idiomInfo) bool) []int {
+		var pool []int
+		for i := range instances {
+			if instances[i].bug == meta.None &&
+				!instances[i].delayUnneeded && !instances[i].harnessRetried && !instances[i].wrapsErrors &&
+				eligible(instances[i].idiom) {
+				pool = append(pool, i)
+			}
+		}
+		rng.shuffle(pool)
+		return pool
+	}
+	take := func(pool []int, n int, assign func(*instance)) ([]int, error) {
+		if n > len(pool) {
+			return nil, fmt.Errorf("corpusgen: bug quota %d exceeds eligible pool %d", n, len(pool))
+		}
+		for _, idx := range pool[:n] {
+			assign(&instances[idx])
+		}
+		return pool[n:], nil
+	}
+	var err error
+	// HOW bugs live in saga/compensation structures only.
+	howPool := poolOf(func(i *idiomInfo) bool { return i.Name == IdiomSagaCompensation })
+	if _, err = take(howPool, counts[meta.How], func(in *instance) { in.bug = meta.How }); err != nil {
+		return nil, err
+	}
+	// if-retried outliers must declare the aborted class (bounded/rpc).
+	ifRetPool := poolOf(func(i *idiomInfo) bool { return i.DeclaresAbort })
+	if _, err = take(ifRetPool, counts[meta.WrongPolicyRetried], func(in *instance) { in.bug = meta.WrongPolicyRetried }); err != nil {
+		return nil, err
+	}
+	// if-not-retried outliers come from any keyworded exception loop idiom.
+	ifNotPool := poolOf(func(i *idiomInfo) bool { return i.IFEligible })
+	if _, err = take(ifNotPool, counts[meta.WrongPolicyNotRetried], func(in *instance) { in.bug = meta.WrongPolicyNotRetried }); err != nil {
+		return nil, err
+	}
+	// WHEN bugs and FP flags share the cap/delay-eligible pool.
+	whenPool := poolOf(func(i *idiomInfo) bool { return i.WhenEligible })
+	if whenPool, err = take(whenPool, counts[meta.MissingCap], func(in *instance) { in.bug = meta.MissingCap }); err != nil {
+		return nil, err
+	}
+	if whenPool, err = take(whenPool, counts[meta.MissingDelay], func(in *instance) { in.bug = meta.MissingDelay }); err != nil {
+		return nil, err
+	}
+	if whenPool, err = take(whenPool, harnessRetriedPer98*cfg.Scale, func(in *instance) { in.harnessRetried = true }); err != nil {
+		return nil, err
+	}
+	if whenPool, err = take(whenPool, delayUnneededPer98*cfg.Scale, func(in *instance) { in.delayUnneeded = true }); err != nil {
+		return nil, err
+	}
+	if _, err = take(whenPool, wrapsErrorsPer98*cfg.Scale, func(in *instance) { in.wrapsErrors = true }); err != nil {
+		return nil, err
+	}
+
+	// 3. Deal instances to apps. Interleave idioms (k-th instance of each
+	// idiom in turn) so every app receives a representative mix, then
+	// round-robin over the apps.
+	apps := make([]AppSpec, numApps)
+	for i := range apps {
+		apps[i] = AppSpec{
+			Code: fmt.Sprintf("G%03d", i+1),
+			Name: fmt.Sprintf("GenApp %03d", i+1),
+			Pkg:  fmt.Sprintf("gen%03d", i+1),
+		}
+	}
+	var order []int
+	{
+		// indices of instances grouped per idiom, in table order
+		byIdiom := make(map[string][]int)
+		for i := range instances {
+			byIdiom[instances[i].idiom.Name] = append(byIdiom[instances[i].idiom.Name], i)
+		}
+		for k := 0; ; k++ {
+			progressed := false
+			for i := range idiomTable {
+				list := byIdiom[idiomTable[i].Name]
+				if k < len(list) {
+					order = append(order, list[k])
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+	}
+	for pos, idx := range order {
+		in := &instances[idx]
+		app := &apps[pos%numApps]
+		ordinal := len(app.Structures) + 1
+		spec := buildSpec(app.Pkg, ordinal, in.idiom, in.bug, in.delayUnneeded, in.harnessRetried, in.wrapsErrors, rng)
+		app.Structures = append(app.Structures, spec)
+	}
+
+	// Sanity: coordinators unique corpus-wide.
+	seen := make(map[string]bool, total)
+	for _, a := range apps {
+		for _, s := range a.Structures {
+			key := s.Key(a.Code)
+			if seen[key] {
+				return nil, fmt.Errorf("corpusgen: duplicate structure key %s", key)
+			}
+			seen[key] = true
+		}
+	}
+	return &Corpus{Schema: SpecSchema, Config: cfg, Apps: apps}, nil
+}
+
+// Manifests concatenates every app's derived ground truth.
+func (c *Corpus) Manifests() []meta.Structure {
+	var out []meta.Structure
+	for _, a := range c.Apps {
+		out = append(out, a.Manifest()...)
+	}
+	return out
+}
+
+// bugCounts resolves the per-class counts: seed proportions by default,
+// overridden fractions rounded by largest remainder against the total.
+func bugCounts(cfg Config, total int) map[meta.Bug]int {
+	fracs := map[meta.Bug]float64{
+		meta.MissingCap:            float64(missingCapPer98) / structuresPerScale,
+		meta.MissingDelay:          float64(missingDelayPer98) / structuresPerScale,
+		meta.How:                   float64(howPer98) / structuresPerScale,
+		meta.WrongPolicyNotRetried: float64(ifNotRetriedPer98) / structuresPerScale,
+		meta.WrongPolicyRetried:    float64(ifRetriedPer98) / structuresPerScale,
+	}
+	for class, frac := range cfg.Buggy {
+		fracs[meta.Bug(class)] = frac
+	}
+	// Largest-remainder rounding, iterating classes in a fixed order.
+	classes := make([]meta.Bug, 0, len(fracs))
+	for c := range fracs {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	counts := make(map[meta.Bug]int, len(classes))
+	type rem struct {
+		class meta.Bug
+		frac  float64
+	}
+	var rems []rem
+	want := 0.0
+	got := 0
+	for _, c := range classes {
+		exact := fracs[c] * float64(total)
+		n := int(exact)
+		counts[c] = n
+		rems = append(rems, rem{c, exact - float64(n)})
+		want += exact
+		got += n
+	}
+	short := int(want+0.5) - got
+	sort.SliceStable(rems, func(i, j int) bool { return rems[i].frac > rems[j].frac })
+	for i := 0; i < short && i < len(rems); i++ {
+		counts[rems[i].class]++
+	}
+	return counts
+}

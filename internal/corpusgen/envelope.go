@@ -1,0 +1,134 @@
+package corpusgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wasabi/internal/apps/meta"
+)
+
+// DefaultTolerance is the envelope check's absolute tolerance on every
+// population fraction. Default-scale generation lands exactly on the
+// seed marginals (quotas are exact multiples), so the tolerance only
+// absorbs rounding once Buggy overrides reshape the population.
+const DefaultTolerance = 0.05
+
+// Envelope is a corpus's statistical profile: every dimension is a
+// fraction of the total population, so envelopes of different-sized
+// corpora compare directly.
+type Envelope struct {
+	Total int
+
+	Mechanism map[meta.Mechanism]float64
+	Trigger   map[meta.Trigger]float64
+	Keyworded float64
+	Bugs      map[meta.Bug]float64 // meta.None holds the correct fraction
+
+	HarnessRetried float64
+	DelayUnneeded  float64
+	WrapsErrors    float64
+}
+
+// EnvelopeOf profiles a manifest set.
+func EnvelopeOf(list []meta.Structure) Envelope {
+	e := Envelope{
+		Total:     len(list),
+		Mechanism: make(map[meta.Mechanism]float64),
+		Trigger:   make(map[meta.Trigger]float64),
+		Bugs:      make(map[meta.Bug]float64),
+	}
+	if e.Total == 0 {
+		return e
+	}
+	n := float64(e.Total)
+	for _, s := range list {
+		e.Mechanism[s.Mechanism] += 1 / n
+		e.Trigger[s.Trigger] += 1 / n
+		e.Bugs[s.Bug] += 1 / n
+		if s.Keyworded {
+			e.Keyworded += 1 / n
+		}
+		if s.HarnessRetried {
+			e.HarnessRetried += 1 / n
+		}
+		if s.DelayUnneeded {
+			e.DelayUnneeded += 1 / n
+		}
+		if s.WrapsErrors {
+			e.WrapsErrors += 1 / n
+		}
+	}
+	return e
+}
+
+// Deviation is one envelope dimension outside tolerance.
+type Deviation struct {
+	Dimension string
+	Observed  float64
+	Expected  float64
+}
+
+// Check compares e (observed) against ref (expected) and returns every
+// dimension whose fractions differ by more than tol (absolute).
+func (e Envelope) Check(ref Envelope, tol float64) []Deviation {
+	var out []Deviation
+	add := func(dim string, obs, exp float64) {
+		d := obs - exp
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			out = append(out, Deviation{Dimension: dim, Observed: obs, Expected: exp})
+		}
+	}
+	for _, k := range unionKeys(e.Mechanism, ref.Mechanism) {
+		add("mechanism/"+string(k), e.Mechanism[k], ref.Mechanism[k])
+	}
+	for _, k := range unionKeys(e.Trigger, ref.Trigger) {
+		add("trigger/"+string(k), e.Trigger[k], ref.Trigger[k])
+	}
+	add("keyworded", e.Keyworded, ref.Keyworded)
+	for _, k := range unionKeys(e.Bugs, ref.Bugs) {
+		name := string(k)
+		if k == meta.None {
+			name = "correct"
+		}
+		add("bug/"+name, e.Bugs[k], ref.Bugs[k])
+	}
+	add("flag/harness-retried", e.HarnessRetried, ref.HarnessRetried)
+	add("flag/delay-unneeded", e.DelayUnneeded, ref.DelayUnneeded)
+	add("flag/wraps-errors", e.WrapsErrors, ref.WrapsErrors)
+	return out
+}
+
+func unionKeys[K ~string](a, b map[K]float64) []K {
+	seen := make(map[K]bool)
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	keys := make([]K, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// FormatDeviations renders an observed-vs-expected table for failing
+// envelope checks.
+func FormatDeviations(devs []Deviation) string {
+	if len(devs) == 0 {
+		return "envelope: all dimensions within tolerance\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %9s %9s %9s\n", "dimension", "observed", "expected", "delta")
+	for _, d := range devs {
+		fmt.Fprintf(&b, "%-28s %8.3f%% %8.3f%% %+8.3f%%\n",
+			d.Dimension, d.Observed*100, d.Expected*100, (d.Observed-d.Expected)*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package corpusgen
+
+import (
+	"testing"
+
+	"wasabi/internal/apps/corpus"
+	"wasabi/internal/apps/meta"
+)
+
+// TestDefaultScaleMatchesSeedEnvelope is the statistical-envelope
+// guarantee: at the default configuration the generated population's
+// mechanism / trigger / keyworded / bug-class / FP-flag proportions
+// reproduce the hand-written seed corpus data card (docs/CORPUS.md)
+// within DefaultTolerance. Failures print the observed-vs-expected
+// table so drift is diagnosable from the test log alone.
+func TestDefaultScaleMatchesSeedEnvelope(t *testing.T) {
+	ref := EnvelopeOf(corpus.Manifests())
+	if ref.Total == 0 {
+		t.Fatal("seed corpus manifests are empty")
+	}
+	for _, scale := range []int{1, DefaultScale, 3} {
+		c, err := Generate(Config{Seed: 1, Scale: scale})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := EnvelopeOf(c.Manifests())
+		if gen.Total != structuresPerScale*scale {
+			t.Fatalf("scale %d: generated %d structures, want %d", scale, gen.Total, structuresPerScale*scale)
+		}
+		if devs := gen.Check(ref, DefaultTolerance); len(devs) > 0 {
+			t.Errorf("scale %d: generated corpus leaves the seed envelope:\n%s", scale, FormatDeviations(devs))
+		}
+	}
+}
+
+// TestDefaultScaleIsExact sharpens the envelope guarantee: quotas are
+// exact multiples of the seed marginals, so integer scales land on the
+// seed fractions exactly, not merely within tolerance.
+func TestDefaultScaleIsExact(t *testing.T) {
+	ref := EnvelopeOf(corpus.Manifests())
+	c, err := Generate(Config{Seed: 99, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devs := EnvelopeOf(c.Manifests()).Check(ref, 1e-9); len(devs) > 0 {
+		t.Errorf("default scale deviates from the seed marginals:\n%s", FormatDeviations(devs))
+	}
+}
+
+// TestBuggyOverrideShiftsEnvelope proves the check has teeth: a config
+// that nearly doubles the missing-cap fraction must (a) generate that
+// many missing-cap bugs and (b) fail the seed-envelope comparison.
+func TestBuggyOverrideShiftsEnvelope(t *testing.T) {
+	c, err := Generate(Config{Seed: 1, Scale: 1, Buggy: map[string]float64{string(meta.MissingCap): 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := 0
+	for _, s := range c.Manifests() {
+		if s.Bug == meta.MissingCap {
+			caps++
+		}
+	}
+	if caps != 25 {
+		t.Errorf("missing-cap override 0.25 produced %d/98 bugs, want 25", caps)
+	}
+	ref := EnvelopeOf(corpus.Manifests())
+	if devs := EnvelopeOf(c.Manifests()).Check(ref, DefaultTolerance); len(devs) == 0 {
+		t.Error("overridden corpus still passes the seed envelope — check has no teeth")
+	}
+}
+
+// TestConfigValidation covers the knob guard rails.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, Scale: MaxScale + 1}); err == nil {
+		t.Error("scale beyond MaxScale accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, Scale: 1, Buggy: map[string]float64{"no-such-class": 0.1}}); err == nil {
+		t.Error("unknown bug class accepted")
+	}
+	if _, err := Generate(Config{Seed: 1, Scale: 1, Buggy: map[string]float64{string(meta.How): 1.5}}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	// An override that exceeds its eligible pool must fail loudly, not
+	// silently truncate (HOW bugs only fit in saga structures).
+	if _, err := Generate(Config{Seed: 1, Scale: 1, Buggy: map[string]float64{string(meta.How): 0.5}}); err == nil {
+		t.Error("HOW quota beyond the saga pool accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package corpusgen
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wasabi/internal/core"
+)
+
+// TestGenSmoke is the `make gen-smoke` gate: generate a 10× corpus into
+// a temp dir, run the static-only pipeline (identification; no fault
+// injection), and require zero parse failures plus a ledger whose
+// candidate count equals the manifest count.
+func TestGenSmoke(t *testing.T) {
+	const scale = 10
+	c, err := Generate(Config{Seed: 1, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := Write(c, root, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every emitted source file must parse: the corpus is useless to the
+	// static lanes otherwise.
+	parsed := 0
+	fset := token.NewFileSet()
+	for _, app := range c.Apps {
+		dir := filepath.Join(root, app.Pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			if _, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments); err != nil {
+				t.Errorf("parse failure: %v", err)
+			}
+			parsed++
+		}
+	}
+	wantFiles := structuresPerScale * scale
+	if parsed != wantFiles {
+		t.Errorf("parsed %d files, want %d", parsed, wantFiles)
+	}
+
+	// Static-only pipeline: identification over every generated app.
+	apps, spec, err := LoadApps(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != appsPerScale*scale {
+		t.Fatalf("loaded %d apps, want %d", len(apps), appsPerScale*scale)
+	}
+	w := core.New(core.DefaultOptions())
+	identified := 0
+	for _, app := range apps {
+		id, err := w.Identify(app)
+		if err != nil {
+			t.Fatalf("identify %s: %v", app.Code, err)
+		}
+		identified += len(id.Structures)
+	}
+	if identified == 0 {
+		t.Fatal("static lanes identified no structures in the generated corpus")
+	}
+
+	// The fresh ledger tracks every manifest structure as a candidate.
+	led, err := LoadLedger(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifests := spec.Manifests()
+	if led.Candidates != len(manifests) || len(led.Entries) != len(manifests) {
+		t.Errorf("ledger candidates=%d entries=%d, want both == manifest count %d",
+			led.Candidates, len(led.Entries), len(manifests))
+	}
+}

@@ -1,0 +1,50 @@
+package corpusgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wasabi/internal/apps/corpus"
+)
+
+// Load reads a generated corpus root's machine-readable spec
+// (corpusgen.json) back into memory.
+func Load(root string) (*Corpus, error) {
+	raw, err := os.ReadFile(filepath.Join(root, SpecFile))
+	if err != nil {
+		return nil, fmt.Errorf("corpusgen: reading spec: %w", err)
+	}
+	var c Corpus
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("corpusgen: parsing %s: %w", SpecFile, err)
+	}
+	if c.Schema != SpecSchema {
+		return nil, fmt.Errorf("corpusgen: %s has schema %q, want %q", SpecFile, c.Schema, SpecSchema)
+	}
+	return &c, nil
+}
+
+// LoadApps returns the generated corpus as pipeline-ready applications:
+// each app's Dir points at its emitted sources (for the SAST and LLM
+// lanes), its Suite at the interpreter (for the dynamic lane), and its
+// Manifest at the derived ground truth. The result is a drop-in
+// replacement for corpus.Apps().
+func LoadApps(root string) ([]corpus.App, *Corpus, error) {
+	c, err := Load(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	apps := make([]corpus.App, 0, len(c.Apps))
+	for _, a := range c.Apps {
+		apps = append(apps, corpus.App{
+			Code:     a.Code,
+			Name:     a.Name,
+			Dir:      filepath.Join(root, a.Pkg),
+			Suite:    Suite(a),
+			Manifest: a.Manifest(),
+		})
+	}
+	return apps, c, nil
+}

@@ -1,0 +1,33 @@
+package corpusgen
+
+// rng is a splitmix64 generator: tiny, fast, and — unlike the standard
+// library's generator — guaranteed stable across Go releases, which the
+// determinism contract (same seed → byte-identical corpus) depends on.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed ^ 0x9e3779b97f4a7c15}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// shuffle permutes xs in place (Fisher–Yates).
+func (r *rng) shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}

@@ -1,0 +1,100 @@
+package corpusgen
+
+import (
+	"fmt"
+	"strings"
+
+	"wasabi/internal/apps/meta"
+)
+
+// buildSpec instantiates one structure: idiom defaults, a type name from
+// the idiom's pool, and the knob adjustments its assigned role requires.
+// The per-app ordinal suffixes every emitted top-level identifier, so
+// bare method names stay unique per application — the property the
+// name-based callee resolution of internal/sast depends on.
+func buildSpec(pkg string, ordinal int, info *idiomInfo, bug meta.Bug,
+	delayUnneeded, harnessRetried, wrapsErrors bool, rng *rng) StructureSpec {
+
+	typeBase := info.Types[rng.intn(len(info.Types))]
+	typeName := fmt.Sprintf("%s%d", typeBase, ordinal)
+	coordinator := fmt.Sprintf("%s.%s.%s%d", pkg, typeName, info.CoordVerb, ordinal)
+
+	var retried []string
+	switch info.Name {
+	case IdiomSagaCompensation:
+		for _, v := range sagaStepVerbs[:info.Steps] {
+			retried = append(retried, fmt.Sprintf("%s.%s.%s%d", pkg, typeName, v, ordinal))
+		}
+	case IdiomStateMachineExc:
+		for _, v := range smStepVerbs[:info.Steps] {
+			retried = append(retried, fmt.Sprintf("%s.%s.%s%d", pkg, typeName, v, ordinal))
+		}
+	default:
+		if info.RetriedVerb != "" {
+			retried = []string{fmt.Sprintf("%s.%s.%s%d", pkg, typeName, info.RetriedVerb, ordinal)}
+		}
+	}
+
+	s := StructureSpec{
+		Idiom:       info.Name,
+		Ordinal:     ordinal,
+		TypeName:    typeName,
+		File:        fmt.Sprintf("%s_%d.go", snake(typeBase), ordinal),
+		Coordinator: coordinator,
+		Retried:     retried,
+		Mechanism:   info.Mechanism,
+		Trigger:     info.Trigger,
+		Keyworded:   info.Keyworded,
+		Bug:         bug,
+		Cap:         info.Cap,
+		DelayMS:     info.DelayMS,
+		Throws:      append([]string(nil), info.Throws...),
+		Aborts:      append([]string(nil), info.Aborts...),
+		Steps:       info.Steps,
+
+		DelayUnneeded:  delayUnneeded,
+		HarnessRetried: harnessRetried,
+		WrapsErrors:    wrapsErrors,
+	}
+
+	switch bug {
+	case meta.MissingCap:
+		s.Cap = 0 // unbounded: the retry budget was never wired up
+	case meta.MissingDelay:
+		s.Cap, s.DelayMS = 6, 0 // bounded but back-to-back
+	case meta.How:
+		s.HowCls = classHow // compensation corrupts state; re-run crashes
+	case meta.WrongPolicyNotRetried:
+		// Aborts a class the rest of the population retries.
+		s.Aborts = append(s.Aborts, classConnect)
+	case meta.WrongPolicyRetried:
+		// Retries the class the rest of the population gives up on.
+		s.Aborts = nil
+	}
+	if harnessRetried {
+		s.Drives = 40 // workload driver re-drives independent tasks
+	}
+	if delayUnneeded {
+		s.DelayMS = 0 // compensates (rotates replica) instead of pausing
+	}
+	if wrapsErrors {
+		s.Wrap = classWrap
+	}
+	return s
+}
+
+// snake converts "BlockFetcher" to "block_fetcher".
+func snake(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

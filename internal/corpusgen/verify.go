@@ -1,0 +1,206 @@
+package corpusgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wasabi/internal/apps/meta"
+	"wasabi/internal/core"
+	"wasabi/internal/oracle"
+	"wasabi/internal/sast"
+)
+
+// LedgerSchema identifies the ground-truth ledger format.
+const LedgerSchema = "corpusgen-ledger/v1"
+
+// Ledger entry statuses. Every structure starts as a candidate; only a
+// verify pass that records an oracle (or retry-ratio) witness promotes
+// it to verified. A candidate is still usable ground truth — it is what
+// the generator intended — but only verified entries have been confirmed
+// end-to-end by the pipeline the corpus is meant to exercise.
+const (
+	StatusCandidate = "candidate"
+	StatusVerified  = "verified"
+)
+
+// Ledger is the corpus ground-truth ledger (ledger.json at the root).
+type Ledger struct {
+	Schema     string        `json:"schema"`
+	Seed       uint64        `json:"seed"`
+	Scale      int           `json:"scale"`
+	Verified   int           `json:"verified"`
+	Candidates int           `json:"candidates"`
+	Entries    []LedgerEntry `json:"entries"`
+}
+
+// LedgerEntry tracks one structure's verification status.
+type LedgerEntry struct {
+	// Key is "APPCODE/coordinator", unique corpus-wide.
+	Key   string `json:"key"`
+	Idiom string `json:"idiom"`
+	Bug   string `json:"bug,omitempty"`
+	// Status is StatusCandidate or StatusVerified.
+	Status string `json:"status"`
+	// Witness records the evidence that justified promotion: the oracle
+	// report, the retry-ratio outlier, or the clean-injection record for
+	// correct structures. Empty while the entry is a candidate.
+	Witness string `json:"witness,omitempty"`
+}
+
+// NewLedger builds the initial all-candidate ledger for a corpus plan.
+func NewLedger(c *Corpus) *Ledger {
+	led := &Ledger{Schema: LedgerSchema, Seed: c.Config.Seed, Scale: c.Config.Scale}
+	for _, app := range c.Apps {
+		for _, s := range app.Structures {
+			led.Entries = append(led.Entries, LedgerEntry{
+				Key:    s.Key(app.Code),
+				Idiom:  s.Idiom,
+				Bug:    string(s.Bug),
+				Status: StatusCandidate,
+			})
+		}
+	}
+	led.Candidates = len(led.Entries)
+	return led
+}
+
+// WriteLedger persists the ledger at the corpus root.
+func WriteLedger(root string, led *Ledger) error {
+	return writeJSON(filepath.Join(root, LedgerFile), led)
+}
+
+// LoadLedger reads the ledger back from the corpus root.
+func LoadLedger(root string) (*Ledger, error) {
+	raw, err := os.ReadFile(filepath.Join(root, LedgerFile))
+	if err != nil {
+		return nil, fmt.Errorf("corpusgen: reading ledger: %w", err)
+	}
+	var led Ledger
+	if err := json.Unmarshal(raw, &led); err != nil {
+		return nil, fmt.Errorf("corpusgen: parsing %s: %w", LedgerFile, err)
+	}
+	if led.Schema != LedgerSchema {
+		return nil, fmt.Errorf("corpusgen: %s has schema %q, want %q", LedgerFile, led.Schema, LedgerSchema)
+	}
+	return &led, nil
+}
+
+// Verify promotes candidates to verified from a full pipeline run over
+// the generated corpus. Promotion requires an end-to-end witness:
+//
+//   - WHEN bugs (missing-cap / missing-delay) and HOW bugs: the matching
+//     dynamic oracle report at the structure's coordinator.
+//   - IF bugs (wrong-policy outliers): the corpus-wide retry-ratio
+//     report naming the coordinator with the matching direction.
+//   - FP-flagged structures (harness-retried, delay-unneeded,
+//     wraps-errors): the false-positive oracle report the flag predicts —
+//     the corpus documents these as expected FPs, so observing the FP is
+//     the witness.
+//   - Correct exception structures: identified with injectable locations
+//     AND no oracle report at the coordinator (a clean injection pass).
+//
+// Error-code structures stay candidates by construction: they are
+// outside the exception-injection scope (§4.2), so no oracle can witness
+// them either way.
+func Verify(c *Corpus, run *core.CorpusRun) *Ledger {
+	led := NewLedger(c)
+
+	byCode := make(map[string]*core.AppRun, len(run.Apps))
+	for i := range run.Apps {
+		byCode[run.Apps[i].App.Code] = &run.Apps[i]
+	}
+	ifByCoord := make(map[string][]sast.IFReport)
+	for _, r := range run.IFReports {
+		ifByCoord[r.Coordinator] = append(ifByCoord[r.Coordinator], r)
+	}
+
+	idx := 0
+	for _, app := range c.Apps {
+		var dyn map[string][]oracle.Report
+		identified := make(map[string]int)
+		if ar := byCode[app.Code]; ar != nil {
+			if ar.Dyn != nil {
+				dyn = oracle.ByCoordinator(ar.Dyn.Reports)
+			}
+			if ar.ID != nil {
+				for _, s := range ar.ID.Structures {
+					identified[s.Coordinator] = len(s.Triplets)
+				}
+			}
+		}
+		for _, s := range app.Structures {
+			e := &led.Entries[idx]
+			idx++
+			promote(e, s, dyn[s.Coordinator], ifByCoord[s.Coordinator], identified[s.Coordinator])
+		}
+	}
+
+	led.Verified, led.Candidates = 0, 0
+	for _, e := range led.Entries {
+		if e.Status == StatusVerified {
+			led.Verified++
+		} else {
+			led.Candidates++
+		}
+	}
+	return led
+}
+
+// promote applies the promotion rules to one entry.
+func promote(e *LedgerEntry, s StructureSpec, dyn []oracle.Report, ifr []sast.IFReport, triplets int) {
+	if s.Trigger == meta.ErrorCode {
+		return // outside injection scope; candidate by construction
+	}
+	oracleWitness := func(kind oracle.Kind) (string, bool) {
+		for _, r := range dyn {
+			if r.Kind == kind {
+				return fmt.Sprintf("oracle %s: %s", r.Kind, r.Details), true
+			}
+		}
+		return "", false
+	}
+	ifWitness := func(retried bool) (string, bool) {
+		for _, r := range ifr {
+			if r.Retried == retried {
+				return fmt.Sprintf("if-ratio outlier: %s retried=%v (%d/%d)",
+					r.Exception, r.Retried, r.Ratio.Retried, r.Ratio.Total), true
+			}
+		}
+		return "", false
+	}
+
+	var witness string
+	var ok bool
+	switch {
+	case s.Bug == meta.MissingCap:
+		witness, ok = oracleWitness(oracle.MissingCap)
+	case s.Bug == meta.MissingDelay:
+		witness, ok = oracleWitness(oracle.MissingDelay)
+	case s.Bug == meta.How:
+		witness, ok = oracleWitness(oracle.How)
+	case s.Bug == meta.WrongPolicyNotRetried:
+		witness, ok = ifWitness(false)
+	case s.Bug == meta.WrongPolicyRetried:
+		witness, ok = ifWitness(true)
+	case s.HarnessRetried:
+		// The flag predicts a missing-cap false positive; observing it is
+		// the witness that the FP mode reproduced.
+		witness, ok = oracleWitness(oracle.MissingCap)
+	case s.DelayUnneeded:
+		witness, ok = oracleWitness(oracle.MissingDelay)
+	case s.WrapsErrors:
+		witness, ok = oracleWitness(oracle.How)
+	default:
+		// Correct structure: identified with injectable locations and a
+		// clean injection pass (no oracle report at the coordinator).
+		if triplets > 0 && len(dyn) == 0 {
+			witness, ok = fmt.Sprintf("clean-injection: %d locations injected, no oracle report", triplets), true
+		}
+	}
+	if ok {
+		e.Status = StatusVerified
+		e.Witness = witness
+	}
+}

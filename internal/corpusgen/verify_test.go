@@ -1,0 +1,145 @@
+package corpusgen
+
+import (
+	"strings"
+	"testing"
+
+	"wasabi/internal/apps/meta"
+	"wasabi/internal/core"
+)
+
+// TestVerifyPromotesWithWitnesses runs the real pipeline — both
+// workflows plus the corpus-wide IF analysis — over a generated corpus
+// and checks the candidate→verified promotion model end to end:
+//
+//   - every exception-triggered structure is promoted with a recorded
+//     witness (86 of 98 at scale 1),
+//   - every bug class is promoted by its matching oracle or IF witness,
+//   - error-code structures stay candidates by construction (they are
+//     outside the exception-injection scope).
+func TestVerifyPromotesWithWitnesses(t *testing.T) {
+	c, err := Generate(Config{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := Write(c, root, 4); err != nil {
+		t.Fatal(err)
+	}
+	apps, _, err := LoadApps(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := core.New(core.DefaultOptions()).RunCorpus(apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	led := Verify(c, run)
+
+	if led.Verified != 86 || led.Candidates != 12 {
+		t.Errorf("verified=%d candidates=%d, want 86/12", led.Verified, led.Candidates)
+	}
+
+	specs := make(map[string]StructureSpec)
+	for _, app := range c.Apps {
+		for _, s := range app.Structures {
+			specs[s.Key(app.Code)] = s
+		}
+	}
+	promotedByClass := make(map[meta.Bug]int)
+	for _, e := range led.Entries {
+		s := specs[e.Key]
+		switch e.Status {
+		case StatusVerified:
+			if e.Witness == "" {
+				t.Errorf("%s verified without a witness", e.Key)
+			}
+			if s.Trigger == meta.ErrorCode {
+				t.Errorf("%s is error-code triggered but was promoted", e.Key)
+			}
+			promotedByClass[s.Bug]++
+		case StatusCandidate:
+			if s.Trigger != meta.ErrorCode {
+				t.Errorf("%s stayed candidate: trigger=%s bug=%q idiom=%s", e.Key, s.Trigger, s.Bug, s.Idiom)
+			}
+			if e.Witness != "" {
+				t.Errorf("%s is a candidate but has witness %q", e.Key, e.Witness)
+			}
+		default:
+			t.Errorf("%s has unknown status %q", e.Key, e.Status)
+		}
+	}
+
+	// Every bug class must be represented among the promotions — the
+	// acceptance bar is ≥1 promoted class; the generator's contract is
+	// all five, plus the correct population.
+	for class, want := range map[meta.Bug]int{
+		meta.MissingCap:            missingCapPer98,
+		meta.MissingDelay:          missingDelayPer98,
+		meta.How:                   howPer98,
+		meta.WrongPolicyNotRetried: ifNotRetriedPer98,
+		meta.WrongPolicyRetried:    ifRetriedPer98,
+		meta.None:                  0, // correct structures promote via clean injection
+	} {
+		if promotedByClass[class] < want || promotedByClass[class] == 0 {
+			t.Errorf("bug class %q: promoted %d, want at least %d (and > 0)", class, promotedByClass[class], want)
+		}
+	}
+
+	// Witness kinds line up with the bug classes.
+	for _, e := range led.Entries {
+		if e.Status != StatusVerified {
+			continue
+		}
+		s := specs[e.Key]
+		var wantPrefix string
+		switch {
+		case s.Bug == meta.MissingCap || s.HarnessRetried:
+			wantPrefix = "oracle missing-cap"
+		case s.Bug == meta.MissingDelay || s.DelayUnneeded:
+			wantPrefix = "oracle missing-delay"
+		case s.Bug == meta.How || s.WrapsErrors:
+			wantPrefix = "oracle how"
+		case s.Bug == meta.WrongPolicyNotRetried, s.Bug == meta.WrongPolicyRetried:
+			wantPrefix = "if-ratio outlier"
+		default:
+			wantPrefix = "clean-injection"
+		}
+		if !strings.HasPrefix(e.Witness, wantPrefix) {
+			t.Errorf("%s (bug=%q): witness %q, want prefix %q", e.Key, s.Bug, e.Witness, wantPrefix)
+		}
+	}
+}
+
+// TestLedgerRoundTrip checks ledger persistence and the initial
+// all-candidate state Write seeds the corpus root with.
+func TestLedgerRoundTrip(t *testing.T) {
+	c, err := Generate(Config{Seed: 5, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	if err := Write(c, root, 2); err != nil {
+		t.Fatal(err)
+	}
+	led, err := LoadLedger(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.Verified != 0 || led.Candidates != len(c.Manifests()) {
+		t.Errorf("fresh ledger verified=%d candidates=%d, want 0/%d", led.Verified, led.Candidates, len(c.Manifests()))
+	}
+	led.Entries[0].Status = StatusVerified
+	led.Entries[0].Witness = "test witness"
+	led.Verified, led.Candidates = 1, led.Candidates-1
+	if err := WriteLedger(root, led); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadLedger(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Verified != 1 || back.Entries[0].Witness != "test witness" {
+		t.Errorf("ledger round trip lost the promotion: %+v", back.Entries[0])
+	}
+}

@@ -179,9 +179,27 @@ func Hook(ctx context.Context) error {
 	if len(stack) == 0 {
 		return nil
 	}
-	callee := stack[0]
-	callers := stack[1:]
+	return in.arrive(ctx, stack[0], stack[1:])
+}
 
+// HookAt is the explicit-name variant of Hook — "weaving by
+// configuration" rather than by convention. Generated corpora
+// (internal/corpusgen) are interpreted rather than compiled, so their
+// retried methods have no real stack frames to recover; the interpreter
+// instead declares the (coordinator, retried) pair it is executing.
+// Semantics are otherwise identical to Hook: observe mode records
+// coverage, inject mode throws per the armed rules.
+func HookAt(ctx context.Context, coordinator, retried string) error {
+	in := From(ctx)
+	if in == nil {
+		return nil
+	}
+	return in.arrive(ctx, retried, []string{coordinator})
+}
+
+// arrive is the shared hook body: callee is the retried method, callers
+// the candidate coordinator frames (innermost first).
+func (in *Injector) arrive(ctx context.Context, callee string, callers []string) error {
 	switch in.mode {
 	case Observe:
 		in.mu.Lock()

@@ -203,6 +203,83 @@ func TestObserverIgnoresUnwatched(t *testing.T) {
 	}
 }
 
+func TestHookAtMatchesHookSemantics(t *testing.T) {
+	// HookAt with explicit names must behave exactly like Hook with the
+	// equivalent stack: throw K times, then heal and suppress.
+	in := NewInjector([]Rule{{Loc: loc("ConnectException"), K: 3}})
+	ctx, r := injectCtx(in)
+	var errs int
+	for i := 0; i < 10; i++ {
+		if err := HookAt(ctx, "fault.fakeCoordinator", "fault.fakeRetried"); err != nil {
+			errs++
+			exc, ok := err.(*errmodel.Exception)
+			if !ok || !exc.Injected || exc.Class != "ConnectException" {
+				t.Fatalf("bad injected error: %#v", err)
+			}
+			continue
+		}
+		break
+	}
+	if errs != 3 {
+		t.Errorf("throws = %d, want 3", errs)
+	}
+	var injections, suppressed int
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case trace.KindInjection:
+			injections++
+			if e.Callee != "fault.fakeRetried" || e.Caller != "fault.fakeCoordinator" {
+				t.Errorf("bad event attribution: %+v", e)
+			}
+		case trace.KindInjectionSuppressed:
+			suppressed++
+		}
+	}
+	if injections != 3 || suppressed != 1 {
+		t.Errorf("events = %d injected / %d suppressed, want 3/1", injections, suppressed)
+	}
+}
+
+func TestHookAtCoordinatorMismatch(t *testing.T) {
+	in := NewInjector([]Rule{{Loc: loc("ConnectException"), K: 1}})
+	ctx, _ := injectCtx(in)
+	if err := HookAt(ctx, "fault.someOtherCoordinator", "fault.fakeRetried"); err != nil {
+		t.Errorf("mismatched coordinator should not throw, got %v", err)
+	}
+	if err := HookAt(ctx, "fault.fakeCoordinator", "fault.someOtherRetried"); err != nil {
+		t.Errorf("mismatched retried should not throw, got %v", err)
+	}
+}
+
+func TestHookAtObserveCoverage(t *testing.T) {
+	in := NewObserver([]Location{{Retried: "gen001.Fetcher.fetchOnce"}})
+	ctx, r := injectCtx(in)
+	for i := 0; i < 3; i++ {
+		if err := HookAt(ctx, "gen001.Fetcher.Fetch", "gen001.Fetcher.fetchOnce"); err != nil {
+			t.Fatalf("observe mode threw: %v", err)
+		}
+	}
+	cov := in.Covered()
+	if len(cov) != 1 || cov[0].Coordinator != "gen001.Fetcher.Fetch" {
+		t.Fatalf("covered = %+v", cov)
+	}
+	var n int
+	for _, e := range r.Events() {
+		if e.Kind == trace.KindCoverage {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("coverage events = %d, want 1", n)
+	}
+}
+
+func TestHookAtWithoutInjectorIsNil(t *testing.T) {
+	if err := HookAt(context.Background(), "a.B.c", "a.B.d"); err != nil {
+		t.Errorf("err = %v", err)
+	}
+}
+
 // capturingCoordinator returns the first error observed while retrying.
 func capturingCoordinator(ctx context.Context) error {
 	var first error

@@ -43,6 +43,28 @@ type PipelineReport struct {
 	// many simulated tenants hammering a live wasabid instance
 	// (docs/SCHEDULING.md).
 	Serve *ServeBench `json:"serve,omitempty"`
+	// Scale, when present, is the generated-corpus scale sweep
+	// (docs/CORPUSGEN.md): cold and warm full runs over synthetic corpora
+	// at increasing scale factors, recording how pipeline cost grows with
+	// population size. Only `make bench` requests it (the sweep generates
+	// and analyzes hundreds of apps).
+	Scale []ScaleBench `json:"scale_sweep,omitempty"`
+}
+
+// ScaleBench is one point of the generated-corpus scale sweep: a corpus
+// produced by internal/corpusgen at the given scale factor is analyzed
+// cold (empty cache) and warm (populated cache). Wall times are honest
+// measurements; app/structure counts and token rows are deterministic
+// for a fixed seed — and a warm corpus must cost zero fresh tokens at
+// any scale.
+type ScaleBench struct {
+	Scale           int     `json:"scale"`
+	Apps            int     `json:"apps"`
+	Structures      int     `json:"structures"`
+	ColdWallMS      float64 `json:"cold_wall_ms"`
+	WarmWallMS      float64 `json:"warm_wall_ms"`
+	ColdFreshTokens int64   `json:"cold_fresh_tokens"`
+	WarmFreshTokens int64   `json:"warm_fresh_tokens"`
 }
 
 // SourceStats is the snapshot store's roll-up, derived from the
@@ -113,8 +135,8 @@ type ServeBench struct {
 // PipelineReportSchema identifies the BENCH_pipeline.json format (v2
 // added the optional cold-vs-warm cache section; v3 the snapshot-store
 // source section and the warm single-file-edit benchmark; v4 the
-// multi-tenant serve benchmark).
-const PipelineReportSchema = "wasabi-bench-pipeline/v4"
+// multi-tenant serve benchmark; v5 the generated-corpus scale sweep).
+const PipelineReportSchema = "wasabi-bench-pipeline/v5"
 
 // StageMetric is the histogram every stage observes its wall time into
 // (label: stage), and StageTokensMetric the counter LLM token spend is

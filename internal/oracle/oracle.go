@@ -221,6 +221,18 @@ func differentException(app string, res testkit.Result, rules []fault.Rule) []Re
 	}}
 }
 
+// ByCoordinator groups reports by their coordinator — the shape corpus
+// verification (internal/corpusgen) consumes when matching oracle
+// witnesses against ground-truth structures. Reports without a
+// coordinator (plain-error HOW reports) group under "".
+func ByCoordinator(reports []Report) map[string][]Report {
+	out := make(map[string][]Report)
+	for _, r := range reports {
+		out[r.Coordinator] = append(out[r.Coordinator], r)
+	}
+	return out
+}
+
 // Dedup collapses reports with the same group key, keeping the first.
 func Dedup(reports []Report) []Report {
 	seen := make(map[string]bool)

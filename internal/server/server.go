@@ -127,6 +127,11 @@ type Config struct {
 	// for GET /v1/jobs/{id}/trace (oldest evicted first). Zero means
 	// DefaultTraceRing.
 	TraceRing int
+	// Corpus, when non-empty, replaces the built-in seed corpus as the
+	// population jobs analyze — cmd/wasabid builds it from a generated
+	// corpus root (-corpus, docs/CORPUSGEN.md). Analyze requests resolve
+	// their app codes against this set.
+	Corpus []corpus.App
 }
 
 // Server is the analysis daemon. Create with New, run with Start, stop
@@ -475,6 +480,42 @@ type freshUsage struct {
 	CostUSD  float64 `json:"cost_usd"`
 }
 
+// resolveApps maps request app codes onto the daemon's population: the
+// configured Corpus when one was injected, the built-in seed corpus
+// otherwise. Empty codes mean the whole population.
+func (s *Server) resolveApps(codes []string) ([]corpus.App, error) {
+	if len(s.cfg.Corpus) == 0 {
+		if len(codes) == 0 {
+			return corpus.Apps(), nil
+		}
+		apps := make([]corpus.App, 0, len(codes))
+		for _, code := range codes {
+			app, err := corpus.ByCode(code)
+			if err != nil {
+				return nil, err
+			}
+			apps = append(apps, app)
+		}
+		return apps, nil
+	}
+	if len(codes) == 0 {
+		return s.cfg.Corpus, nil
+	}
+	byCode := make(map[string]corpus.App, len(s.cfg.Corpus))
+	for _, app := range s.cfg.Corpus {
+		byCode[app.Code] = app
+	}
+	apps := make([]corpus.App, 0, len(codes))
+	for _, code := range codes {
+		app, ok := byCode[code]
+		if !ok {
+			return nil, fmt.Errorf("unknown app code %q in the configured corpus", code)
+		}
+		apps = append(apps, app)
+	}
+	return apps, nil
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
@@ -503,17 +544,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "tenant names starting with _ are reserved")
 		return
 	}
-	apps := corpus.Apps()
-	if len(req.Apps) > 0 {
-		apps = make([]corpus.App, 0, len(req.Apps))
-		for _, code := range req.Apps {
-			app, err := corpus.ByCode(code)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, err.Error())
-				return
-			}
-			apps = append(apps, app)
-		}
+	apps, err := s.resolveApps(req.Apps)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
 	}
 
 	s.mu.Lock()

@@ -23,6 +23,15 @@
 #      internal/llm is cataloged in docs/OBSERVABILITY.md, and the
 #      -llm-backends / -llm-hedge-after flags are documented in
 #      docs/RESILIENCE.md.
+#   8. Every retry idiom the corpus generator emits (the Idiom*
+#      constants in internal/corpusgen/idioms.go) is documented in
+#      docs/CORPUSGEN.md, and every ground-truth bug class (the Bug
+#      constants in internal/apps/meta) appears in docs/CORPUS.md — an
+#      undocumented idiom or class fails the gate.
+#   9. The per-app composition table in docs/CORPUS.md matches the one
+#      computed from the manifests (`studyreport -corpus-table`) line
+#      for line — the documented table must not drift from the
+#      ground truth.
 #
 # Exits non-zero listing every violation; run via `make docs-check`.
 set -u
@@ -94,6 +103,34 @@ for flag in llm-backends llm-hedge-after; do
 	grep -q -- "-$flag" docs/RESILIENCE.md ||
 		err "flag -$flag is not documented in docs/RESILIENCE.md"
 done
+
+# 8. Generator taxonomy: every emitted idiom must be documented in
+# docs/CORPUSGEN.md, every bug class in docs/CORPUS.md.
+for idiom in $(grep -hoE 'Idiom[A-Za-z]+ += +"[a-z-]+"' internal/corpusgen/idioms.go | grep -oE '"[a-z-]+"' | tr -d '"' | sort -u); do
+	grep -qF "$idiom" docs/CORPUSGEN.md ||
+		err "generator idiom $idiom (internal/corpusgen) is not documented in docs/CORPUSGEN.md"
+done
+for bug in $(grep -hoE '[A-Za-z]+ Bug += +"[a-z-]+"' internal/apps/meta/meta.go | grep -oE '"[a-z-]+"' | tr -d '"' | sort -u); do
+	grep -qF "$bug" docs/CORPUS.md ||
+		err "bug class $bug (internal/apps/meta) is not documented in docs/CORPUS.md"
+done
+
+# 9. The documented per-app composition table must match the manifests.
+table=$(go run ./cmd/studyreport -corpus-table 2>/dev/null)
+if [ -z "$table" ]; then
+	err "studyreport -corpus-table produced no output"
+else
+	echo "$table" | while IFS= read -r line; do
+		[ -n "$line" ] || continue
+		grep -qF "$line" docs/CORPUS.md ||
+			echo "docs-check: composition-table row not found in docs/CORPUS.md: $line" >&2
+	done
+	missing=$(echo "$table" | while IFS= read -r line; do
+		[ -n "$line" ] || continue
+		grep -qF "$line" docs/CORPUS.md || echo x
+	done)
+	[ -z "$missing" ] || fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
 	echo "docs-check: FAILED" >&2
