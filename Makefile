@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-smoke gen-smoke chaos serve-smoke docs-check ci all
+.PHONY: build test vet race bench bench-smoke gen-smoke chaos serve-smoke restart-smoke docs-check ci all
 
 all: ci
 
@@ -65,6 +65,15 @@ chaos:
 serve-smoke:
 	$(GO) test -race -run 'TestServeSmoke|TestJobsOverlapWallClock|TestSlowTenantCannotStarveFast|TestConcurrentJobsShareSnapshotStore|TestJobTraceIsolationUnderConcurrency|TestStructuredLogCorrelation' -count=1 ./internal/server/
 
+## restart-smoke: cold-start a real wasabid binary with a persistent
+## cache directory, run one job, SIGTERM-drain it, relaunch over the
+## same directory and prove the warm job reproduces the cold report
+## byte-for-byte with zero parses, zero extractions and zero fresh LLM
+## spend — the portable retry-facts restart guarantee
+## (docs/PERFORMANCE.md, docs/ARCHITECTURE.md).
+restart-smoke:
+	$(GO) test -run 'TestRestartSmokeProcess' -count=1 ./internal/server/
+
 ## docs-check: fail on dangling doc references — .md paths mentioned in
 ## Go sources, relative links in README.md and docs/*.md, and internal
 ## packages missing a paper-section (§) godoc reference.
@@ -72,4 +81,4 @@ docs-check:
 	sh scripts/docs_check.sh
 
 ## ci: the local gate — everything the driver checks, in one target.
-ci: build test vet chaos serve-smoke bench-smoke gen-smoke docs-check
+ci: build test vet chaos serve-smoke restart-smoke bench-smoke gen-smoke docs-check

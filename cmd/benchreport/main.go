@@ -91,6 +91,12 @@ func main() {
 			os.Exit(1)
 		}
 		rep.SingleEdit = eb
+		rb, err := measureRestartBench(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Restart = rb
 		sb, err := measureServeBench(*workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
@@ -294,6 +300,55 @@ func measureServeBench(workers int) (*obs.ServeBench, error) {
 	}
 	server.AttachSchedStats(sb, observer.Reg().Snapshot())
 	return sb, nil
+}
+
+// measureRestartBench measures the restart-warm trajectory
+// (docs/PERFORMANCE.md): a cold full-corpus run populates a disk-backed
+// cache, then every in-memory handle — cache, snapshot store, metrics
+// registry — is rebuilt over the same directory (what a process restart
+// leaves behind) and the corpus re-run. Wall times are honest
+// measurements; the warm counters are deterministic — zero parses, zero
+// extractions, zero fresh tokens, one facts hydration per file.
+func measureRestartBench(workers int) (*obs.RestartBench, error) {
+	dir, err := os.MkdirTemp("", "wasabi-restartbench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	run := func() (time.Duration, llm.Usage, *obs.Observer, *cache.Cache, error) {
+		observer := obs.New()
+		ca, err := cache.New(cache.Options{Dir: dir, Metrics: observer.Reg()})
+		if err != nil {
+			return 0, llm.Usage{}, nil, nil, err
+		}
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		opts.Cache = ca
+		opts.Source = source.NewStore(observer.Reg())
+		opts.Obs = observer
+		w := core.New(opts)
+		start := time.Now()
+		_, err = w.RunCorpus(corpus.Apps())
+		return time.Since(start), w.LLMUsage(), observer, ca, err
+	}
+	coldWall, _, _, _, err := run()
+	if err != nil {
+		return nil, err
+	}
+	warmWall, warmFresh, observer, ca, err := run()
+	if err != nil {
+		return nil, err
+	}
+	s := observer.Reg().Snapshot()
+	return &obs.RestartBench{
+		ColdWallMS:      float64(coldWall) / float64(time.Millisecond),
+		WarmWallMS:      float64(warmWall) / float64(time.Millisecond),
+		WarmFreshTokens: warmFresh.TokensIn,
+		WarmParses:      s.Counter("source_parse_total"),
+		WarmExtracts:    s.Counter("source_derived_computes_total", "kind", sast.ExtractKind),
+		WarmHydrations:  s.Counter("source_derived_hydrations_total", "kind", sast.ExtractKind),
+		DiskLoads:       ca.Stats().DiskLoads,
+	}, nil
 }
 
 // measureEditBench measures the warm single-file-edit trajectory the

@@ -15,11 +15,14 @@
 // stale entry simply ages out of the LRU.
 //
 // The in-memory tier holds encoded entries under a byte budget with LRU
-// eviction. An optional disk tier (Options.Dir) persists review entries
-// as JSON files, read through on memory misses and written through on
-// stores; analyses hold live ASTs and stay memory-only. All operations
-// are goroutine-safe; hit/miss counts are deterministic functions of the
-// logical access sequence, so pipeline tests can assert them exactly.
+// eviction. An optional disk tier (Options.Dir) persists review and
+// retry-facts entries as JSON files, read through on memory misses and
+// written through on stores — a restarted daemon replays both the
+// expensive LLM tier and the static extraction tier from disk at zero
+// parses. Whole-app analyses are a cheap in-memory merge of facts and
+// stay memory-only. All operations are goroutine-safe; hit/miss counts
+// are deterministic functions of the logical access sequence, so
+// pipeline tests can assert them exactly.
 package cache
 
 import (
@@ -38,6 +41,9 @@ const (
 	StageReview = "review"
 	// StageAnalysis marks per-app static analysis entries.
 	StageAnalysis = "analysis"
+	// StageFacts marks per-file retry-facts entries (sast.FileFacts, the
+	// portable static-extraction artifacts).
+	StageFacts = "facts"
 )
 
 // DefaultMaxBytes is the in-memory byte budget when Options.MaxBytes is
@@ -77,6 +83,8 @@ type Cache struct {
 	evictions     int64
 	diskLoads     int64
 	persistErrors int64
+	diskEntries   int64 // disk-tier entry files
+	diskBytes     int64 // disk-tier byte total
 }
 
 // entry is one cached artifact. Exactly one of data / analysis is set,
@@ -150,7 +158,10 @@ func (c *Cache) GetReview(key string) (llm.FileReview, bool) {
 			c.reg.Counter("cache_disk_loads_total").Inc()
 			return rev, true
 		}
+		// A truncated, corrupt or version-mismatched disk entry is a
+		// miss, and the poisoned file is dropped so it cannot fail again.
 		c.reg.Counter("cache_decode_errors_total").Inc()
+		c.dropDisk(key)
 	}
 	c.miss(StageReview)
 	return llm.FileReview{}, false
@@ -171,6 +182,72 @@ func (c *Cache) PutReview(key string, rev llm.FileReview) {
 	c.storeDisk(key, data)
 	c.mu.Lock()
 	c.install(&entry{key: key, stage: StageReview, data: data, cost: int64(len(data))})
+	c.mu.Unlock()
+}
+
+// GetFacts returns the decoded retry-facts entry for a content hash —
+// the sast.FactsStore read side. Decoding re-validates the format
+// version and content hash on every hit, so callers own a verified
+// value; misses fall through to the disk tier, which is what makes the
+// static extraction tier survive a process restart. A corrupt entry is
+// a miss: dropped from memory, deleted from disk, never an error.
+func (c *Cache) GetFacts(contentSHA256 string) (*sast.FileFacts, bool) {
+	if c == nil {
+		return nil, false
+	}
+	key := FactsKey(contentSHA256)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		data := el.Value.(*entry).data
+		c.hits[StageFacts]++
+		c.mu.Unlock()
+		c.reg.Counter("cache_hits_total", "stage", StageFacts).Inc()
+		ff, err := sast.DecodeFacts(data, contentSHA256)
+		if err == nil {
+			return ff, true
+		}
+		c.remove(key)
+		c.reg.Counter("cache_decode_errors_total").Inc()
+		return nil, false
+	}
+	c.mu.Unlock()
+	if data, ok := c.loadDisk(key); ok {
+		ff, err := sast.DecodeFacts(data, contentSHA256)
+		if err == nil {
+			c.mu.Lock()
+			c.diskLoads++
+			c.hits[StageFacts]++
+			c.install(&entry{key: key, stage: StageFacts, data: data, cost: int64(len(data))})
+			c.mu.Unlock()
+			c.reg.Counter("cache_hits_total", "stage", StageFacts).Inc()
+			c.reg.Counter("cache_disk_loads_total").Inc()
+			return ff, true
+		}
+		c.reg.Counter("cache_decode_errors_total").Inc()
+		c.dropDisk(key)
+	}
+	c.miss(StageFacts)
+	return nil, false
+}
+
+// PutFacts memoizes a retry-facts entry, writing through to the disk
+// tier — the sast.FactsStore write side. Best-effort like every store:
+// an encode or persist failure degrades to recomputation, never to an
+// analysis error.
+func (c *Cache) PutFacts(contentSHA256 string, ff *sast.FileFacts) {
+	if c == nil || ff == nil {
+		return
+	}
+	data, err := sast.EncodeFacts(ff)
+	if err != nil {
+		c.reg.Counter("cache_decode_errors_total").Inc()
+		return
+	}
+	key := FactsKey(contentSHA256)
+	c.storeDisk(key, data)
+	c.mu.Lock()
+	c.install(&entry{key: key, stage: StageFacts, data: data, cost: int64(len(data))})
 	c.mu.Unlock()
 }
 
@@ -198,8 +275,9 @@ func (c *Cache) GetAnalysis(key string) (*sast.Analysis, bool) {
 
 // PutAnalysis memoizes a static analysis under key. cost estimates the
 // entry's memory footprint (callers pass the analyzed directory's source
-// byte total); analyses hold live ASTs, so they are never persisted to
-// the disk tier.
+// byte total). Analyses stay memory-only: they are a cheap cross-file
+// merge whose per-file inputs already persist as facts entries, so a
+// restarted process rebuilds them from disk without parsing.
 func (c *Cache) PutAnalysis(key string, a *sast.Analysis, cost int64) {
 	if c == nil || a == nil {
 		return
@@ -275,6 +353,11 @@ type Stats struct {
 	Evictions     int64            `json:"evictions"`
 	DiskLoads     int64            `json:"disk_loads"`
 	PersistErrors int64            `json:"persist_errors"`
+	// DiskEntries / DiskBytes describe the disk tier: entry-file count
+	// and byte total, seeded by a directory scan at construction and
+	// maintained across stores and corrupt-entry deletions.
+	DiskEntries int64 `json:"disk_entries"`
+	DiskBytes   int64 `json:"disk_bytes"`
 }
 
 // Stats snapshots the cache counters. Nil-safe: a nil cache reports the
@@ -298,5 +381,7 @@ func (c *Cache) Stats() Stats {
 	s.Evictions = c.evictions
 	s.DiskLoads = c.diskLoads
 	s.PersistErrors = c.persistErrors
+	s.DiskEntries = c.diskEntries
+	s.DiskBytes = c.diskBytes
 	return s
 }

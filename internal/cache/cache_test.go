@@ -257,3 +257,178 @@ func TestKeySeparation(t *testing.T) {
 		t.Fatal("analysis key ignores dir")
 	}
 }
+
+func TestFactsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	c1, err := New(Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := "feedface"
+	if _, ok := c1.GetFacts(hash); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := &sast.FileFacts{
+		Schema: sast.FactsSchema, Hash: hash, Pkg: "demo",
+		Funcs: []sast.FuncFacts{{
+			Key: "T.m", Throws: []string{"IOException"}, HasHook: true,
+			Calls: []string{"send"},
+			Loops: []sast.LoopFacts{{Line: 7, Keyworded: true, Calls: []string{"send"}}},
+		}},
+	}
+	c1.PutFacts(hash, want)
+	got, ok := c1.GetFacts(hash)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if got.Pkg != "demo" || len(got.Funcs) != 1 || got.Funcs[0].Loops[0].Line != 7 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	// Every hit decodes a fresh value — mutations must not leak.
+	got.Funcs[0].Key = "mutated"
+	if again, _ := c1.GetFacts(hash); again.Funcs[0].Key != "T.m" {
+		t.Fatal("facts hits alias a shared value")
+	}
+
+	// The disk tier makes facts survive a restart: a fresh cache over
+	// the same directory hydrates without any Put.
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reborn, ok := c2.GetFacts(hash)
+	if !ok {
+		t.Fatal("facts did not survive restart")
+	}
+	if reborn.Funcs[0].Throws[0] != "IOException" {
+		t.Fatalf("facts corrupted across restart: %+v", reborn)
+	}
+	st := c2.Stats()
+	if st.DiskLoads != 1 || st.Hits[StageFacts] != 1 {
+		t.Fatalf("disk_loads/facts hits = %d/%d, want 1/1", st.DiskLoads, st.Hits[StageFacts])
+	}
+}
+
+// TestDiskCorruptionIsMissAndDrop injects every corruption class the
+// disk tier must absorb — truncation, garbage, a facts schema bump and
+// a review-envelope key mismatch — and checks each reads as a miss,
+// deletes the bad file, and is counted.
+func TestDiskCorruptionIsMissAndDrop(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkey := ReviewKey("cfg", "/a/r.go", "aaa")
+	seed.PutReview(rkey, review("r.go", 42))
+	seed.PutFacts("bbb", &sast.FileFacts{Schema: sast.FactsSchema, Hash: "bbb", Pkg: "demo"})
+
+	// Corrupt both entries and add a stale-schema facts file.
+	rpath := filepath.Join(dir, rkey+entrySuffix)
+	data, err := os.ReadFile(rpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rpath, data[:len(data)/2], 0o644); err != nil { // truncated
+		t.Fatal(err)
+	}
+	fpath := filepath.Join(dir, FactsKey("bbb")+entrySuffix)
+	if err := os.WriteFile(fpath, []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spath := filepath.Join(dir, FactsKey("ccc")+entrySuffix)
+	stale := []byte(`{"schema":"wasabi-facts/v0","hash":"ccc","pkg":"demo"}`)
+	if err := os.WriteFile(spath, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	c, err := New(Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DiskEntries != 3 {
+		t.Fatalf("init scan found %d entries, want 3", st.DiskEntries)
+	}
+	if _, ok := c.GetReview(rkey); ok {
+		t.Fatal("truncated review served as a hit")
+	}
+	if _, ok := c.GetFacts("bbb"); ok {
+		t.Fatal("garbage facts served as a hit")
+	}
+	if _, ok := c.GetFacts("ccc"); ok {
+		t.Fatal("stale-schema facts served as a hit")
+	}
+	for _, p := range []string{rpath, fpath, spath} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("corrupt entry %s not deleted (err=%v)", filepath.Base(p), err)
+		}
+	}
+	s := reg.Snapshot()
+	if n := s.Counter("cache_disk_drops_total"); n != 3 {
+		t.Fatalf("cache_disk_drops_total = %v, want 3", n)
+	}
+	if n := s.Counter("cache_decode_errors_total"); n != 3 {
+		t.Fatalf("cache_decode_errors_total = %v, want 3", n)
+	}
+	st := c.Stats()
+	if st.DiskEntries != 0 || st.DiskBytes != 0 {
+		t.Fatalf("disk accounting after drops = %d entries / %d bytes, want 0/0",
+			st.DiskEntries, st.DiskBytes)
+	}
+}
+
+// TestDiskStatsAccounting tracks the entry/byte bookkeeping through the
+// full lifecycle: init scan, store, same-key replace, and drop.
+func TestDiskStatsAccounting(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	c, err := New(Options{Dir: dir, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.DiskEntries != 0 || st.DiskBytes != 0 {
+		t.Fatalf("fresh dir accounting = %d/%d", st.DiskEntries, st.DiskBytes)
+	}
+
+	small := &sast.FileFacts{Schema: sast.FactsSchema, Hash: "h1", Pkg: "p"}
+	c.PutFacts("h1", small)
+	st := c.Stats()
+	if st.DiskEntries != 1 || st.DiskBytes <= 0 {
+		t.Fatalf("after store: %d entries / %d bytes", st.DiskEntries, st.DiskBytes)
+	}
+	firstBytes := st.DiskBytes
+
+	// Replacing the same key keeps the entry count and adjusts bytes to
+	// the new encoding's size.
+	big := &sast.FileFacts{
+		Schema: sast.FactsSchema, Hash: "h1", Pkg: "p",
+		Funcs: []sast.FuncFacts{{Key: "F", Calls: []string{"a", "b", "c"}}},
+	}
+	c.PutFacts("h1", big)
+	st = c.Stats()
+	if st.DiskEntries != 1 || st.DiskBytes <= firstBytes {
+		t.Fatalf("after replace: %d entries / %d bytes (was %d)",
+			st.DiskEntries, st.DiskBytes, firstBytes)
+	}
+
+	// The gauges mirror the stats.
+	s := reg.Snapshot()
+	if g := s.Gauge("cache_disk_entries"); int64(g) != st.DiskEntries {
+		t.Fatalf("cache_disk_entries gauge = %v, stats say %d", g, st.DiskEntries)
+	}
+	if g := s.Gauge("cache_disk_bytes"); int64(g) != st.DiskBytes {
+		t.Fatalf("cache_disk_bytes gauge = %v, stats say %d", g, st.DiskBytes)
+	}
+
+	// A restart's init scan re-derives the same numbers from the files.
+	c2, err := New(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 := c2.Stats(); st2.DiskEntries != st.DiskEntries || st2.DiskBytes != st.DiskBytes {
+		t.Fatalf("init scan = %d/%d, live accounting said %d/%d",
+			st2.DiskEntries, st2.DiskBytes, st.DiskEntries, st.DiskBytes)
+	}
+}

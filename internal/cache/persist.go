@@ -1,15 +1,19 @@
-// persist.go is the cache's optional disk tier: review entries written
-// through as JSON envelope files named by their key, read through on
-// memory misses. It is what makes warm re-analysis survive a process
-// restart (the serving shape §4.3's per-run cost argues for) without any
-// external storage dependency.
+// persist.go is the cache's optional disk tier: review and retry-facts
+// entries written through as JSON files named by their key, read
+// through on memory misses. It is what makes warm re-analysis survive a
+// process restart (the serving shape §4.3's per-run cost argues for)
+// without any external storage dependency — both the expensive LLM tier
+// and the cheap-but-restart-hot static extraction tier replay from
+// disk.
 //
-// Persistence is strictly best-effort: a failed write or an unreadable,
-// truncated or key-mismatched file degrades to a cache miss (counted in
-// cache_persist_errors_total / cache_decode_errors_total), never to an
-// analysis error. Eviction from the memory tier leaves disk files in
-// place; the directory is the durable tier and is pruned only by the
-// operator.
+// Persistence is strictly best-effort: a failed write degrades to a
+// recomputation (counted in cache_persist_errors_total), and an
+// unreadable, truncated, version-mismatched or key-mismatched file is a
+// miss — counted in cache_decode_errors_total and deleted, so one
+// corrupt file can never poison the tier or fail twice. The directory
+// is the durable tier; its entry count and byte total are observable as
+// cache_disk_entries / cache_disk_bytes, seeded by a scan at
+// construction and maintained across stores and deletions.
 package cache
 
 import (
@@ -17,16 +21,21 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"wasabi/internal/llm"
 )
 
-// envelopeSchema identifies the on-disk entry format.
+// envelopeSchema identifies the on-disk review-entry format.
 const envelopeSchema = "wasabi-review-cache/v1"
+
+// entrySuffix names disk-tier entry files: <key>.json.
+const entrySuffix = ".json"
 
 // envelope is the persisted form of one review entry. The key is stored
 // redundantly so a file renamed or copied to the wrong address fails
-// closed.
+// closed. (Facts entries carry their own schema and content hash —
+// sast.EncodeFacts — and need no extra wrapping.)
 type envelope struct {
 	Schema string         `json:"schema"`
 	Key    string         `json:"key"`
@@ -50,7 +59,9 @@ func decodeReview(data []byte, key string) (llm.FileReview, error) {
 	return env.Review, nil
 }
 
-// initDir creates the persistence directory when one is configured.
+// initDir creates the persistence directory when one is configured and
+// seeds the disk-tier stats from its current contents, so a restarted
+// process reports the tier it inherited.
 func (c *Cache) initDir() error {
 	if c.dir == "" {
 		return nil
@@ -58,16 +69,33 @@ func (c *Cache) initDir() error {
 	if err := os.MkdirAll(c.dir, 0o755); err != nil {
 		return fmt.Errorf("cache: init dir: %w", err)
 	}
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("cache: scan dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), entrySuffix) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		c.diskEntries++
+		c.diskBytes += info.Size()
+	}
+	c.setDiskGauges()
 	return nil
 }
 
 // entryPath is the disk address of a key.
 func (c *Cache) entryPath(key string) string {
-	return filepath.Join(c.dir, key+".json")
+	return filepath.Join(c.dir, key+entrySuffix)
 }
 
 // loadDisk reads the persisted bytes for key, if the disk tier is
-// enabled and has them.
+// enabled and has them. Whatever comes back is untrusted: callers must
+// decode fail-closed and dropDisk entries that do not verify.
 func (c *Cache) loadDisk(key string) ([]byte, bool) {
 	if c.dir == "" {
 		return nil, false
@@ -84,6 +112,10 @@ func (c *Cache) loadDisk(key string) ([]byte, bool) {
 func (c *Cache) storeDisk(key string, data []byte) {
 	if c.dir == "" {
 		return
+	}
+	var oldSize, replaced int64
+	if info, serr := os.Stat(c.entryPath(key)); serr == nil {
+		oldSize, replaced = info.Size(), 1
 	}
 	tmp, err := os.CreateTemp(c.dir, "tmp-*")
 	if err == nil {
@@ -103,5 +135,41 @@ func (c *Cache) storeDisk(key string, data []byte) {
 		c.persistErrors++
 		c.mu.Unlock()
 		c.reg.Counter("cache_persist_errors_total").Inc()
+		return
 	}
+	c.mu.Lock()
+	c.diskEntries += 1 - replaced
+	c.diskBytes += int64(len(data)) - oldSize
+	c.setDiskGauges()
+	c.mu.Unlock()
+}
+
+// dropDisk deletes a disk entry that failed verification, keeping the
+// tier stats exact. Dropping is what turns a corrupt file into a
+// one-time miss instead of a permanent decode error.
+func (c *Cache) dropDisk(key string) {
+	if c.dir == "" {
+		return
+	}
+	path := c.entryPath(key)
+	info, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	if err := os.Remove(path); err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.diskEntries--
+	c.diskBytes -= info.Size()
+	c.setDiskGauges()
+	c.mu.Unlock()
+	c.reg.Counter("cache_disk_drops_total").Inc()
+}
+
+// setDiskGauges publishes the disk-tier stats. Callers hold c.mu or are
+// single-threaded construction.
+func (c *Cache) setDiskGauges() {
+	c.reg.Gauge("cache_disk_entries").Set(float64(c.diskEntries))
+	c.reg.Gauge("cache_disk_bytes").Set(float64(c.diskBytes))
 }

@@ -21,6 +21,7 @@ import (
 	"wasabi/internal/llm"
 	"wasabi/internal/obs"
 	"wasabi/internal/report"
+	"wasabi/internal/sast"
 )
 
 // copyApp clones the app's source directory into a temp dir so the test
@@ -185,12 +186,19 @@ func TestWarmRunByteIdenticalZeroSpend(t *testing.T) {
 }
 
 // TestDiskTierSurvivesRestart replays a corpus through a fresh cache
-// instance backed by the same directory — the process-restart path. The
-// analysis tier is memory-only by design (it holds live ASTs), so it
-// re-runs; every review must come from disk and fresh spend stays zero.
+// instance backed by the same directory — the process-restart path.
+// Each runOnce builds a fresh snapshot store too, so the warm run is a
+// true cold process over a warm disk: every review and every extraction
+// fact must come from disk, the analysis (a memory-only merge of those
+// facts) re-runs without parsing anything, and fresh spend stays zero.
 func TestDiskTierSurvivesRestart(t *testing.T) {
 	app := copyApp(t, "HD")
 	dir := t.TempDir()
+	man, err := cache.HashDir(app.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFiles := int64(len(man.Files))
 
 	c1, err := cache.New(cache.Options{Dir: dir})
 	if err != nil {
@@ -202,7 +210,7 @@ func TestDiskTierSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, fresh, _ := runOnce(t, app, c2, 2)
+	warm, fresh, snap := runOnce(t, app, c2, 2)
 	if !bytes.Equal(cold, warm) {
 		t.Fatal("restarted warm report differs from cold")
 	}
@@ -210,12 +218,61 @@ func TestDiskTierSurvivesRestart(t *testing.T) {
 		t.Fatalf("restarted warm run spent fresh LLM traffic: %+v", fresh)
 	}
 	st := c2.Stats()
-	if st.DiskLoads == 0 || st.DiskLoads != st.Hits[cache.StageReview] {
-		t.Fatalf("disk loads = %d, review hits = %d; want equal and positive",
-			st.DiskLoads, st.Hits[cache.StageReview])
+	if st.Hits[cache.StageReview] != nFiles || st.Hits[cache.StageFacts] != nFiles {
+		t.Fatalf("restart hits review/facts = %d/%d, want %d/%d",
+			st.Hits[cache.StageReview], st.Hits[cache.StageFacts], nFiles, nFiles)
+	}
+	if want := st.Hits[cache.StageReview] + st.Hits[cache.StageFacts]; st.DiskLoads != want {
+		t.Fatalf("disk loads = %d, want %d (every review and facts hit read through)",
+			st.DiskLoads, want)
 	}
 	if st.Misses[cache.StageAnalysis] != 1 {
-		t.Fatalf("analysis misses = %d, want 1 (memory-only tier)", st.Misses[cache.StageAnalysis])
+		t.Fatalf("analysis misses = %d, want 1 (memory-only merge tier)", st.Misses[cache.StageAnalysis])
+	}
+	// The restart-warm proof: the static tier rebuilt from portable
+	// facts, so the new process parsed and extracted nothing.
+	if got := snap.Counter("source_parse_total"); got != 0 {
+		t.Fatalf("restart-warm run parsed %d files, want 0", got)
+	}
+	if got := snap.Counter("source_derived_computes_total", "kind", sast.ExtractKind); got != 0 {
+		t.Fatalf("restart-warm run extracted %d files, want 0", got)
+	}
+	if got := snap.Counter("source_derived_hydrations_total", "kind", sast.ExtractKind); got != nFiles {
+		t.Fatalf("restart-warm run hydrated %d facts, want %d", got, nFiles)
+	}
+	if st.DiskEntries == 0 || st.DiskBytes == 0 {
+		t.Fatalf("restarted cache reports empty disk tier: %d entries / %d bytes",
+			st.DiskEntries, st.DiskBytes)
+	}
+
+	// A single-file edit after restart costs exactly 1 parse /
+	// 1 extraction / 1 review miss — the incremental contract holds
+	// across process boundaries.
+	names := make([]string, 0, len(man.Files))
+	for name := range man.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	touched := filepath.Join(app.Dir, names[0])
+	src, err := os.ReadFile(touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(touched, append(src, []byte("\n// touched by cache_test\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st1 := c2.Stats()
+	_, _, editSnap := runOnce(t, app, c2, 2)
+	d := delta(c2.Stats(), st1)
+	if got := editSnap.Counter("source_parse_total"); got != 1 {
+		t.Fatalf("post-restart edit parsed %d files, want 1", got)
+	}
+	if got := editSnap.Counter("source_derived_computes_total", "kind", sast.ExtractKind); got != 1 {
+		t.Fatalf("post-restart edit extracted %d files, want 1", got)
+	}
+	if d.Misses[cache.StageReview] != 1 || d.Hits[cache.StageReview] != nFiles-1 {
+		t.Fatalf("post-restart edit review hits/misses = %d/%d, want %d/1",
+			d.Hits[cache.StageReview], d.Misses[cache.StageReview], nFiles-1)
 	}
 }
 

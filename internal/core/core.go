@@ -265,7 +265,15 @@ func (w *Wasabi) identifyLane(app corpus.App, lane int) (*Identification, error)
 		analysis, _ = w.cache.GetAnalysis(cache.AnalysisKey(app.Dir, man.Digest))
 	}
 	if analysis == nil {
-		analysis, err = sast.AnalyzeSnapshot(snap)
+		// The cache doubles as the portable facts tier (sast.FactsStore):
+		// per-file extraction hydrates from disk by content hash, so a
+		// restarted daemon rebuilds the analysis at zero parses. The
+		// explicit nil keeps the interface nil when no cache is attached.
+		var facts sast.FactsStore
+		if w.cache != nil {
+			facts = w.cache
+		}
+		analysis, err = sast.AnalyzeSnapshotWith(snap, facts)
 		if err != nil {
 			return nil, fmt.Errorf("identify %s: %w", app.Code, err)
 		}

@@ -398,7 +398,7 @@ func (c *Client) review(path string, src []byte, pre *source.File) FileReview {
 	var f *ast.File
 	var err error
 	if pre != nil {
-		f, err = pre.AST, pre.ParseErr
+		f, err = pre.Syntax()
 	} else {
 		f, err = parser.ParseFile(token.NewFileSet(), path, src, parser.ParseComments)
 	}

@@ -423,6 +423,18 @@ func (s Snapshot) Counter(name string, labels ...string) int64 {
 	return 0
 }
 
+// Gauge returns the snapshotted value of the named gauge (labels in
+// any order), or 0 when absent.
+func (s Snapshot) Gauge(name string, labels ...string) float64 {
+	want := makeLabels(labels).id(name)
+	for _, g := range s.Gauges {
+		if g.Labels.id(g.Name) == want {
+			return g.Value
+		}
+	}
+	return 0
+}
+
 // HistogramPoint returns the snapshotted histogram with the given
 // identity, or false when absent.
 func (s Snapshot) HistogramPoint(name string, labels ...string) (HistogramPoint, bool) {

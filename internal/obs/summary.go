@@ -39,6 +39,12 @@ type PipelineReport struct {
 	// a third run after touching exactly one source file of a warm,
 	// snapshot-backed corpus (docs/PERFORMANCE.md).
 	SingleEdit *EditBench `json:"single_edit,omitempty"`
+	// Restart, when present, is the restart-warm benchmark: a cold run
+	// into a disk-backed cache, then a fresh cache handle, snapshot store
+	// and registry — a simulated process restart — re-running the same
+	// corpus entirely from persisted reviews and retry-facts
+	// (docs/PERFORMANCE.md).
+	Restart *RestartBench `json:"restart,omitempty"`
 	// Serve, when present, is the multi-tenant scheduler load benchmark:
 	// many simulated tenants hammering a live wasabid instance
 	// (docs/SCHEDULING.md).
@@ -94,6 +100,23 @@ type EditBench struct {
 	ReviewMisses int64   `json:"review_misses"`
 }
 
+// RestartBench is the restart-warm trajectory: a cold run populates a
+// disk-backed cache, then every in-memory handle (cache, snapshot
+// store, metrics registry) is rebuilt over the same directory and the
+// corpus re-analyzed. Wall times are honest measurements; the counters
+// are deterministic — a restart-warm run parses nothing, extracts
+// nothing and spends nothing, hydrating one facts entry per file and
+// loading every review from disk.
+type RestartBench struct {
+	ColdWallMS      float64 `json:"cold_wall_ms"`
+	WarmWallMS      float64 `json:"warm_wall_ms"`
+	WarmFreshTokens int64   `json:"warm_fresh_tokens"`
+	WarmParses      int64   `json:"warm_parses"`
+	WarmExtracts    int64   `json:"warm_extracts"`
+	WarmHydrations  int64   `json:"warm_hydrations"`
+	DiskLoads       int64   `json:"disk_loads"`
+}
+
 // CacheBench compares a cold pipeline run against a warm, cache-served
 // re-run of the same corpus. Wall times are honest measurements; token
 // and hit/miss rows are deterministic.
@@ -135,8 +158,9 @@ type ServeBench struct {
 // PipelineReportSchema identifies the BENCH_pipeline.json format (v2
 // added the optional cold-vs-warm cache section; v3 the snapshot-store
 // source section and the warm single-file-edit benchmark; v4 the
-// multi-tenant serve benchmark; v5 the generated-corpus scale sweep).
-const PipelineReportSchema = "wasabi-bench-pipeline/v5"
+// multi-tenant serve benchmark; v5 the generated-corpus scale sweep;
+// v6 the restart-warm benchmark over the persisted retry-facts tier).
+const PipelineReportSchema = "wasabi-bench-pipeline/v6"
 
 // StageMetric is the histogram every stage observes its wall time into
 // (label: stage), and StageTokensMetric the counter LLM token spend is

@@ -6,9 +6,16 @@ import (
 	"strings"
 )
 
-// findRetryLoops runs the control-flow + naming analysis of §3.1.1 over
-// every method: identify loops whose header is reachable from a catch
-// block, apply the retry-keyword filter, and extract triplets.
+// findRetryLoops runs the cross-file half of the control-flow + naming
+// analysis of §3.1.1: the structural work (loop discovery, catch-block
+// reachability, the keyword filter, excluded-exception scanning)
+// happened at extraction time and lives in each method's LoopFacts;
+// here the recorded candidates are counted, the keyworded ones get
+// their callee names resolved against the whole corpus, and triplets
+// are emitted. The output is byte-identical to the pre-facts AST walk:
+// methods are visited in sorted name order, loops in recorded (syntax)
+// order, and every per-loop result is dedup-sorted downstream of
+// resolution, so only the recorded name sets matter.
 func (a *Analysis) findRetryLoops() {
 	short := a.MethodsByShortName()
 	names := make([]string, 0, len(a.Methods))
@@ -18,33 +25,23 @@ func (a *Analysis) findRetryLoops() {
 	sort.Strings(names)
 	for _, name := range names {
 		m := a.Methods[name]
-		ast.Inspect(m.decl.Body, func(n ast.Node) bool {
-			var body *ast.BlockStmt
-			switch loop := n.(type) {
-			case *ast.ForStmt:
-				body = loop.Body
-			case *ast.RangeStmt:
-				body = loop.Body
-			default:
-				return true
-			}
-			if !catchReachesHeader(body) {
-				return true
-			}
+		for _, lf := range m.loops {
 			a.CandidateLoops++
-			kw := hasRetryKeyword(n)
-			if !kw {
-				return true
+			if !lf.Keyworded {
+				continue
 			}
-			excluded := excludedExceptions(body)
+			excluded := make(map[string]bool, len(lf.Excluded))
+			for _, cls := range lf.Excluded {
+				excluded[cls] = true
+			}
 			loop := RetryLoop{
 				Coordinator: m.Name,
 				File:        m.File,
-				Line:        m.fset.Position(n.Pos()).Line,
+				Line:        lf.Line,
 				Keyworded:   true,
 				ThrownHere:  make(map[string]bool),
 			}
-			for _, callee := range calleesInBlock(body, short) {
+			for _, callee := range throwingCallees(lf.Calls, short) {
 				for _, exc := range callee.Throws {
 					retried := !excluded[exc]
 					loop.ThrownHere[exc] = retried
@@ -58,8 +55,7 @@ func (a *Analysis) findRetryLoops() {
 				}
 			}
 			a.Loops = append(a.Loops, loop)
-			return true
-		})
+		}
 	}
 }
 
@@ -316,26 +312,22 @@ func isClassCheck(cond ast.Expr) string {
 	return ""
 }
 
-// calleesInBlock resolves calls in the block to corpus methods declaring
-// Throws (whether or not they carry hooks; hook presence gates triplet
-// injectability, not throwability).
-func calleesInBlock(body *ast.BlockStmt, short map[string][]*Method) []*Method {
+// throwingCallees resolves recorded bare callee names to corpus methods
+// declaring Throws (whether or not they carry hooks; hook presence
+// gates triplet injectability, not throwability), deduped by qualified
+// name and sorted.
+func throwingCallees(names []string, short map[string][]*Method) []*Method {
 	var out []*Method
 	seen := make(map[string]bool)
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		for _, m := range resolveCallees(call, short) {
+	for _, name := range names {
+		for _, m := range short[name] {
 			if len(m.Throws) == 0 || seen[m.Name] {
 				continue
 			}
 			seen[m.Name] = true
 			out = append(out, m)
 		}
-		return true
-	})
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -18,14 +18,16 @@ package sast
 import (
 	"fmt"
 	"go/ast"
-	"go/token"
 	"sort"
 	"strings"
 
 	"wasabi/internal/source"
 )
 
-// Method is a function or method declaration found in the corpus.
+// Method is a function or method declaration found in the corpus. It
+// carries no AST: everything the merge needs comes from the portable
+// facts (facts.go), which is what makes a cached Analysis rebuildable
+// without parsing.
 type Method struct {
 	// Name is the normalized identifier "pkg.Type.method" or "pkg.func".
 	Name string
@@ -38,8 +40,10 @@ type Method struct {
 	// is instrumentable for injection.
 	HasHook bool
 
-	decl *ast.FuncDecl
-	fset *token.FileSet
+	// calls / loops are the method's FuncFacts payload: bare callee
+	// names of the body and the structural retry-loop candidates.
+	calls []string
+	loops []LoopFacts
 }
 
 // Triplet is a retry location: coordinator, retried method, and a trigger
@@ -170,6 +174,9 @@ func (a *Analysis) MethodsByShortName() map[string][]*Method {
 // CalleesOf returns, for a coordinator method name, every corpus method it
 // calls that declares Throws, with the declared exceptions — the lookup
 // the LLM identification workflow delegates back to traditional analysis.
+// Callee names were recorded at extraction time (facts.go); resolution
+// against the corpus method index happens here, so the result reflects
+// the whole analysis even when every file's facts hydrated from disk.
 func (a *Analysis) CalleesOf(coordinator string) []Triplet {
 	m := a.Methods[coordinator]
 	if m == nil {
@@ -178,12 +185,8 @@ func (a *Analysis) CalleesOf(coordinator string) []Triplet {
 	short := a.MethodsByShortName()
 	var out []Triplet
 	seen := make(map[Triplet]bool)
-	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		for _, callee := range resolveCallees(call, short) {
+	for _, name := range m.calls {
+		for _, callee := range short[name] {
 			if !callee.HasHook {
 				continue
 			}
@@ -195,8 +198,7 @@ func (a *Analysis) CalleesOf(coordinator string) []Triplet {
 				}
 			}
 		}
-		return true
-	})
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Retried != out[j].Retried {
 			return out[i].Retried < out[j].Retried
@@ -206,26 +208,59 @@ func (a *Analysis) CalleesOf(coordinator string) []Triplet {
 	return out
 }
 
-// resolveCallees maps a call expression to corpus methods by bare name.
-// Name-based resolution is deliberately fuzzy (the paper's analysis is
-// "neither sound nor complete"); the test oracles absorb the inaccuracy.
-func resolveCallees(call *ast.CallExpr, short map[string][]*Method) []*Method {
-	var name string
+// bareCalleeName maps a call expression to the bare name resolution
+// works over, or "" for calls the analysis ignores. Name-based
+// resolution is deliberately fuzzy (the paper's analysis is "neither
+// sound nor complete"); the test oracles absorb the inaccuracy.
+func bareCalleeName(call *ast.CallExpr) string {
 	switch fn := call.Fun.(type) {
 	case *ast.Ident:
-		name = fn.Name
+		return fn.Name
 	case *ast.SelectorExpr:
 		// Skip cross-package utility calls like vclock.Sleep.
 		if id, ok := fn.X.(*ast.Ident); ok {
 			switch id.Name {
 			case "fault", "vclock", "errmodel", "trace", "common", "testkit", "resilience",
 				"strings", "strconv", "fmt", "time", "sort", "context", "math":
-				return nil
+				return ""
 			}
 		}
-		name = fn.Sel.Name
-	default:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// callNamesIn collects the bare callee names of a block, deduped and
+// sorted — the canonical facts form. Only the set matters: every
+// consumer re-sorts its resolved output, so recording names instead of
+// resolved methods loses nothing.
+func callNamesIn(body *ast.BlockStmt) []string {
+	seen := make(map[string]bool)
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := bareCalleeName(call); name != "" && !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// sortedClasses renders an exception-class set in canonical slice form.
+func sortedClasses(set map[string]bool) []string {
+	if len(set) == 0 {
 		return nil
 	}
-	return short[name]
+	out := make([]string, 0, len(set))
+	for cls := range set {
+		out = append(out, cls)
+	}
+	sort.Strings(out)
+	return out
 }

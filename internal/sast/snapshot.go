@@ -1,11 +1,13 @@
 // snapshot.go is the parse-once entry point of the traditional static
 // analysis: AnalyzeSnapshot consumes a pre-loaded source.Snapshot
 // instead of re-reading and re-parsing the directory, and splits the
-// work file-granularly — per-file method extraction is memoized on the
-// snapshot file by content hash (File.Memo), so a warm daemon
-// re-extracts only files whose bytes changed — followed by the cheap
-// cross-file merge (package-qualified naming and the retry-loop
-// analysis, which must see every method to resolve callees).
+// work file-granularly — per-file extraction is memoized on the
+// snapshot file by content hash (File.MemoThrough) and hydrated from
+// the portable facts tier (facts.go) when one is attached, so a warm
+// daemon re-extracts only files whose bytes changed and a restart-warm
+// daemon extracts nothing at all — followed by the cheap cross-file
+// merge (package-qualified naming and the retry-loop analysis, which
+// must see every method to resolve callees).
 package sast
 
 import (
@@ -19,70 +21,131 @@ import (
 // (the source_derived_*_total{kind=...} metrics label).
 const ExtractKind = "sast-extract"
 
-// fileFacts is the per-file extraction artifact: the package name and
-// every function declaration's facts, keyed pkg-unqualified so the
-// artifact depends on nothing outside the file. The merge step applies
-// the directory's package prefix.
-type fileFacts struct {
-	pkg   string
-	funcs []fileFunc
+// factsResult is the memoized extraction outcome: facts, or the parse
+// error that prevented them. Errors memoize too — content-addressed
+// files fail identically every time.
+type factsResult struct {
+	ff  *FileFacts
+	err error
 }
 
-// fileFunc is one extracted function declaration.
-type fileFunc struct {
-	key     string // funcKey: "Type.method" or "func"
-	throws  []string
-	hasHook bool
-	decl    *ast.FuncDecl
-}
-
-// extractFacts computes (or reuses) the file's extraction artifact.
-// Callers must have checked ParseErr: extraction requires an AST.
-func extractFacts(f *source.File) *fileFacts {
-	return f.Memo(ExtractKind, func() any {
-		ff := &fileFacts{pkg: f.AST.Name.Name}
-		for _, d := range f.AST.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+// fileFactsOf returns the file's extraction facts, in preference order:
+// the in-memory memo (warm run), the facts store (restart-warm run —
+// no parse), or a fresh extraction from the AST (cold run or edit).
+func fileFactsOf(f *source.File, store FactsStore) (*FileFacts, error) {
+	v := f.MemoThrough(ExtractKind,
+		func() (any, bool) {
+			if store == nil {
+				return nil, false
 			}
-			ff.funcs = append(ff.funcs, fileFunc{
-				key:     funcKey(fd),
-				throws:  parseThrows(fd.Doc),
-				hasHook: callsFaultHook(fd.Body),
-				decl:    fd,
-			})
+			ff, ok := store.GetFacts(f.SHA256)
+			if !ok {
+				return nil, false
+			}
+			return &factsResult{ff: ff}, true
+		},
+		func() any {
+			ff, err := extractFacts(f)
+			if err != nil {
+				return &factsResult{err: err}
+			}
+			if store != nil {
+				store.PutFacts(f.SHA256, ff)
+			}
+			return &factsResult{ff: ff}
+		})
+	r := v.(*factsResult)
+	return r.ff, r.err
+}
+
+// extractFacts builds the portable facts of one file from its AST — the
+// only place the static tier parses.
+func extractFacts(f *source.File) (*FileFacts, error) {
+	syntax, err := f.Syntax()
+	if err != nil {
+		return nil, err
+	}
+	ff := &FileFacts{Schema: FactsSchema, Hash: f.SHA256, Pkg: syntax.Name.Name}
+	for _, d := range syntax.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
 		}
-		return ff
-	}).(*fileFacts)
+		fn := FuncFacts{
+			Key:     funcKey(fd),
+			Throws:  parseThrows(fd.Doc),
+			HasHook: callsFaultHook(fd.Body),
+			Calls:   callNamesIn(fd.Body),
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if !catchReachesHeader(body) {
+				return true
+			}
+			lf := LoopFacts{
+				Line:      f.Fset.Position(n.Pos()).Line,
+				Keyworded: hasRetryKeyword(n),
+			}
+			if lf.Keyworded {
+				lf.Excluded = sortedClasses(excludedExceptions(body))
+				lf.Calls = callNamesIn(body)
+			}
+			fn.Loops = append(fn.Loops, lf)
+			return true
+		})
+		ff.Funcs = append(ff.Funcs, fn)
+	}
+	return ff, nil
 }
 
 // AnalyzeSnapshot runs the retry-loop analysis over a pre-loaded
-// snapshot. It parses nothing: per-file facts come from the snapshot's
-// memoized extraction, and only the cross-file merge (naming, callee
-// resolution, loop analysis) runs unconditionally. The result is
-// byte-identical to AnalyzeDir over the same directory state.
+// snapshot with no facts tier attached: unseen files extract from their
+// ASTs. The result is byte-identical to AnalyzeDir over the same
+// directory state.
 func AnalyzeSnapshot(snap *source.Snapshot) (*Analysis, error) {
+	return AnalyzeSnapshotWith(snap, nil)
+}
+
+// AnalyzeSnapshotWith is AnalyzeSnapshot with a facts tier: per-file
+// facts come from the snapshot's memo, hydrate from the store by
+// content hash, or — only when both miss — extract from the AST. Over
+// an unchanged corpus with a populated store, it parses nothing; only
+// the cross-file merge (naming, callee resolution, loop analysis) runs
+// unconditionally, and its output is byte-identical whichever path
+// supplied the facts.
+func AnalyzeSnapshotWith(snap *source.Snapshot, store FactsStore) (*Analysis, error) {
 	a := &Analysis{
 		Files:   make(map[string]int),
 		Methods: make(map[string]*Method),
 	}
-	for _, f := range snap.Files {
-		if f.ParseErr != nil {
-			return nil, fmt.Errorf("sast: %w", f.ParseErr)
+	facts := make([]*FileFacts, len(snap.Files))
+	for i, f := range snap.Files {
+		ff, err := fileFactsOf(f, store)
+		if err != nil {
+			return nil, fmt.Errorf("sast: %w", err)
 		}
-		a.Pkg = f.AST.Name.Name
+		facts[i] = ff
+		a.Pkg = ff.Pkg
 		a.Files[f.Name] = int(f.Size)
 	}
-	for _, f := range snap.Files {
-		for _, fn := range extractFacts(f).funcs {
+	for i, f := range snap.Files {
+		for j := range facts[i].Funcs {
+			fn := &facts[i].Funcs[j]
 			m := &Method{
-				Name:    a.Pkg + "." + fn.key,
+				Name:    a.Pkg + "." + fn.Key,
 				File:    f.Name,
-				Throws:  fn.throws,
-				HasHook: fn.hasHook,
-				decl:    fn.decl,
-				fset:    snap.Fset,
+				Throws:  fn.Throws,
+				HasHook: fn.HasHook,
+				calls:   fn.Calls,
+				loops:   fn.Loops,
 			}
 			a.Methods[m.Name] = m
 		}

@@ -6,22 +6,37 @@
 // separately) — but that independence used to be paid on the hot path:
 // every file was read from disk and parsed into an AST up to three
 // times per run. A Store loads each file exactly once per run and
-// memoizes the expensive artifact — (bytes, sha256, *ast.File, shared
-// token.FileSet positions) — by (path, content hash), so a warm daemon
-// re-parses only files whose bytes actually changed.
+// interns the loaded artifact — (bytes, sha256, shared token.FileSet
+// positions) — by (path, content hash), so a warm daemon re-parses only
+// files whose bytes actually changed.
+//
+// Parsing is lazy: interning a file costs a read and a hash, and the
+// AST is built only when a consumer actually asks for it via
+// File.Syntax. That is what lets a restart-warm daemon serve an entire
+// job at zero parses — the static tier hydrates its extraction facts
+// from the disk cache (File.MemoThrough) and the LLM reviews replay
+// from the review cache, so nothing ever touches go/ast.
 //
 // Consumers receive a Snapshot: the directory's source files in sorted
-// order, fully loaded and parsed. Files are immutable once interned;
-// derived per-file artifacts (e.g. internal/sast's method extraction)
-// piggyback on the same content addressing through File.Memo, which is
-// what makes the static tier file-granular and incremental.
+// order, fully loaded. Files are immutable once interned; derived
+// per-file artifacts (e.g. internal/sast's method extraction) piggyback
+// on the same content addressing through File.Memo / File.MemoThrough,
+// which is what makes the static tier file-granular and incremental.
+//
+// Retention is bounded per path: the store keeps the latest
+// DefaultKeepGenerations content versions of each path and evicts older
+// generations — bytes, AST, and memoized artifacts together — so a
+// long-lived daemon's memory plateaus under an endless edit history
+// (source_evictions_total / source_retained_bytes account for it).
+// Evicted versions stay valid in any snapshot still holding them (Files
+// are immutable); re-loading one simply re-interns and recomputes.
 //
 // Concurrency: a Store is safe for concurrent Load calls across worker
-// lanes. Parsing is serialized per (path, hash) entry by a sync.Once;
-// the shared token.FileSet is internally synchronized; a File's bytes
-// and AST are never mutated after interning, so concurrent readers need
-// no locking. All source_* metrics (docs/OBSERVABILITY.md) count
-// logical events and are deterministic across worker counts.
+// lanes. Parsing is serialized per File by a sync.Once; the shared
+// token.FileSet is internally synchronized; a File's bytes and AST are
+// never mutated after interning, so concurrent readers need no locking.
+// All source_* metrics (docs/OBSERVABILITY.md) count logical events and
+// are deterministic across worker counts.
 package source
 
 import (
@@ -39,6 +54,12 @@ import (
 	"wasabi/internal/obs"
 )
 
+// DefaultKeepGenerations is how many content versions of one path a
+// Store retains by default. Two covers the daemon's steady state — the
+// version in flight plus the edit that just landed — while bounding
+// memory under a long edit history.
+const DefaultKeepGenerations = 2
+
 // IsSourceFile reports whether a directory entry counts as application
 // source for the static workflows. Tests are excluded; suite.go and
 // workload.go hold an app's registered unit tests and manifest.go the
@@ -53,8 +74,8 @@ func IsSourceFile(name string) bool {
 	return name != "suite.go" && name != "workload.go" && name != "manifest.go"
 }
 
-// File is one loaded source file: bytes, content address, and the parsed
-// AST, all computed exactly once per (path, content) version. Fields are
+// File is one loaded source file: bytes and content address computed at
+// intern time, the AST built lazily on first Syntax call. Fields are
 // immutable after interning; concurrent readers share them freely.
 type File struct {
 	// Name is the file basename.
@@ -64,22 +85,39 @@ type File struct {
 	// Bytes is the raw file content.
 	Bytes []byte
 	// SHA256 is the lowercase hex SHA-256 of Bytes — the content address
-	// review keys and directory manifests are derived from.
+	// review keys, directory manifests and facts entries derive from.
 	SHA256 string
 	// Size is len(Bytes) as an int64 (the manifest shape).
 	Size int64
-	// AST is the parsed file, nil when ParseErr is set.
-	AST *ast.File
-	// ParseErr is the parser error for files that do not parse. The LLM
-	// reviewer treats such files as unanswerable; the traditional static
-	// analysis fails on them, exactly as it did when it parsed itself.
-	ParseErr error
 	// Fset is the store-wide FileSet AST positions resolve against.
 	Fset *token.FileSet
 
 	store *Store
-	mu    sync.Mutex
-	memo  map[string]any
+
+	parseOnce sync.Once
+	syntax    *ast.File
+	parseErr  error
+
+	mu   sync.Mutex
+	memo map[string]any
+}
+
+// Syntax returns the parsed AST, building it on first call (counted in
+// source_parse_total) and memoizing both the tree and any parse error
+// for the file's lifetime. The warm static tier never calls it — facts
+// hydrate from the cache — so a restart-warm job runs at zero parses;
+// anything that genuinely needs positions or declarations (fresh
+// extraction, the LLM reviewer's evidence pass) pays for exactly the
+// files it touches.
+func (f *File) Syntax() (*ast.File, error) {
+	f.parseOnce.Do(func() {
+		f.syntax, f.parseErr = parser.ParseFile(f.Fset, f.Path, f.Bytes, parser.ParseComments)
+		if f.parseErr != nil {
+			f.syntax = nil
+		}
+		f.store.reg.Counter("source_parse_total").Inc()
+	})
+	return f.syntax, f.parseErr
 }
 
 // Memo returns the derived artifact registered under kind, computing it
@@ -89,11 +127,28 @@ type File struct {
 // recomputes them only for files that changed. compute must be a pure
 // function of the file and must not call Memo on the same file.
 func (f *File) Memo(kind string, compute func() any) any {
+	return f.MemoThrough(kind, nil, compute)
+}
+
+// MemoThrough is Memo with an optional second chance before computing:
+// when the in-memory memo misses, load may supply the artifact from an
+// external tier (the disk facts cache) — counted in
+// source_derived_hydrations_total — and only if both miss does compute
+// run (source_derived_computes_total). load and compute run under the
+// file's memo lock and must not call back into the same file's memo.
+func (f *File) MemoThrough(kind string, load func() (any, bool), compute func() any) any {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if v, ok := f.memo[kind]; ok {
 		f.store.reg.Counter("source_derived_reuse_total", "kind", kind).Inc()
 		return v
+	}
+	if load != nil {
+		if v, ok := load(); ok {
+			f.memo[kind] = v
+			f.store.reg.Counter("source_derived_hydrations_total", "kind", kind).Inc()
+			return v
+		}
 	}
 	v := compute()
 	f.memo[kind] = v
@@ -102,11 +157,11 @@ func (f *File) Memo(kind string, compute func() any) any {
 }
 
 // Snapshot is one directory's loaded state: every source file, sorted by
-// name, parsed against the store's shared FileSet.
+// name, interned against the store's shared FileSet.
 type Snapshot struct {
 	// Dir is the directory the snapshot describes.
 	Dir string
-	// Fset resolves positions for every Files[i].AST.
+	// Fset resolves positions for every Files[i].Syntax() tree.
 	Fset *token.FileSet
 	// Files are the directory's source files in sorted name order.
 	Files []*File
@@ -135,32 +190,40 @@ func (s *Snapshot) Names() []string {
 // across many (the daemon shares one across jobs, which is where the
 // incremental wins come from).
 //
-// Entries are retained for the store's lifetime: every edit of a file
-// interns a new version without releasing the old one (see
-// docs/KNOWN_ISSUES.md on long-lived daemon growth).
+// Per path, only the latest keep generations are retained (see
+// SetKeepGenerations); older versions are evicted wholesale — bytes,
+// AST, memoized artifacts — under the store lock.
 type Store struct {
 	reg  *obs.Registry
 	fset *token.FileSet
 
-	mu      sync.Mutex
-	entries map[string]*storeEntry
-}
-
-// storeEntry guards one (path, hash) artifact: once.Do computes it, every
-// later Load reuses it.
-type storeEntry struct {
-	once sync.Once
-	file *File
+	mu            sync.Mutex
+	keep          int
+	entries       map[string]*File
+	gens          map[string][]string // path → entry keys, oldest first
+	retainedBytes int64
 }
 
 // NewStore returns an empty store reporting into reg (nil disables
-// metrics).
+// metrics), retaining DefaultKeepGenerations content versions per path.
 func NewStore(reg *obs.Registry) *Store {
 	return &Store{
 		reg:     reg,
 		fset:    token.NewFileSet(),
-		entries: make(map[string]*storeEntry),
+		keep:    DefaultKeepGenerations,
+		entries: make(map[string]*File),
+		gens:    make(map[string][]string),
 	}
+}
+
+// SetKeepGenerations bounds per-path retention to the latest k content
+// versions (k < 1 disables eviction — the unbounded pre-eviction
+// behaviour, useful only for experiments). Lowering k takes effect on
+// the next intern of each path.
+func (s *Store) SetKeepGenerations(k int) {
+	s.mu.Lock()
+	s.keep = k
+	s.mu.Unlock()
 }
 
 // Fset returns the store-wide FileSet.
@@ -168,10 +231,11 @@ func (s *Store) Fset() *token.FileSet { return s.fset }
 
 // Load reads every source file of dir — exactly once each — and returns
 // the snapshot. Bytes are read and hashed on every call (that is how
-// change detection works); the parse and everything derived from it are
-// reused when the content hash matches a previously interned version.
-// Unparseable files do not fail the load: they carry ParseErr, and each
-// consumer decides (sast fails, llm degrades to "no answer").
+// change detection works); the interned artifact and everything derived
+// from it are reused when the content hash matches a previously interned
+// version. Nothing is parsed here: unparseable files surface their error
+// from Syntax, and each consumer decides (sast fails, llm degrades to
+// "no answer").
 func (s *Store) Load(dir string) (*Snapshot, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -195,22 +259,17 @@ func (s *Store) Load(dir string) (*Snapshot, error) {
 	return snap, nil
 }
 
-// intern returns the canonical File for (path, content), parsing on first
-// sight of this content version and reusing the artifact afterwards.
+// intern returns the canonical File for (path, content), creating it on
+// first sight of this content version and reusing the artifact
+// afterwards. Interning a new version beyond the retention bound evicts
+// the path's oldest generation.
 func (s *Store) intern(path, name string, data []byte) *File {
 	sum := sha256.Sum256(data)
 	key := path + "\x00" + hex.EncodeToString(sum[:])
 	s.mu.Lock()
-	en, ok := s.entries[key]
+	f, ok := s.entries[key]
 	if !ok {
-		en = &storeEntry{}
-		s.entries[key] = en
-	}
-	s.mu.Unlock()
-	computed := false
-	en.once.Do(func() {
-		computed = true
-		f := &File{
+		f = &File{
 			Name:   name,
 			Path:   path,
 			Bytes:  data,
@@ -220,18 +279,38 @@ func (s *Store) intern(path, name string, data []byte) *File {
 			store:  s,
 			memo:   make(map[string]any),
 		}
-		f.AST, f.ParseErr = parser.ParseFile(s.fset, path, data, parser.ParseComments)
-		if f.ParseErr != nil {
-			f.AST = nil
-		}
-		s.reg.Counter("source_parse_total").Inc()
-		s.mu.Lock()
-		s.reg.Gauge("source_store_files").Set(float64(len(s.entries)))
-		s.mu.Unlock()
-		en.file = f
-	})
-	if !computed {
+		s.entries[key] = f
+		s.retainedBytes += f.Size
+	}
+	s.touchGeneration(path, key)
+	s.reg.Gauge("source_store_files").Set(float64(len(s.entries)))
+	s.reg.Gauge("source_retained_bytes").Set(float64(s.retainedBytes))
+	s.mu.Unlock()
+	if ok {
 		s.reg.Counter("source_reuse_total").Inc()
 	}
-	return en.file
+	return f
+}
+
+// touchGeneration marks key as path's most recent generation and evicts
+// generations beyond the retention bound. Called with s.mu held.
+func (s *Store) touchGeneration(path, key string) {
+	g := s.gens[path]
+	for i, k := range g {
+		if k == key {
+			g = append(g[:i], g[i+1:]...)
+			break
+		}
+	}
+	g = append(g, key)
+	for s.keep >= 1 && len(g) > s.keep {
+		victim := g[0]
+		g = g[1:]
+		if vf, ok := s.entries[victim]; ok {
+			delete(s.entries, victim)
+			s.retainedBytes -= vf.Size
+			s.reg.Counter("source_evictions_total").Inc()
+		}
+	}
+	s.gens[path] = g
 }

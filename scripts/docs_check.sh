@@ -32,6 +32,12 @@
 #      computed from the manifests (`studyreport -corpus-table`) line
 #      for line — the documented table must not drift from the
 #      ground truth.
+#  10. Every snapshot-store metric (source_*) emitted by internal/source
+#      and every cache metric (cache_*) emitted by internal/cache is
+#      cataloged in docs/OBSERVABILITY.md.
+#  11. The retry-facts format version (sast.FactsSchema) appears
+#      verbatim in docs/ARCHITECTURE.md — a version bump must update
+#      the documented format.
 #
 # Exits non-zero listing every violation; run via `make docs-check`.
 set -u
@@ -130,6 +136,23 @@ else
 		grep -qF "$line" docs/CORPUS.md || echo x
 	done)
 	[ -z "$missing" ] || fail=1
+fi
+
+# 10. Snapshot-store and cache metrics must be cataloged in
+# docs/OBSERVABILITY.md.
+for metric in $(grep -hoE '"(source|cache)_[a-z_]+"' internal/source/*.go internal/cache/*.go | grep -v '_test' | tr -d '"' | sort -u); do
+	grep -q "$metric" docs/OBSERVABILITY.md ||
+		err "metric $metric (internal/source or internal/cache) is not cataloged in docs/OBSERVABILITY.md"
+done
+
+# 11. The facts format version must be documented verbatim in
+# docs/ARCHITECTURE.md.
+facts_schema=$(grep -hoE 'FactsSchema = "[^"]+"' internal/sast/facts.go | grep -oE '"[^"]+"' | tr -d '"')
+if [ -z "$facts_schema" ]; then
+	err "cannot extract FactsSchema from internal/sast/facts.go"
+else
+	grep -qF "$facts_schema" docs/ARCHITECTURE.md ||
+		err "facts format version $facts_schema (internal/sast) is not documented in docs/ARCHITECTURE.md"
 fi
 
 if [ "$fail" -ne 0 ]; then
